@@ -1,0 +1,82 @@
+"""E7 — live programming: incremental program update vs full rebuild
+(paper §3.3).
+
+"Changes to application code must be quickly compiled and hot-swapped
+in ... and the effects of those changes must be efficiently computed in
+an incremental fashion."  A typical application has thousands of rules;
+editing one view must not recompute the rest.
+
+Measured: addblock/removeblock of one view into a workspace with many
+installed views over non-trivial data, vs rebuilding the whole
+workspace from scratch.
+"""
+
+import time
+
+import pytest
+
+from repro import Workspace
+from repro.datasets.retail import load_retail
+from conftest import pedantic
+
+N_VIEWS = 40
+
+
+def view_source(index):
+    return (
+        "view{0}[s] = u <- agg<<u = sum(z)>> sales[s, t, w] = n, "
+        "price[s] = p, z = n * p + {0}.0.".format(index)
+    )
+
+
+def build_app():
+    ws = Workspace()
+    load_retail(ws, n_skus=6, n_stores=2, n_weeks=13, seed=1)
+    for index in range(N_VIEWS):
+        ws.addblock(view_source(index), name="view-{}".format(index))
+    return ws
+
+
+_app = build_app()
+
+
+def hot_swap_one_view():
+    _app.addblock(view_source(0) + " // edited", name="view-0")
+
+
+def add_remove_view():
+    _app.addblock("tmp(s) <- sku(s).", name="tmp-view")
+    _app.removeblock("tmp-view")
+
+
+def full_rebuild():
+    build_app()
+
+
+def test_hot_swap_single_view(benchmark):
+    pedantic(benchmark, hot_swap_one_view, rounds=3)
+
+
+def test_add_remove_view(benchmark):
+    pedantic(benchmark, add_remove_view, rounds=3)
+
+
+def test_full_rebuild_baseline(benchmark):
+    pedantic(benchmark, full_rebuild, rounds=2)
+
+
+def test_live_programming_shape(benchmark):
+    """The claim, asserted: swapping one view in an app with dozens of
+    views costs a small fraction of rebuilding the application."""
+    started = time.perf_counter()
+    hot_swap_one_view()
+    swap_time = time.perf_counter() - started
+    started = time.perf_counter()
+    full_rebuild()
+    rebuild_time = time.perf_counter() - started
+    print("\nhot-swap one of {} views: {:.3f}s; full rebuild: {:.3f}s "
+          "({:.0f}x)".format(N_VIEWS, swap_time, rebuild_time,
+                             rebuild_time / swap_time))
+    assert rebuild_time > 5 * swap_time
+    benchmark.extra_info.update(swap=swap_time, rebuild=rebuild_time)
+    pedantic(benchmark, hot_swap_one_view, rounds=1)

@@ -1,0 +1,72 @@
+"""E10 — predictive analytics throughput (paper §2.3.2).
+
+predict P2P rules learning one model per (sku, store) group and
+evaluating them — the paper's built-in machine learning pathway.
+"""
+
+import pytest
+
+from repro import Workspace
+from repro.datasets.retail import load_retail
+from repro.ml import run_predict_rules
+from conftest import pedantic
+
+LEARN = """
+SM[s, t] = m <- predict m = linear(v|f)
+    sales[s, t, w] = v, feature[s, t, w, n] = f.
+"""
+
+
+def build(n_skus, n_weeks):
+    ws = Workspace()
+    load_retail(ws, n_skus=n_skus, n_stores=2, n_weeks=n_weeks, seed=2)
+    ws.addblock(LEARN, name="learn")
+    return ws
+
+
+@pytest.mark.parametrize("n_skus", [4, 8, 16])
+def test_learn_models_per_group(benchmark, n_skus):
+    ws = build(n_skus, n_weeks=26)
+    pedantic(benchmark, run_predict_rules, ws, rounds=2)
+    assert len(ws.rows("SM")) == n_skus * 2
+    benchmark.extra_info["models"] = n_skus * 2
+
+
+def test_learn_scaling_in_history(benchmark):
+    ws = build(6, n_weeks=52)
+    pedantic(benchmark, run_predict_rules, ws, rounds=2)
+
+
+def test_models_predict_reasonably(benchmark):
+    """Learned per-group models fit the synthetic demand structure
+    (promo lift + seasonality) with decent in-sample accuracy."""
+    import numpy as np
+
+    from repro.ml import ModelStore
+
+    ws = build(4, n_weeks=52)
+    run_predict_rules(ws)
+    features = {}
+    for (s, t, w, name, value) in ws.rows("feature"):
+        features.setdefault((s, t, w), {})[name] = value
+    sales = {(s, t, w): u for (s, t, w, u) in ws.rows("sales")}
+    r2s = []
+    for sku, store, handle in ws.rows("SM"):
+        model = ModelStore.get(handle)
+        X, y = [], []
+        for (s, t, w), mapping in features.items():
+            if (s, t) != (sku, store):
+                continue
+            X.append([mapping["promo"], mapping["season"]])
+            y.append(sales[(s, t, w)])
+        predictions = model.predict(np.array(X))
+        y = np.array(y)
+        residual = float(((y - predictions) ** 2).sum())
+        total = float(((y - y.mean()) ** 2).sum())
+        r2s.append(1 - residual / total)
+    mean_r2 = sum(r2s) / len(r2s)
+    print("\nmean in-sample R^2 across {} models: {:.3f}".format(
+        len(r2s), mean_r2))
+    assert mean_r2 > 0.5
+    benchmark.extra_info["mean_r2"] = mean_r2
+    pedantic(benchmark, run_predict_rules, build(2, 13), rounds=1)

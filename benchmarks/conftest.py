@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite.
+
+Each module regenerates one paper artifact (see DESIGN.md §4 and
+EXPERIMENTS.md).  Benchmarks assert the *shape* of the paper's results
+(who wins, scaling exponents, crossovers), not absolute numbers: the
+substrate here is a pure-Python engine, not the authors' C++ testbed.
+"""
+
+import pytest
+
+
+def pedantic(benchmark, fn, *args, rounds=3, **kwargs):
+    """Run a benchmark with a fixed small round count (the workloads
+    are big enough that calibration noise is irrelevant)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=rounds,
+                              iterations=1, warmup_rounds=0)

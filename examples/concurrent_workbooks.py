@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Concurrent transactions and workbooks (paper §2.1, §3.4).
+
+Hundreds of merchants edit plans concurrently.  This example shows both
+concurrency mechanisms the paper builds on O(1) branching:
+
+* **workbooks** — long-running what-if branches that merge back
+  through the normal maintenance machinery; and
+* **transaction repair** — a batch of conflicting inventory
+  transactions committed serializably without locks, with repairs only
+  where effects actually intersect sensitivities.
+"""
+
+from repro import Workbook, Workspace
+from repro.datasets.txnload import alpha_transactions, item_name, setup_inventory
+from repro.txn import LockingScheduler, RepairScheduler
+
+
+def main():
+    n_items = 60
+    ws = Workspace()
+    setup_inventory(ws, n_items, initial=3)
+
+    # --- a workbook: a planner's private scenario -----------------------------
+    with Workbook(ws, name="holiday-plan") as workbook:
+        workbook.exec(
+            '^inventory["{0}"] = x <- inventory@start["{0}"] = y, '
+            "x = y + 100.".format(item_name(0))
+        )
+        print("inside workbook :", workbook.rows("inventory")[:1])
+        print("main unaffected :", ws.rows("inventory")[:1])
+    # the context manager committed the workbook on exit
+    print("after merge     :", ws.rows("inventory")[:1])
+
+    # --- transaction repair vs row-level locking -------------------------------
+    alpha = 4.0
+    batch = alpha_transactions(n_items, 10, alpha, seed=9)
+
+    repair_ws = Workspace()
+    setup_inventory(repair_ws, n_items, initial=3)
+    scheduler = RepairScheduler(repair_ws)
+    scheduler.run(batch)
+    print(
+        "repair: {} txns, {} conflicted and were repaired "
+        "(no locks held)".format(
+            scheduler.stats["transactions"], scheduler.stats["repairs"]
+        )
+    )
+
+    lock_ws = Workspace()
+    setup_inventory(lock_ws, n_items, initial=3)
+    locking = LockingScheduler(lock_ws)
+    locking.run(batch)
+    print(
+        "locking baseline: {} lock conflicts would have serialized "
+        "the same batch".format(locking.stats["lock_conflicts"])
+    )
+
+    # serializability: both schedules agree exactly
+    assert repair_ws.rows("inventory") == lock_ws.rows("inventory")
+    assert repair_ws.rows("place_order") == lock_ws.rows("place_order")
+    print("identical final state — full serializability, no locks")
+    print("auto orders placed:", repair_ws.rows("place_order"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Graph analytics with worst-case-optimal joins (paper §3.2, Figure 5).
+
+Runs cyclic graph queries — 3-cliques and 4-cliques — on a synthetic
+power-law social graph, both through the LogiQL surface and directly
+through the engine, and contrasts leapfrog triejoin with a classical
+binary hash-join plan (the strategy of the systems LogicBlox outperforms
+in Figure 5).
+"""
+
+import time
+
+from repro import Workspace
+from repro.datasets.graphs import powerlaw_graph
+from repro.engine.baseline_joins import hash_join_query
+from repro.engine.ir import PredAtom, Var
+from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.planner import build_plan
+from repro.storage.relation import Relation
+
+
+def main():
+    edges = powerlaw_graph(400, edges_per_node=5, seed=11)
+    print("graph: {} directed edges".format(len(edges)))
+
+    # --- through the LogiQL surface ----------------------------------------
+    ws = Workspace()
+    ws.addblock(
+        """
+        edge(x, y) -> int(x), int(y).
+        triangle(a, b, c) <- edge(a, b), edge(b, c), edge(a, c), a < b, b < c.
+        degree[x] = d <- agg<<d = count(y)>> edge(x, y).
+        maxdeg[] = d <- agg<<d = max(v)>> degree[x] = v.
+        """,
+        name="graph",
+    )
+    ws.load("edge", edges)
+    triangles = ws.rows("triangle")
+    print("triangles (LogiQL view):", len(triangles))
+    print("max degree:", ws.rows("maxdeg"))
+
+    # incremental maintenance: drop the busiest node's edges
+    (hub, _) = max(ws.rows("degree"), key=lambda t: t[1])
+    removals = [e for e in edges if hub in e]
+    started = time.perf_counter()
+    ws.load("edge", [], remove=removals)
+    elapsed = time.perf_counter() - started
+    print(
+        "removed hub {} ({} edges) -> {} triangles, maintained in {:.3f}s".format(
+            hub, len(removals), len(ws.rows("triangle")), elapsed
+        )
+    )
+
+    # --- engine-level: LFTJ vs a binary hash-join plan ------------------------
+    relation = Relation.from_iter(2, edges)
+    atoms = [
+        PredAtom("E", [Var("a"), Var("b")]),
+        PredAtom("E", [Var("b"), Var("c")]),
+        PredAtom("E", [Var("a"), Var("c")]),
+    ]
+    plan = build_plan(atoms, var_order=["a", "b", "c"])
+    started = time.perf_counter()
+    lftj_count = sum(1 for _ in LeapfrogTrieJoin(plan, {"E": relation}).run())
+    lftj_time = time.perf_counter() - started
+    stats = {}
+    started = time.perf_counter()
+    hash_count = len(hash_join_query(atoms, {"E": relation}, ["a", "b", "c"], stats))
+    hash_time = time.perf_counter() - started
+    assert lftj_count == hash_count
+    print(
+        "3-clique (directed): LFTJ {:.3f}s vs hash-join {:.3f}s "
+        "(intermediate rows: {})".format(
+            lftj_time, hash_time, stats["intermediate_rows"]
+        )
+    )
+
+    # 4-cliques: the gap grows with cycle size
+    atoms4 = [
+        PredAtom("E", [Var("a"), Var("b")]),
+        PredAtom("E", [Var("a"), Var("c")]),
+        PredAtom("E", [Var("a"), Var("d")]),
+        PredAtom("E", [Var("b"), Var("c")]),
+        PredAtom("E", [Var("b"), Var("d")]),
+        PredAtom("E", [Var("c"), Var("d")]),
+    ]
+    plan4 = build_plan(atoms4, var_order=["a", "b", "c", "d"])
+    started = time.perf_counter()
+    k4 = sum(1 for _ in LeapfrogTrieJoin(plan4, {"E": relation}).run())
+    print("4-cliques (directed): {} in {:.3f}s with LFTJ".format(
+        k4, time.perf_counter() - started))
+
+
+if __name__ == "__main__":
+    main()

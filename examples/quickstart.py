@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: a first LogiQL workspace.
+
+Covers the basics of paper §2.2: declarations, derivation rules
+(including recursion and aggregation), integrity constraints, exec
+transactions with reactive rules, queries, and O(1) branching.
+"""
+
+from repro import ConstraintViolation, Workspace
+
+
+def main():
+    ws = Workspace()
+
+    # --- logic: declarations, views, a constraint -------------------------
+    ws.addblock(
+        """
+        // 6NF base predicates
+        employee(e) -> .
+        salary[e] = s -> employee(e), float(s).
+        manager[e] = m -> employee(e), employee(m).
+
+        // derived views
+        chain(e, m) <- manager[e] = m.
+        chain(e, m2) <- chain(e, m), manager[m] = m2.       // recursion
+        teamCost[m] = u <- agg<<u = sum(s)>> chain(e, m), salary[e] = s.
+        payroll[] = u <- agg<<u = sum(s)>> salary[e] = s.
+
+        // an integrity constraint: nobody out-earns the payroll cap
+        cap[] = v -> float(v).
+        salary[e] = s, cap[] = v -> s <= v.
+        """,
+        name="hr",
+    )
+
+    # --- data --------------------------------------------------------------
+    ws.load("employee", [("ada",), ("grace",), ("edsger",), ("barbara",)])
+    ws.load("cap", [(500000.0,)])
+    ws.load(
+        "salary",
+        [("ada", 120000.0), ("grace", 140000.0), ("edsger", 95000.0),
+         ("barbara", 130000.0)],
+    )
+    ws.load("manager", [("ada", "grace"), ("edsger", "grace"),
+                        ("grace", "barbara")])
+
+    print("payroll:", ws.rows("payroll"))
+    print("management chains:", ws.rows("chain"))
+    print("team cost per manager:", ws.rows("teamCost"))
+
+    # --- an exec transaction: a raise, incrementally maintained -------------
+    ws.exec('^salary["ada"] = x <- salary@start["ada"] = y, x = y + 10000.0.')
+    print("payroll after raise:", ws.rows("payroll"))
+
+    # --- constraints roll transactions back ---------------------------------
+    try:
+        ws.exec('^salary["grace"] = 900000.0 <- .')
+    except ConstraintViolation as violation:
+        print("rejected:", str(violation)[:60], "...")
+    print("payroll unchanged:", ws.rows("payroll"))
+
+    # --- queries -------------------------------------------------------------
+    rows = ws.query('_(e, s) <- salary[e] = s, s > 120000.0.')
+    print("earners above 120k:", rows)
+
+    # --- O(1) branching: a what-if scenario ----------------------------------
+    ws.create_branch("whatif")
+    ws.switch("whatif")
+    ws.exec('^salary["edsger"] = 105000.0 <- .')
+    print("what-if payroll:", ws.rows("payroll"))
+    ws.switch("main")
+    print("main payroll:   ", ws.rows("payroll"))
+    ws.delete_branch("whatif")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so ``pip install -e .`` falls back to ``setup.py develop`` via this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="From-scratch Python reproduction of the LogicBlox system (SIGMOD 2015)",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+)

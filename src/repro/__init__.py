@@ -1,0 +1,39 @@
+"""repro — a from-scratch Python reproduction of the LogicBlox system.
+
+Design and Implementation of the LogicBlox System (SIGMOD 2015):
+LogiQL, purely functional data structures, leapfrog triejoin,
+incremental view maintenance, live programming via a meta-engine,
+transaction repair, and prescriptive/predictive analytics.
+
+Quickstart::
+
+    from repro import Workspace
+
+    ws = Workspace()
+    ws.addblock('''
+        parent(x, y) -> string(x), string(y).
+        ancestor(x, y) <- parent(x, y).
+        ancestor(x, z) <- ancestor(x, y), parent(y, z).
+    ''')
+    ws.load('parent', [('adam', 'seth'), ('seth', 'enos')])
+    print(ws.rows('ancestor'))
+"""
+
+from repro.runtime import (
+    ConstraintViolation,
+    TransactionAborted,
+    UnknownPredicate,
+    Workspace,
+)
+from repro.runtime.workbook import Workbook
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Workspace",
+    "Workbook",
+    "ConstraintViolation",
+    "TransactionAborted",
+    "UnknownPredicate",
+    "__version__",
+]

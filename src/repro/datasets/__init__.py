@@ -1,0 +1,13 @@
+"""Synthetic workload and dataset generators for examples and benches."""
+
+from repro.datasets.graphs import erdos_renyi, grid_graph, powerlaw_graph
+from repro.datasets.retail import retail_workload
+from repro.datasets.txnload import alpha_transactions
+
+__all__ = [
+    "erdos_renyi",
+    "grid_graph",
+    "powerlaw_graph",
+    "retail_workload",
+    "alpha_transactions",
+]

@@ -1,0 +1,93 @@
+"""Synthetic graph generators.
+
+The paper's Figure 5 runs the 3-clique query on (subsets of) the
+LiveJournal social graph.  That dataset is unavailable offline, so the
+benchmarks use :func:`powerlaw_graph` — preferential attachment in the
+Barabási–Albert style, which preserves the heavy-tailed degree
+distribution that makes binary join plans blow up on cyclic queries
+(the effect Figure 5 demonstrates).  See DESIGN.md for the substitution
+rationale.
+"""
+
+import random
+
+
+def powerlaw_graph(n_nodes, edges_per_node=4, seed=0):
+    """Directed edges of a preferential-attachment graph.
+
+    Every new node attaches to ``edges_per_node`` existing nodes chosen
+    proportionally to degree; each undirected attachment is emitted in
+    both directions (social-graph style), matching how the triangle
+    query is usually run on LiveJournal.
+    """
+    rng = random.Random(seed)
+    edges = set()
+    targets = list(range(min(edges_per_node, n_nodes)))
+    repeated = list(targets)
+    for node in range(len(targets), n_nodes):
+        chosen = set()
+        while len(chosen) < min(edges_per_node, node):
+            pick = rng.choice(repeated) if repeated else rng.randrange(node)
+            chosen.add(pick)
+        for other in chosen:
+            edges.add((node, other))
+            edges.add((other, node))
+            repeated.append(other)
+            repeated.append(node)
+    return sorted(edges)
+
+
+def erdos_renyi(n_nodes, n_edges, seed=0, symmetric=False):
+    """Uniformly random simple directed edges (no self-loops)."""
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < n_edges:
+        a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        if a == b:
+            continue
+        edges.add((a, b))
+        if symmetric:
+            edges.add((b, a))
+    return sorted(edges)
+
+
+def hub_graph(n_nodes, sparse_edges=None, seed=0):
+    """A hub-skewed graph: node 0 connects to everyone (both ways) plus
+    sparse random edges among the leaves.
+
+    This is the degree skew — LiveJournal's celebrity hubs, in the
+    extreme — that separates worst-case-optimal joins from binary
+    plans: the open wedges through the hub number Θ(n²) while the
+    triangle count stays Θ(sparse_edges).
+    """
+    rng = random.Random(seed)
+    if sparse_edges is None:
+        sparse_edges = 3 * n_nodes
+    edges = set()
+    for node in range(1, n_nodes):
+        edges.add((0, node))
+        edges.add((node, 0))
+    target = 2 * (n_nodes - 1) + sparse_edges
+    while len(edges) < target:
+        a = rng.randrange(1, n_nodes)
+        b = rng.randrange(1, n_nodes)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+def grid_graph(side):
+    """Edges of a ``side × side`` grid (no triangles — a worst case for
+    plans that materialize open wedges)."""
+    edges = []
+    for row in range(side):
+        for column in range(side):
+            node = row * side + column
+            if column + 1 < side:
+                edges.append((node, node + 1))
+                edges.append((node + 1, node))
+            if row + 1 < side:
+                edges.append((node, node + side))
+                edges.append((node + side, node))
+    return sorted(set(edges))

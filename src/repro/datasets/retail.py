@@ -1,0 +1,88 @@
+"""Retail planning workload generator (the paper's §2.1 scenario).
+
+Produces the 6NF base relations of a small retail application: SKUs,
+stores, weekly sales with seasonal + promotional structure, prices, and
+per-SKU features — enough to drive the assortment, promotion, and
+prediction examples and benchmarks.
+"""
+
+import math
+import random
+
+
+def retail_workload(n_skus=10, n_stores=4, n_weeks=52, seed=0):
+    """Generate retail base data.
+
+    Returns a dict of relations::
+
+        sku(s)                      store(t)
+        sales[s, t, w] = units      price[s] = p
+        cost[s] = c                 promo(s, w)
+        spacePerSku[s] = v          feature[s, t, w, name] = value
+    """
+    rng = random.Random(seed)
+    skus = ["sku{:03d}".format(i) for i in range(n_skus)]
+    stores = ["store{:02d}".format(i) for i in range(n_stores)]
+    data = {
+        "sku": [(s,) for s in skus],
+        "store": [(t,) for t in stores],
+        "price": [],
+        "cost": [],
+        "spacePerSku": [],
+        "promo": [],
+        "sales": [],
+        "feature": [],
+    }
+    base_demand = {}
+    for s in skus:
+        price = round(rng.uniform(2.0, 20.0), 2)
+        data["price"].append((s, price))
+        data["cost"].append((s, round(price * rng.uniform(0.4, 0.8), 2)))
+        data["spacePerSku"].append((s, round(rng.uniform(0.5, 3.0), 2)))
+        base_demand[s] = rng.uniform(5, 60)
+    promo_weeks = {}
+    for s in skus:
+        weeks = sorted(rng.sample(range(n_weeks), max(1, n_weeks // 10)))
+        promo_weeks[s] = set(weeks)
+        for w in weeks:
+            data["promo"].append((s, w))
+    for s in skus:
+        for t in stores:
+            store_factor = rng.uniform(0.6, 1.4)
+            for w in range(n_weeks):
+                season = 1.0 + 0.3 * math.sin(2 * math.pi * w / 52.0)
+                promo_lift = 1.8 if w in promo_weeks[s] else 1.0
+                noise = rng.gauss(1.0, 0.08)
+                units = max(
+                    0.0,
+                    base_demand[s] * store_factor * season * promo_lift * noise,
+                )
+                data["sales"].append((s, t, w, round(units, 2)))
+                data["feature"].append((s, t, w, "season", round(season, 4)))
+                data["feature"].append(
+                    (s, t, w, "promo", 1.0 if w in promo_weeks[s] else 0.0)
+                )
+    return data
+
+
+RETAIL_SCHEMA = """
+sku(s) -> .
+store(t) -> .
+price[s] = p -> sku(s), float(p).
+cost[s] = c -> sku(s), float(c).
+spacePerSku[s] = v -> sku(s), float(v).
+promo(s, w) -> sku(s), int(w).
+sales[s, t, w] = u -> sku(s), store(t), int(w), float(u).
+feature[s, t, w, n] = v -> sku(s), store(t), int(w), string(n), float(v).
+"""
+
+
+def load_retail(workspace, data=None, **kwargs):
+    """Install the retail schema and load a generated workload."""
+    if data is None:
+        data = retail_workload(**kwargs)
+    workspace.addblock(RETAIL_SCHEMA, name="retail-schema")
+    for pred in ("sku", "store", "price", "cost", "spacePerSku", "promo",
+                 "sales", "feature"):
+        workspace.load(pred, data[pred])
+    return data

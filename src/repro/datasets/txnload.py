@@ -1,0 +1,54 @@
+"""The paper's §3.4 transactional workload.
+
+"Suppose there are n items in total, and each transaction modifies the
+inventory value for any given item with independent probability
+α·n^(−1/2) ... The expected number of items common to two transactions
+is α² — an instance of the Birthday Paradox."
+"""
+
+import random
+
+INVENTORY_SCHEMA = """
+inventory[s] = v -> string(s), int(v).
+auto_order(s) -> string(s).
+place_order(x) <- inventory[x] = 0, auto_order(x).
+"""
+
+
+def item_name(index):
+    """Canonical inventory item name."""
+    return "item{:05d}".format(index)
+
+
+def setup_inventory(workspace, n_items, initial=5, auto_every=3):
+    """Install the inventory schema and stock ``n_items`` items."""
+    workspace.addblock(INVENTORY_SCHEMA, name="inventory")
+    workspace.load("inventory", [(item_name(i), initial) for i in range(n_items)])
+    workspace.load(
+        "auto_order", [(item_name(i),) for i in range(0, n_items, auto_every)]
+    )
+
+
+def alpha_transactions(n_items, n_txns, alpha, seed=0):
+    """LogiQL sources for the §3.4 decrement workload.
+
+    Each transaction decrements every item independently with
+    probability ``alpha / sqrt(n_items)`` (at least one item, so no
+    transaction is empty).
+    """
+    rng = random.Random(seed)
+    probability = alpha * n_items ** -0.5
+    sources = []
+    for _ in range(n_txns):
+        items = [
+            item_name(i) for i in range(n_items) if rng.random() < probability
+        ]
+        if not items:
+            items = [item_name(rng.randrange(n_items))]
+        lines = [
+            '^inventory["{0}"] = x <- inventory@start["{0}"] = y, '
+            "x = y - 1.".format(s)
+            for s in items
+        ]
+        sources.append("\n".join(lines))
+    return sources

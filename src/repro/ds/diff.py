@@ -1,0 +1,76 @@
+"""Structural diffing between versions of persistent collections.
+
+Because updates copy only root-to-change paths, two related versions
+share almost all their structure; the diff walks both trees pruning
+shared subtrees (by identity and by memoized hash), so its cost is
+proportional to the number of changes, not the collection size.  This
+is the property that makes incremental view maintenance and transaction
+repair affordable (paper §3.1-3.2).
+"""
+
+from repro.ds.treap import MISSING
+
+
+class MapDelta:
+    """The changes turning an old :class:`PMap` into a new one."""
+
+    __slots__ = ("inserted", "deleted", "updated")
+
+    def __init__(self, inserted, deleted, updated):
+        self.inserted = inserted  # dict key -> new value
+        self.deleted = deleted  # dict key -> old value
+        self.updated = updated  # dict key -> (old value, new value)
+
+    def __bool__(self):
+        return bool(self.inserted or self.deleted or self.updated)
+
+    def __len__(self):
+        return len(self.inserted) + len(self.deleted) + len(self.updated)
+
+    def __repr__(self):
+        return "MapDelta(+{}, -{}, ~{})".format(
+            len(self.inserted), len(self.deleted), len(self.updated)
+        )
+
+
+def diff_pmap(old, new):
+    """Compute the :class:`MapDelta` from ``old`` to ``new``."""
+    inserted, deleted, updated = {}, {}, {}
+    for key, old_value, new_value in old.diff(new):
+        if old_value is MISSING:
+            inserted[key] = new_value
+        elif new_value is MISSING:
+            deleted[key] = old_value
+        else:
+            updated[key] = (old_value, new_value)
+    return MapDelta(inserted, deleted, updated)
+
+
+class SetDelta:
+    """The changes turning an old :class:`PSet` into a new one."""
+
+    __slots__ = ("inserted", "deleted")
+
+    def __init__(self, inserted, deleted):
+        self.inserted = inserted  # set of new elements
+        self.deleted = deleted  # set of removed elements
+
+    def __bool__(self):
+        return bool(self.inserted or self.deleted)
+
+    def __len__(self):
+        return len(self.inserted) + len(self.deleted)
+
+    def __repr__(self):
+        return "SetDelta(+{}, -{})".format(len(self.inserted), len(self.deleted))
+
+
+def diff_pset(old, new):
+    """Compute the :class:`SetDelta` from ``old`` to ``new``."""
+    inserted, deleted = set(), set()
+    for element, in_old, in_new in old.diff(new):
+        if in_old and not in_new:
+            deleted.add(element)
+        elif in_new and not in_old:
+            inserted.add(element)
+    return SetDelta(inserted, deleted)

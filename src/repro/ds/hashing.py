@@ -1,0 +1,67 @@
+"""Deterministic hashing helpers for the persistent data structures.
+
+Treap priorities must be a deterministic function of the key so that the
+tree shape depends only on its contents (the *unique representation*
+property, paper §3.1), and subtree hashes back the O(1) extensional
+equality tests.  Python's builtin ``hash`` is NOT usable directly:
+CPython maps ``hash(-1)`` to ``-2`` (and ``hash(-1.0)`` likewise), so
+``(-1,)`` and ``(-2,)`` collide — a real equality bug, not a
+theoretical one.  ``stable_hash`` therefore dispatches on type, tags
+each type differently, and mixes through splitmix64.
+"""
+
+import struct
+
+_MASK64 = (1 << 64) - 1
+
+_TAG_NONE = 0x4E4F4E45
+_TAG_BOOL = 0x424F4F4C
+_TAG_INT = 0x494E5421
+_TAG_FLOAT = 0x464C5421
+_TAG_STR = 0x53545221
+_TAG_TUPLE = 0x54504C21
+_TAG_OTHER = 0x4F545221
+
+
+def splitmix64(x):
+    """Finalize a 64-bit integer with the splitmix64 mixing function."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def stable_hash(key):
+    """A well-mixed 64-bit hash of ``key``, safe for equality tests.
+
+    Deterministic within a process; distinguishes ``-1``/``-2`` and
+    ``-1.0``/``-2.0`` (unlike builtin ``hash``); tuples are combined
+    element-wise so nested keys mix properly.
+    """
+    if key is None:
+        return splitmix64(_TAG_NONE)
+    if isinstance(key, bool):
+        return splitmix64(_TAG_BOOL ^ int(key))
+    if isinstance(key, int):
+        folded = key & _MASK64
+        high = (key >> 64) & _MASK64
+        return splitmix64(splitmix64(_TAG_INT ^ folded) ^ high)
+    if isinstance(key, float):
+        bits = struct.unpack("<Q", struct.pack("<d", key))[0]
+        return splitmix64(_TAG_FLOAT ^ bits)
+    if isinstance(key, str):
+        return splitmix64(_TAG_STR ^ (hash(key) & _MASK64))
+    if isinstance(key, tuple):
+        acc = _TAG_TUPLE ^ len(key)
+        for item in key:
+            acc = splitmix64(acc ^ stable_hash(item))
+        return splitmix64(acc)
+    return splitmix64(_TAG_OTHER ^ (hash(key) & _MASK64))
+
+
+def combine_hashes(*parts):
+    """Combine several 64-bit hashes into one, order-sensitively."""
+    acc = 0x243F6A8885A308D3
+    for part in parts:
+        acc = splitmix64(acc ^ (part & _MASK64))
+    return acc

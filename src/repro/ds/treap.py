@@ -1,0 +1,456 @@
+"""Purely functional treaps with the unique representation property.
+
+These are the workhorse structure of the whole system (paper §3.1):
+
+* Nodes are immutable; every update copies the root-to-change path only,
+  so versions share structure and branching is O(1) (keep the old root).
+* Priorities are a deterministic function of the key (``stable_hash``),
+  so the shape of the tree depends only on its *contents*, never on the
+  operation history — the unique representation property of [37].
+* Every node memoizes a subtree hash, giving O(1) extensional equality
+  tests (paper: "with memoization, this permits extensional equality
+  testing in O(1) time, using pointer comparison").
+* Set union / intersection / difference use the split-based divide and
+  conquer of Blelloch & Reid-Miller [7], which is output-sensitive and
+  preserves subtree sharing.
+
+This module exposes the raw node-level algebra.  User code should go
+through :class:`repro.ds.pmap.PMap` and :class:`repro.ds.pset.PSet`.
+"""
+
+from repro.ds.hashing import combine_hashes, stable_hash
+
+
+class _Missing:
+    """Sentinel distinguishing 'no value' from a stored ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+_EMPTY_HASH = 0x9E3779B97F4A7C15
+
+
+class Node:
+    """One immutable treap node; ``None`` is the empty treap."""
+
+    __slots__ = ("key", "value", "prio", "left", "right", "size", "h")
+
+    def __init__(self, key, value, prio, left, right):
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left = left
+        self.right = right
+        self.size = 1 + size(left) + size(right)
+        self.h = combine_hashes(
+            stable_hash(key),
+            stable_hash(value),
+            left.h if left is not None else _EMPTY_HASH,
+            right.h if right is not None else _EMPTY_HASH,
+        )
+
+    def __repr__(self):
+        return "Node({!r}, {!r}, size={})".format(self.key, self.value, self.size)
+
+
+def make(key, value, left, right):
+    """Build a node with the deterministic priority for ``key``."""
+    return Node(key, value, stable_hash(key), left, right)
+
+
+def size(node):
+    """Number of keys in the treap rooted at ``node``."""
+    return node.size if node is not None else 0
+
+
+def tree_hash(node):
+    """Memoized structural hash of the treap (content-determined)."""
+    return node.h if node is not None else _EMPTY_HASH
+
+
+def _wins(a, b):
+    """Deterministic heap-order tie break: does ``a`` become the root?"""
+    if a.prio != b.prio:
+        return a.prio > b.prio
+    return a.key < b.key
+
+
+def get(node, key, default=MISSING):
+    """Look up ``key``; returns ``default`` when absent."""
+    while node is not None:
+        if key < node.key:
+            node = node.left
+        elif node.key < key:
+            node = node.right
+        else:
+            return node.value
+    return default
+
+
+def contains(node, key):
+    """True iff ``key`` is present."""
+    return get(node, key) is not MISSING
+
+
+def split(node, key):
+    """Split into ``(left, found, right)``.
+
+    ``left`` holds keys < ``key``, ``right`` holds keys > ``key`` and
+    ``found`` is the node whose key equals ``key`` (or ``None``).
+    Only the search path is copied; subtrees are shared.
+    """
+    if node is None:
+        return None, None, None
+    if key < node.key:
+        left, found, rest = split(node.left, key)
+        return left, found, Node(node.key, node.value, node.prio, rest, node.right)
+    if node.key < key:
+        rest, found, right = split(node.right, key)
+        return Node(node.key, node.value, node.prio, node.left, rest), found, right
+    return node.left, node, node.right
+
+
+def merge(left, right):
+    """Join two treaps where every key in ``left`` < every key in ``right``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if _wins(left, right):
+        return Node(left.key, left.value, left.prio, left.left, merge(left.right, right))
+    return Node(right.key, right.value, right.prio, merge(left, right.left), right.right)
+
+
+def insert(node, key, value):
+    """Insert or replace ``key``; returns the new root."""
+    prio = stable_hash(key)
+    return _insert(node, key, value, prio)
+
+
+def _insert(node, key, value, prio):
+    if node is None:
+        return Node(key, value, prio, None, None)
+    if prio > node.prio or (prio == node.prio and key < node.key and key != node.key):
+        if key == node.key:
+            return Node(key, value, prio, node.left, node.right)
+        left, found, right = split(node, key)
+        return Node(key, value, prio, left, right)
+    if key < node.key:
+        new_left = _insert(node.left, key, value, prio)
+        if new_left is node.left:
+            return node
+        return Node(node.key, node.value, node.prio, new_left, node.right)
+    if node.key < key:
+        new_right = _insert(node.right, key, value, prio)
+        if new_right is node.right:
+            return node
+        return Node(node.key, node.value, node.prio, node.left, new_right)
+    if node.value == value and type(node.value) is type(value):
+        return node
+    return Node(key, value, prio, node.left, node.right)
+
+
+def remove(node, key):
+    """Remove ``key`` if present; returns the new root."""
+    if node is None:
+        return None
+    if key < node.key:
+        new_left = remove(node.left, key)
+        if new_left is node.left:
+            return node
+        return Node(node.key, node.value, node.prio, new_left, node.right)
+    if node.key < key:
+        new_right = remove(node.right, key)
+        if new_right is node.right:
+            return node
+        return Node(node.key, node.value, node.prio, node.left, new_right)
+    return merge(node.left, node.right)
+
+
+def union(a, b, combine=None):
+    """Union of two treaps; on key clashes ``combine(a_val, b_val)`` wins.
+
+    Defaults to keeping the value from ``b`` (right-biased, so applying a
+    delta map over a base map behaves like an update).
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is b:
+        return a
+    if not _wins(a, b):
+        a, b = b, a
+        if combine is not None:
+            original = combine
+            combine = lambda x, y: original(y, x)  # noqa: E731 - local adapter
+        else:
+            combine = lambda x, y: x  # noqa: E731 - keep b's value (now in x)
+    left, found, right = split(b, a.key)
+    value = a.value
+    if found is not None:
+        value = combine(a.value, found.value) if combine is not None else found.value
+    return Node(a.key, value, a.prio, union(a.left, left, combine), union(a.right, right, combine))
+
+
+def intersection(a, b, combine=None):
+    """Intersection; values from ``a`` (or ``combine(a_val, b_val)``)."""
+    if a is None or b is None:
+        return None
+    if a is b:
+        return a
+    left, found, right = split(b, a.key)
+    new_left = intersection(a.left, left, combine)
+    new_right = intersection(a.right, right, combine)
+    if found is not None:
+        value = combine(a.value, found.value) if combine is not None else a.value
+        return Node(a.key, value, a.prio, new_left, new_right)
+    return merge(new_left, new_right)
+
+
+def difference(a, b):
+    """Keys of ``a`` not present in ``b`` (values from ``a``)."""
+    if a is None:
+        return None
+    if b is None:
+        return a
+    if a is b:
+        return None
+    left, found, right = split(b, a.key)
+    new_left = difference(a.left, left)
+    new_right = difference(a.right, right)
+    if found is not None:
+        return merge(new_left, new_right)
+    if new_left is a.left and new_right is a.right:
+        return a
+    return Node(a.key, a.value, a.prio, new_left, new_right)
+
+
+def items(node):
+    """Yield ``(key, value)`` in ascending key order (iterative)."""
+    stack = []
+    while node is not None or stack:
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        node = stack.pop()
+        yield node.key, node.value
+        node = node.right
+
+
+def items_from(node, key):
+    """Yield ``(key, value)`` pairs with node key >= ``key``, ascending."""
+    stack = []
+    while node is not None:
+        if node.key < key:
+            node = node.right
+        else:
+            stack.append(node)
+            node = node.left
+    while stack:
+        node = stack.pop()
+        yield node.key, node.value
+        node = node.right
+        while node is not None:
+            stack.append(node)
+            node = node.left
+
+
+def first(node):
+    """Smallest ``(key, value)`` or ``None`` when empty."""
+    if node is None:
+        return None
+    while node.left is not None:
+        node = node.left
+    return node.key, node.value
+
+
+def last(node):
+    """Largest ``(key, value)`` or ``None`` when empty."""
+    if node is None:
+        return None
+    while node.right is not None:
+        node = node.right
+    return node.key, node.value
+
+
+def kth(node, index):
+    """The ``index``-th smallest ``(key, value)`` (0-based)."""
+    if index < 0 or index >= size(node):
+        raise IndexError(index)
+    while True:
+        left_size = size(node.left)
+        if index < left_size:
+            node = node.left
+        elif index == left_size:
+            return node.key, node.value
+        else:
+            index -= left_size + 1
+            node = node.right
+
+
+def rank(node, key):
+    """Number of keys strictly smaller than ``key``."""
+    count = 0
+    while node is not None:
+        if key <= node.key:
+            node = node.left
+        else:
+            count += size(node.left) + 1
+            node = node.right
+    return count
+
+
+def from_sorted_items(pairs):
+    """Bulk-load a treap from key-ascending ``(key, value)`` pairs in O(n).
+
+    Builds the Cartesian tree over the deterministic priorities with the
+    classic right-spine stack algorithm, then freezes it bottom-up into
+    immutable nodes.  The result is bit-identical to repeated insertion
+    (unique representation).
+    """
+
+    class _Mut:
+        __slots__ = ("key", "value", "prio", "left", "right")
+
+        def __init__(self, key, value, prio):
+            self.key = key
+            self.value = value
+            self.prio = prio
+            self.left = None
+            self.right = None
+
+    spine = []
+    last_key = MISSING
+    for key, value in pairs:
+        if last_key is not MISSING and not last_key < key:
+            raise ValueError("from_sorted_items requires strictly ascending keys")
+        last_key = key
+        mut = _Mut(key, value, stable_hash(key))
+        dropped = None
+        while spine and not _mut_wins(spine[-1], mut):
+            dropped = spine.pop()
+        mut.left = dropped
+        if spine:
+            spine[-1].right = mut
+        spine.append(mut)
+    if not spine:
+        return None
+
+    def freeze(mut):
+        if mut is None:
+            return None
+        return Node(mut.key, mut.value, mut.prio, freeze(mut.left), freeze(mut.right))
+
+    return freeze(spine[0])
+
+
+def _mut_wins(a, b):
+    if a.prio != b.prio:
+        return a.prio > b.prio
+    return a.key < b.key
+
+
+def equal(a, b):
+    """O(1) extensional equality via memoized hashes.
+
+    Hash equality is treated as equality (64-bit structural hashes;
+    collision probability ~2^-64, the same trust the paper places in
+    its memoized pointer comparison).
+    """
+    if a is b:
+        return True
+    if size(a) != size(b):
+        return False
+    return tree_hash(a) == tree_hash(b)
+
+
+def diff(a, b):
+    """Yield ``(key, old_value, new_value)`` for keys differing between
+    ``a`` (old) and ``b`` (new); absent values are ``MISSING``.
+
+    Shared subtrees are pruned by identity and by memoized hash, so the
+    cost is proportional to the edit distance (times log n), never to
+    the full size — the property incremental maintenance relies on
+    (paper §3.1: "changes between versions can be enumerated
+    efficiently").
+    """
+    if a is b or tree_hash(a) == tree_hash(b):
+        return
+    if a is None:
+        for key, value in items(b):
+            yield key, MISSING, value
+        return
+    if b is None:
+        for key, value in items(a):
+            yield key, value, MISSING
+        return
+    b_left, found, b_right = split(b, a.key)
+    yield from diff(a.left, b_left)
+    if found is None:
+        yield a.key, a.value, MISSING
+    elif a.value != found.value or type(a.value) is not type(found.value):
+        yield a.key, a.value, found.value
+    yield from diff(a.right, b_right)
+
+
+class Cursor:
+    """Forward cursor over a treap implementing the paper's linear-iterator
+    contract: ``key``/``next``/``seek`` with O(log N) seeks (§3.2).
+
+    ``next`` is amortized O(1) via an explicit ancestor stack; ``seek``
+    re-descends from the root, which is O(log N) as required.
+    """
+
+    __slots__ = ("_root", "_stack", "_node")
+
+    def __init__(self, root):
+        self._root = root
+        self._stack = []
+        self._node = None
+        node = root
+        while node is not None:
+            self._stack.append(node)
+            node = node.left
+        self._advance_from_stack()
+
+    def _advance_from_stack(self):
+        self._node = self._stack.pop() if self._stack else None
+
+    def at_end(self):
+        """True when the cursor has moved past the last key."""
+        return self._node is None
+
+    def key(self):
+        """Key at the current position (cursor must not be at end)."""
+        return self._node.key
+
+    def value(self):
+        """Value at the current position (cursor must not be at end)."""
+        return self._node.value
+
+    def next(self):
+        """Advance to the next key in ascending order."""
+        node = self._node.right
+        while node is not None:
+            self._stack.append(node)
+            node = node.left
+        self._advance_from_stack()
+
+    def seek(self, key):
+        """Position at the least key >= ``key`` (forward only)."""
+        stack = []
+        node = self._root
+        while node is not None:
+            if node.key < key:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        self._stack = stack
+        self._advance_from_stack()

@@ -1,0 +1,116 @@
+"""Version graph: O(1) branching over persistent state.
+
+A :class:`Version` is an immutable snapshot (any persistent value — in
+the runtime it is a ``PMap`` of predicate name to relation plus program
+metadata) together with its parentage.  Branching stores no copies:
+creating a branch is allocating one small object holding a reference to
+the shared state (paper §1.1 T4: "each transaction starts by branching a
+version of the database in O(1) time").
+
+The graph may be an arbitrary DAG: merges record both parents, and any
+past version can be branched again (time travel).  Aborting a branch is
+dropping the reference; there is no undo log.
+"""
+
+import itertools
+
+_version_counter = itertools.count(1)
+
+
+class Version:
+    """One immutable snapshot in the version DAG."""
+
+    __slots__ = ("id", "state", "parents", "label")
+
+    def __init__(self, state, parents=(), label=None):
+        self.id = next(_version_counter)
+        self.state = state
+        self.parents = tuple(parents)
+        self.label = label
+
+    def branch(self, label=None):
+        """O(1): a child version sharing this version's state."""
+        return Version(self.state, parents=(self,), label=label)
+
+    def commit(self, new_state, label=None):
+        """A child version carrying updated state."""
+        return Version(new_state, parents=(self,), label=label)
+
+    def merge(self, other, merged_state, label=None):
+        """A version with two parents (workbook merge, repair commit)."""
+        return Version(merged_state, parents=(self, other), label=label)
+
+    def ancestors(self):
+        """Iterate all ancestor versions (self included), deduplicated."""
+        seen = set()
+        stack = [self]
+        while stack:
+            version = stack.pop()
+            if version.id in seen:
+                continue
+            seen.add(version.id)
+            yield version
+            stack.extend(version.parents)
+
+    def __repr__(self):
+        tag = self.label or "v{}".format(self.id)
+        return "Version({})".format(tag)
+
+
+class VersionGraph:
+    """Named heads over a version DAG (the branch namespace).
+
+    Mirrors the paper's workbook/branch facility: named branches that
+    can be created, advanced, merged, and deleted; deleting a branch is
+    dropping its head reference (garbage collection reclaims unshared
+    structure automatically — Python's GC plays the role of the paper's
+    internal persistence framework).
+    """
+
+    def __init__(self, initial_state, root_name="main"):
+        root = Version(initial_state, label=root_name)
+        self._heads = {root_name: root}
+        self.root_name = root_name
+
+    def head(self, name="main"):
+        """Current head version of branch ``name``."""
+        return self._heads[name]
+
+    def branches(self):
+        """Sorted list of branch names."""
+        return sorted(self._heads)
+
+    def branch(self, from_name, new_name):
+        """Create branch ``new_name`` from ``from_name``'s head — O(1)."""
+        if new_name in self._heads:
+            raise ValueError("branch exists: {}".format(new_name))
+        self._heads[new_name] = self._heads[from_name].branch(label=new_name)
+        return self._heads[new_name]
+
+    def branch_version(self, version, new_name):
+        """Branch directly from any past version (time travel)."""
+        if new_name in self._heads:
+            raise ValueError("branch exists: {}".format(new_name))
+        self._heads[new_name] = version.branch(label=new_name)
+        return self._heads[new_name]
+
+    def advance(self, name, new_state):
+        """Commit ``new_state`` onto branch ``name``; returns new head."""
+        self._heads[name] = self._heads[name].commit(new_state, label=name)
+        return self._heads[name]
+
+    def move_head(self, name, version):
+        """Point branch ``name`` at an existing version (commit swap)."""
+        self._heads[name] = version
+
+    def delete_branch(self, name):
+        """Drop branch ``name`` (its unshared state becomes garbage)."""
+        if name == self.root_name:
+            raise ValueError("cannot delete the root branch")
+        del self._heads[name]
+
+    def __contains__(self, name):
+        return name in self._heads
+
+    def __repr__(self):
+        return "VersionGraph({})".format(", ".join(self.branches()))

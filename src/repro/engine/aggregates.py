@@ -1,0 +1,108 @@
+"""Incrementally maintainable aggregation functions (P2P rules, §2.2.1).
+
+Rule-head maintenance for aggregates keeps per-group state that supports
+both insertion and deletion of contributions (paper §3.2: "For P2P rules
+performing operations such as aggregation, different data structures are
+used"):
+
+* ``sum`` / ``count`` / ``avg`` keep running totals — O(1) updates;
+* ``min`` / ``max`` keep a persistent multiset of contributed values so
+  deleting the current extremum finds the next one in O(log n).
+
+Group state objects are immutable; updating one produces a new state,
+so aggregate state versions branch with the rest of the workspace.
+"""
+
+from repro.ds.pmap import PMap
+
+
+class SumState:
+    """Running total and contribution count."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self, total=0, count=0):
+        self.total = total
+        self.count = count
+
+    def add(self, value):
+        return SumState(self.total + value, self.count + 1)
+
+    def remove(self, value):
+        return SumState(self.total - value, self.count - 1)
+
+    def is_empty(self):
+        return self.count == 0
+
+
+class MultisetState:
+    """Persistent multiset of contributed values (for min/max)."""
+
+    __slots__ = ("values", "count")
+
+    def __init__(self, values=None, count=0):
+        self.values = values if values is not None else PMap.EMPTY
+        self.count = count
+
+    def add(self, value):
+        multiplicity = self.values.get(value, 0)
+        return MultisetState(self.values.set(value, multiplicity + 1), self.count + 1)
+
+    def remove(self, value):
+        multiplicity = self.values.get(value, 0)
+        if multiplicity <= 1:
+            return MultisetState(self.values.remove(value), self.count - 1)
+        return MultisetState(self.values.set(value, multiplicity - 1), self.count - 1)
+
+    def is_empty(self):
+        return self.count == 0
+
+
+class _Aggregate:
+    """One aggregation function: state transitions plus a result view."""
+
+    def __init__(self, name, make, result):
+        self.name = name
+        self.make = make
+        self._result = result
+
+    def empty(self):
+        """Fresh per-group state."""
+        return self.make()
+
+    def result(self, state):
+        """The aggregate value of a non-empty group."""
+        return self._result(state)
+
+
+def _min_result(state):
+    first = state.values.first()
+    return first[0]
+
+
+def _max_result(state):
+    last = state.values.last()
+    return last[0]
+
+
+AGGREGATES = {
+    "sum": _Aggregate("sum", SumState, lambda s: s.total),
+    "count": _Aggregate("count", SumState, lambda s: s.count),
+    "avg": _Aggregate("avg", SumState, lambda s: s.total / s.count),
+    "min": _Aggregate("min", MultisetState, _min_result),
+    "max": _Aggregate("max", MultisetState, _max_result),
+}
+
+
+def agg_add(fn, state, value):
+    """Add one contribution; ``count`` ignores the value's magnitude."""
+    if fn == "count":
+        return state.add(1)
+    return state.add(value)
+
+
+def agg_remove(fn, state, value):
+    """Remove one contribution."""
+    if fn == "count":
+        return state.remove(1)
+    return state.remove(value)

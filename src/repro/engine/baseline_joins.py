@@ -1,0 +1,144 @@
+"""Binary join plan baselines (hash join and sort-merge join).
+
+These implement the classical one-join-at-a-time, materialize-the-
+intermediate strategy of traditional RDBMSs.  They stand in for the
+comparison systems of the paper's Figure 5 (PostgreSQL, MonetDB,
+Virtuoso, Neo4j, System HC, RedShift): the paper's companion study [32]
+attributes those systems' behaviour on cyclic queries to exactly this
+plan shape, whose intermediate results can be asymptotically larger
+than the final output — the effect LFTJ's worst-case optimality avoids.
+
+Only positive, constant-free conjunctive queries are supported (that is
+all the benchmarks need); results are deduplicated at the end, matching
+SQL ``SELECT DISTINCT`` semantics for these queries.
+"""
+
+from repro.engine.ir import Const, PredAtom, Var
+
+
+class _Intermediate:
+    """A materialized intermediate: variable names + rows (bag)."""
+
+    __slots__ = ("vars", "rows")
+
+    def __init__(self, vars_, rows):
+        self.vars = list(vars_)
+        self.rows = rows
+
+
+def _atom_to_intermediate(atom, relations):
+    relation = relations[atom.pred]
+    names = []
+    positions = []
+    for position, arg in enumerate(atom.args):
+        if not isinstance(arg, Var):
+            raise ValueError("baseline joins support variable-only atoms")
+        if arg.name in names:
+            raise ValueError("baseline joins support distinct variables per atom")
+        names.append(arg.name)
+        positions.append(position)
+    rows = [tuple(t[p] for p in positions) for t in relation]
+    return _Intermediate(names, rows)
+
+
+def _hash_join(left, right):
+    shared = [name for name in left.vars if name in right.vars]
+    left_keys = [left.vars.index(name) for name in shared]
+    right_keys = [right.vars.index(name) for name in shared]
+    right_extra = [i for i, name in enumerate(right.vars) if name not in shared]
+    out_vars = left.vars + [right.vars[i] for i in right_extra]
+    table = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in right_keys)
+        table.setdefault(key, []).append(tuple(row[i] for i in right_extra))
+    out_rows = []
+    for row in left.rows:
+        key = tuple(row[i] for i in left_keys)
+        for extra in table.get(key, ()):
+            out_rows.append(row + extra)
+    return _Intermediate(out_vars, out_rows)
+
+
+def _merge_join(left, right):
+    shared = [name for name in left.vars if name in right.vars]
+    left_keys = [left.vars.index(name) for name in shared]
+    right_keys = [right.vars.index(name) for name in shared]
+    right_extra = [i for i, name in enumerate(right.vars) if name not in shared]
+    out_vars = left.vars + [right.vars[i] for i in right_extra]
+    if not shared:
+        out_rows = [l + tuple(r[i] for i in right_extra) for l in left.rows for r in right.rows]
+        return _Intermediate(out_vars, out_rows)
+    left_sorted = sorted(left.rows, key=lambda r: tuple(r[i] for i in left_keys))
+    right_sorted = sorted(right.rows, key=lambda r: tuple(r[i] for i in right_keys))
+    out_rows = []
+    i = j = 0
+    n, m = len(left_sorted), len(right_sorted)
+    while i < n and j < m:
+        left_key = tuple(left_sorted[i][k] for k in left_keys)
+        right_key = tuple(right_sorted[j][k] for k in right_keys)
+        if left_key < right_key:
+            i += 1
+        elif right_key < left_key:
+            j += 1
+        else:
+            # gather the equal-key blocks on both sides
+            i_end = i
+            while i_end < n and tuple(left_sorted[i_end][k] for k in left_keys) == left_key:
+                i_end += 1
+            j_end = j
+            while j_end < m and tuple(right_sorted[j_end][k] for k in right_keys) == left_key:
+                j_end += 1
+            for a in range(i, i_end):
+                for b in range(j, j_end):
+                    out_rows.append(
+                        left_sorted[a] + tuple(right_sorted[b][k] for k in right_extra)
+                    )
+            i, j = i_end, j_end
+    return _Intermediate(out_vars, out_rows)
+
+
+def _run_plan(atoms, relations, join):
+    if not atoms:
+        raise ValueError("empty query")
+    for atom in atoms:
+        if not isinstance(atom, PredAtom) or atom.negated:
+            raise ValueError("baseline joins support positive atoms only")
+        if any(isinstance(arg, Const) for arg in atom.args):
+            raise ValueError("baseline joins support variable-only atoms")
+    current = _atom_to_intermediate(atoms[0], relations)
+    for atom in atoms[1:]:
+        current = join(current, _atom_to_intermediate(atom, relations))
+    return current
+
+
+def hash_join_query(atoms, relations, output_vars=None, stats=None):
+    """Left-deep hash-join plan; returns the distinct output rows.
+
+    ``stats['intermediate_rows']`` records the total size of the
+    materialized intermediates — the quantity that separates binary
+    plans from worst-case-optimal joins on cyclic queries.
+    """
+    return _query(atoms, relations, _hash_join, output_vars, stats)
+
+
+def merge_join_query(atoms, relations, output_vars=None, stats=None):
+    """Left-deep sort-merge-join plan; returns the distinct output rows."""
+    return _query(atoms, relations, _merge_join, output_vars, stats)
+
+
+def _query(atoms, relations, join, output_vars, stats):
+    if stats is not None:
+        stats["intermediate_rows"] = 0
+
+        def counting_join(left, right):
+            out = join(left, right)
+            stats["intermediate_rows"] += len(out.rows)
+            return out
+
+        final = _run_plan(atoms, relations, counting_join)
+    else:
+        final = _run_plan(atoms, relations, join)
+    if output_vars is None:
+        output_vars = final.vars
+    positions = [final.vars.index(name) for name in output_vars]
+    return {tuple(row[p] for p in positions) for row in final.rows}

@@ -1,0 +1,298 @@
+"""Bottom-up, set-at-a-time evaluation of rule programs (paper T1, §3.2).
+
+The evaluator materializes derived predicates stratum by stratum:
+
+* non-recursive strata evaluate each rule once with LFTJ and build
+  *support counts* (number of derivations per head tuple) — the state
+  rule-head maintenance needs (§3.2);
+* aggregate (P2P) rules build per-group aggregation state;
+* recursive strata run a semi-naive fixpoint (delta-driven rounds) and
+  are maintained by delete-rederive on updates.
+
+All materialization state is persistent, so workspace versions carry
+their evaluation state with them at O(1) branch cost.
+"""
+
+from repro.ds.pmap import PMap
+from repro.engine.aggregates import AGGREGATES, agg_add
+from repro.engine.ir import Const, PredAtom, Var
+from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.rules import stratify
+from repro.storage.relation import Relation
+
+
+class FunctionalDependencyViolation(ValueError):
+    """Two derivations assign different values to one functional key."""
+
+
+class EvaluationError(ValueError):
+    """Malformed rule set (mixed aggregate/plain rules, arity clash...)."""
+
+
+class PredicateState:
+    """Materialization state of one derived predicate.
+
+    ``kind`` is ``"count"`` (support counts per tuple), ``"agg"``
+    (per-group aggregation state), or ``"recursive"`` (set only,
+    maintained by delete/rederive).
+    """
+
+    __slots__ = ("kind", "counts", "groups", "agg_fn")
+
+    def __init__(self, kind, counts=None, groups=None, agg_fn=None):
+        self.kind = kind
+        self.counts = counts if counts is not None else PMap.EMPTY
+        self.groups = groups if groups is not None else PMap.EMPTY
+        self.agg_fn = agg_fn
+
+    def replace(self, counts=None, groups=None):
+        """A copy with updated persistent state."""
+        return PredicateState(
+            self.kind,
+            counts if counts is not None else self.counts,
+            groups if groups is not None else self.groups,
+            self.agg_fn,
+        )
+
+
+def project_head(rule, var_order, binding):
+    """Head tuple for one satisfying assignment."""
+    index = {name: position for position, name in enumerate(var_order)}
+    return tuple(
+        arg.value if isinstance(arg, Const) else binding[index[arg.name]]
+        for arg in rule.head_args
+    )
+
+
+class _HeadProjector:
+    """Precomputed head projection for a fixed variable order."""
+
+    __slots__ = ("_spec",)
+
+    def __init__(self, rule, var_order, drop_last=False):
+        index = {name: position for position, name in enumerate(var_order)}
+        args = rule.head_args[:-1] if drop_last else rule.head_args
+        self._spec = tuple(
+            ("c", arg.value) if isinstance(arg, Const) else ("v", index[arg.name])
+            for arg in args
+        )
+
+    def __call__(self, binding):
+        return tuple(
+            value if tag == "c" else binding[value] for tag, value in self._spec
+        )
+
+
+class RuleSet:
+    """A compiled set of derivation rules: strata, arities, rule groups."""
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+        self.rules_by_head = {}
+        for rule in self.rules:
+            self.rules_by_head.setdefault(rule.head_pred, []).append(rule)
+        for pred, group in self.rules_by_head.items():
+            has_agg = any(r.agg is not None for r in group)
+            if has_agg and len(group) > 1:
+                raise EvaluationError(
+                    "predicate {} mixes aggregate and other rules".format(pred)
+                )
+            arities = {len(r.head_args) for r in group}
+            if len(arities) > 1:
+                raise EvaluationError("predicate {} has inconsistent arity".format(pred))
+        self.strata, self.recursive_flags = stratify(self.rules)
+        self.derived = set(self.rules_by_head)
+
+    def head_arity(self, pred):
+        """Arity of a derived predicate's head."""
+        return len(self.rules_by_head[pred][0].head_args)
+
+    def is_aggregate(self, pred):
+        """True when ``pred`` is defined by a P2P aggregation rule."""
+        group = self.rules_by_head.get(pred)
+        return bool(group) and group[0].agg is not None
+
+
+class Evaluator:
+    """Evaluates a :class:`RuleSet` over base relations.
+
+    ``order_chooser(rule, relations)`` may supply LFTJ variable orders
+    (the sampling optimizer plugs in here); by default the planner's
+    first-appearance order is used.
+    """
+
+    def __init__(self, ruleset, order_chooser=None, prefer_array=True):
+        self.ruleset = ruleset
+        self.order_chooser = order_chooser
+        self.prefer_array = prefer_array
+
+    def _order_for(self, rule, relations):
+        if self.order_chooser is None:
+            return None
+        return self.order_chooser(rule, relations)
+
+    def rule_bindings(self, rule, relations, recorder=None, prefer_array=None):
+        """Iterate satisfying assignments of ``rule``'s body.
+
+        Returns ``(var_order, iterator)``.
+        """
+        var_order = self._order_for(rule, relations)
+        plan = rule.plan(var_order)
+        prefer = self.prefer_array if prefer_array is None else prefer_array
+        executor = LeapfrogTrieJoin(plan, relations, recorder, prefer)
+        return plan.var_order, executor.run()
+
+    # -- full evaluation ---------------------------------------------------
+
+    def evaluate(self, base_relations, recorder=None, recorder_for=None, reuse=None):
+        """Materialize every derived predicate.
+
+        ``base_relations`` maps predicate name to :class:`Relation`.
+        Returns ``(relations, states)`` where ``relations`` includes
+        base and derived predicates and ``states`` holds per-predicate
+        materialization state.
+
+        ``reuse`` may supply ``(relations, states)`` for derived
+        predicates known to be unaffected by a program change (live
+        programming, §3.3): those are copied instead of recomputed.  A
+        recursive stratum is reused only when every member is reusable.
+        """
+        relations = dict(base_relations)
+        states = {}
+        chooser = recorder_for if recorder_for is not None else (lambda rule: recorder)
+        reuse_relations, reuse_states = reuse if reuse is not None else ({}, {})
+        for stratum, recursive in zip(self.ruleset.strata, self.ruleset.recursive_flags):
+            if recursive:
+                if all(pred in reuse_relations for pred in stratum):
+                    for pred in stratum:
+                        relations[pred] = reuse_relations[pred]
+                        states[pred] = reuse_states[pred]
+                else:
+                    self._evaluate_recursive(stratum, relations, states, chooser)
+            else:
+                for pred in stratum:
+                    if pred in reuse_relations:
+                        relations[pred] = reuse_relations[pred]
+                        states[pred] = reuse_states[pred]
+                    else:
+                        self._evaluate_nonrecursive(pred, relations, states, chooser)
+        return relations, states
+
+    def _evaluate_nonrecursive(self, pred, relations, states, chooser):
+        group = self.ruleset.rules_by_head[pred]
+        if group[0].agg is not None:
+            self._evaluate_aggregate(pred, group[0], relations, states, chooser)
+            return
+        counts = {}
+        for rule in group:
+            var_order, bindings = self.rule_bindings(rule, relations, chooser(rule))
+            project = _HeadProjector(rule, var_order)
+            for binding in bindings:
+                head = project(binding)
+                counts[head] = counts.get(head, 0) + 1
+        relation = Relation.from_iter(self.ruleset.head_arity(pred), counts)
+        _check_functional(pred, group[0], relation)
+        relations[pred] = relation
+        states[pred] = PredicateState(
+            "count", counts=PMap.from_sorted_items(sorted(counts.items()))
+        )
+
+    def _evaluate_aggregate(self, pred, rule, relations, states, chooser):
+        aggregate = AGGREGATES[rule.agg.fn]
+        var_order, bindings = self.rule_bindings(rule, relations, chooser(rule))
+        project = _HeadProjector(rule, var_order, drop_last=True)
+        value_position = list(var_order).index(rule.agg.value_var)
+        groups = {}
+        for binding in bindings:
+            group_key = project(binding)
+            state = groups.get(group_key)
+            if state is None:
+                state = aggregate.empty()
+            groups[group_key] = agg_add(rule.agg.fn, state, binding[value_position])
+        tuples = [
+            group_key + (aggregate.result(state),)
+            for group_key, state in groups.items()
+        ]
+        relations[pred] = Relation.from_iter(self.ruleset.head_arity(pred), tuples)
+        states[pred] = PredicateState(
+            "agg",
+            groups=PMap.from_sorted_items(sorted(groups.items())),
+            agg_fn=rule.agg.fn,
+        )
+
+    def _evaluate_recursive(self, stratum, relations, states, chooser):
+        stratum_preds = set(stratum)
+        for pred in stratum:
+            relations[pred] = Relation.empty(self.ruleset.head_arity(pred))
+        # round 0: all rules against the (empty) stratum relations
+        delta = {}
+        for pred in stratum:
+            derived = self._fire_rules_once(pred, relations, chooser)
+            new = derived.subtract(relations[pred])
+            relations[pred] = relations[pred].union(new)
+            delta[pred] = new
+        # semi-naive rounds
+        while any(bool(d) for d in delta.values()):
+            next_delta = {pred: set() for pred in stratum}
+            for pred in stratum:
+                for rule in self.ruleset.rules_by_head[pred]:
+                    for position, atom in enumerate(rule.body):
+                        if (
+                            not isinstance(atom, PredAtom)
+                            or atom.negated
+                            or atom.pred not in stratum_preds
+                        ):
+                            continue
+                        if not delta[atom.pred]:
+                            continue
+                        env = dict(relations)
+                        body = list(rule.body)
+                        delta_name = "@delta:{}".format(atom.pred)
+                        body[position] = PredAtom(delta_name, atom.args)
+                        env[delta_name] = delta[atom.pred]
+                        delta_rule = _clone_rule(rule, body)
+                        var_order, bindings = self.rule_bindings(
+                            delta_rule, env, chooser(rule), prefer_array=False
+                        )
+                        project = _HeadProjector(delta_rule, var_order)
+                        for binding in bindings:
+                            next_delta[pred].add(project(binding))
+            delta = {}
+            for pred in stratum:
+                fresh = [t for t in next_delta[pred] if t not in relations[pred]]
+                new = Relation.from_iter(self.ruleset.head_arity(pred), fresh)
+                relations[pred] = relations[pred].union(new)
+                delta[pred] = new
+        for pred in stratum:
+            _check_functional(pred, self.ruleset.rules_by_head[pred][0], relations[pred])
+            states[pred] = PredicateState("recursive")
+
+    def _fire_rules_once(self, pred, relations, chooser):
+        tuples = set()
+        for rule in self.ruleset.rules_by_head[pred]:
+            var_order, bindings = self.rule_bindings(rule, relations, chooser(rule))
+            project = _HeadProjector(rule, var_order)
+            for binding in bindings:
+                tuples.add(project(binding))
+        return Relation.from_iter(self.ruleset.head_arity(pred), tuples)
+
+
+def _clone_rule(rule, body):
+    from repro.engine.rules import Rule
+
+    return Rule(rule.head_pred, rule.head_args, body, rule.agg, rule.n_keys, rule.name)
+
+
+def _check_functional(pred, rule, relation):
+    """Enforce the functional dependency of ``R[keys] = value`` heads."""
+    n_keys = rule.n_keys
+    if n_keys >= len(rule.head_args):
+        return
+    previous_key = None
+    for tup in relation:
+        key = tup[:n_keys]
+        if key == previous_key:
+            raise FunctionalDependencyViolation(
+                "{}[{}] derived with conflicting values".format(pred, key)
+            )
+        previous_key = key

@@ -1,0 +1,111 @@
+"""Unary leapfrog join (paper §3.2, Figure 3).
+
+Joins k linear iterators by repeatedly taking the iterator at the
+smallest key and seeking it to the current largest key, "leapfrogging"
+until all iterators agree.  The join itself implements the same linear
+iterator contract, so it plugs directly into the trie-level search of
+the full LFTJ.
+
+Every movement optionally reports to a recorder, producing the
+*sensitivity intervals* of the run: ``seek(v)`` landing at ``u`` records
+``[v, u]``, ``next()`` from ``a`` landing at ``b`` records ``[a, b]``,
+initial positioning records ``[-inf, first]``, and running off the end
+closes with ``+inf`` — exactly the intervals listed for Figure 3.
+"""
+
+from repro.storage.datum import BOTTOM, TOP
+
+
+class LeapfrogJoin:
+    """Leapfrog intersection of linear iterators.
+
+    ``iters`` is a non-empty list of objects honouring the linear
+    iterator contract.  ``trackers`` is an optional parallel list whose
+    entries expose ``record(low, high)`` (or ``None`` for untracked
+    iterators).
+    """
+
+    __slots__ = ("_iters", "_trackers", "_p", "_at_end", "key")
+
+    def __init__(self, iters, trackers=None):
+        self._iters = iters
+        self._trackers = trackers if trackers is not None else [None] * len(iters)
+        self._p = 0
+        self._at_end = False
+        self.key = None
+        self._init()
+
+    def _record(self, index, low, high):
+        tracker = self._trackers[index]
+        if tracker is not None:
+            tracker.record(low, high)
+
+    def _init(self):
+        for index, it in enumerate(self._iters):
+            if it.at_end():
+                self._record(index, BOTTOM, TOP)
+                self._at_end = True
+            else:
+                self._record(index, BOTTOM, it.key())
+        if self._at_end:
+            return
+        order = sorted(range(len(self._iters)), key=lambda i: self._iters[i].key())
+        self._iters = [self._iters[i] for i in order]
+        self._trackers = [self._trackers[i] for i in order]
+        self._p = 0
+        self._search()
+
+    def _search(self):
+        iters = self._iters
+        count = len(iters)
+        p = self._p
+        max_key = iters[p - 1].key() if count > 1 else iters[0].key()
+        while True:
+            it = iters[p]
+            key = it.key()
+            if key == max_key:
+                self.key = key
+                self._p = p
+                return
+            it.seek(max_key)
+            if it.at_end():
+                self._record(p, max_key, TOP)
+                self._at_end = True
+                self.key = None
+                self._p = p
+                return
+            landed = it.key()
+            self._record(p, max_key, landed)
+            max_key = landed
+            p = (p + 1) % count
+
+    def at_end(self):
+        """True when the intersection is exhausted."""
+        return self._at_end
+
+    def next(self):
+        """Advance to the next common key."""
+        it = self._iters[self._p]
+        previous = it.key()
+        it.next()
+        if it.at_end():
+            self._record(self._p, previous, TOP)
+            self._at_end = True
+            self.key = None
+            return
+        self._record(self._p, previous, it.key())
+        self._p = (self._p + 1) % len(self._iters)
+        self._search()
+
+    def seek(self, value):
+        """Position at the least common key >= ``value``."""
+        it = self._iters[self._p]
+        it.seek(value)
+        if it.at_end():
+            self._record(self._p, value, TOP)
+            self._at_end = True
+            self.key = None
+            return
+        self._record(self._p, value, it.key())
+        self._p = (self._p + 1) % len(self._iters)
+        self._search()

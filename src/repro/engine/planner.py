@@ -1,0 +1,317 @@
+"""Query planning for leapfrog triejoin (paper §3.2).
+
+"When joins are evaluated using LFTJ, query optimization essentially
+boils down to choosing a good variable order."  The planner:
+
+* picks (or validates) a global variable order;
+* rewrites repeated variables within an atom into fresh variables plus
+  equality bindings (``R(x, x)`` becomes ``R(x, y), y := x``);
+* assigns each positive atom a storage permutation — constants first
+  (the virtual ``Const`` predicate trick), then its variables in global
+  order (a secondary index when that differs from the declared column
+  order), then trailing wildcard columns handled existentially;
+* attaches comparison and negation filters, and arithmetic assignments,
+  to the earliest level at which they are fully bound.
+"""
+
+import itertools
+
+from repro.engine.ir import AssignAtom, CompareAtom, Const, PredAtom, Var
+
+
+class AtomPlan:
+    """Execution shape of one positive atom."""
+
+    __slots__ = ("pred", "perm", "const_prefix", "levels", "atom")
+
+    def __init__(self, pred, perm, const_prefix, levels, atom):
+        self.pred = pred
+        self.perm = tuple(perm)
+        self.const_prefix = tuple(const_prefix)
+        self.levels = tuple(levels)  # global level index per variable level
+        self.atom = atom
+
+    def __repr__(self):
+        return "AtomPlan({}, perm={}, consts={}, levels={})".format(
+            self.pred, self.perm, self.const_prefix, self.levels
+        )
+
+
+class Plan:
+    """A complete LFTJ execution plan for one rule body."""
+
+    __slots__ = (
+        "var_order",
+        "atom_plans",
+        "participants",
+        "assigns",
+        "filters",
+        "ground_atoms",
+        "ground_filters",
+        "output_positions",
+    )
+
+    def __init__(self, var_order, atom_plans, assigns, filters, ground_atoms, ground_filters):
+        self.var_order = tuple(var_order)
+        self.atom_plans = atom_plans
+        self.participants = [[] for _ in var_order]
+        for atom_index, plan in enumerate(atom_plans):
+            for own_level, global_level in enumerate(plan.levels):
+                self.participants[global_level].append((atom_index, own_level))
+        self.assigns = assigns  # level -> AssignAtom
+        self.filters = filters  # level -> [CompareAtom | PredAtom(negated)]
+        self.ground_atoms = ground_atoms  # fully-ground positive/negative atoms
+        self.ground_filters = ground_filters  # variable-free comparisons
+        self.output_positions = None
+
+    def needs_index(self, atom_plan):
+        """True when the atom requires a non-identity secondary index."""
+        return atom_plan.perm != tuple(range(len(atom_plan.perm)))
+
+    def __repr__(self):
+        return "Plan(vars={}, atoms={})".format(self.var_order, self.atom_plans)
+
+
+class PlanError(ValueError):
+    """Raised for unsafe or inconsistent rule bodies."""
+
+
+def _rewrite_repeats(atoms):
+    """Replace repeated variables within positive atoms by fresh ones."""
+    rewritten = []
+    extra = []
+    fresh = itertools.count()
+    for atom in atoms:
+        if not isinstance(atom, PredAtom) or atom.negated:
+            rewritten.append(atom)
+            continue
+        seen = set()
+        new_args = []
+        for arg in atom.args:
+            if isinstance(arg, Var) and arg.name in seen:
+                alias = "{}@{}".format(arg.name, next(fresh))
+                new_args.append(Var(alias))
+                extra.append(AssignAtom(alias, Var(arg.name)))
+            else:
+                if isinstance(arg, Var):
+                    seen.add(arg.name)
+                new_args.append(arg)
+        if len(new_args) == len(atom.args) and all(
+            a is b for a, b in zip(new_args, atom.args)
+        ):
+            rewritten.append(atom)
+        else:
+            rewritten.append(PredAtom(atom.pred, new_args, atom.negated))
+    return rewritten + extra
+
+
+def _collect_vars(atoms):
+    """All variable names, in first-appearance order."""
+    order = []
+    seen = set()
+
+    def note(name):
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+
+    for atom in atoms:
+        if isinstance(atom, PredAtom):
+            for arg in atom.args:
+                if isinstance(arg, Var):
+                    note(arg.name)
+        elif isinstance(atom, AssignAtom):
+            for name in sorted(atom.input_vars()):
+                note(name)
+            note(atom.var)
+        elif isinstance(atom, CompareAtom):
+            for name in sorted(atom.var_names()):
+                note(name)
+    return order
+
+
+def _bound_vars(atoms):
+    """Variables bound by a positive atom or an assignment."""
+    bound = set()
+    for atom in atoms:
+        if isinstance(atom, PredAtom) and not atom.negated:
+            bound.update(a.name for a in atom.args if isinstance(a, Var))
+        elif isinstance(atom, AssignAtom):
+            bound.add(atom.var)
+    return bound
+
+
+def default_var_order(atoms, output_vars=()):
+    """A safe default order: first appearance, assignments after inputs.
+
+    Repeatedly emits the first not-yet-ordered variable whose assignment
+    dependencies (if any) are satisfied.
+    """
+    atoms = _rewrite_repeats(list(atoms))
+    appearance = _collect_vars(atoms)
+    deps = {}
+    for atom in atoms:
+        if isinstance(atom, AssignAtom):
+            deps.setdefault(atom.var, set()).update(atom.input_vars())
+    ordered = []
+    placed = set()
+    remaining = list(appearance)
+    while remaining:
+        progress = False
+        for name in remaining:
+            if deps.get(name, set()) <= placed:
+                ordered.append(name)
+                placed.add(name)
+                remaining.remove(name)
+                progress = True
+                break
+        if not progress:
+            raise PlanError("cyclic assignment dependencies among {}".format(remaining))
+    return ordered
+
+
+def build_plan(atoms, var_order=None, output_vars=()):
+    """Build a :class:`Plan` for the given body atoms.
+
+    ``output_vars`` are the variables the caller needs (head / answer
+    variables); variables used once in a single atom and not output are
+    handled existentially as trailing wildcards.
+    """
+    atoms = _rewrite_repeats(list(atoms))
+    bound = _bound_vars(atoms)
+    all_vars = _collect_vars(atoms)
+    occurrences = {}
+    for atom in atoms:
+        names = set()
+        if isinstance(atom, PredAtom):
+            names = {a.name for a in atom.args if isinstance(a, Var)}
+        elif isinstance(atom, AssignAtom):
+            names = atom.input_vars() | {atom.var}
+        elif isinstance(atom, CompareAtom):
+            names = atom.var_names()
+        for name in names:
+            occurrences[name] = occurrences.get(name, 0) + 1
+    for atom in atoms:
+        if isinstance(atom, PredAtom) and atom.negated:
+            # variables local to a negated atom are existential inside
+            # the negation (prefix-absence test); shared unbound ones
+            # are a safety error
+            unbound = [
+                a.name
+                for a in atom.args
+                if isinstance(a, Var)
+                and a.name not in bound
+                and occurrences.get(a.name, 0) > 1
+            ]
+            if unbound:
+                raise PlanError(
+                    "negated atom {} has unbound variables {}".format(atom, unbound)
+                )
+        elif isinstance(atom, CompareAtom):
+            unbound = sorted(atom.var_names() - bound)
+            if unbound:
+                raise PlanError(
+                    "comparison {} has unbound variables {}".format(atom, unbound)
+                )
+    for name in output_vars:
+        if name not in bound and name in all_vars:
+            raise PlanError("output variable {} is not bound by the body".format(name))
+
+    # classify wildcard (existential) variables: used once, not output,
+    # and not owned by an assignment or comparison
+    output_set = set(output_vars)
+    wildcards = {
+        name
+        for name, count in occurrences.items()
+        if count == 1 and name not in output_set
+    }
+    for atom in atoms:
+        if isinstance(atom, (AssignAtom, CompareAtom)):
+            names = (
+                atom.input_vars() | {atom.var}
+                if isinstance(atom, AssignAtom)
+                else atom.var_names()
+            )
+            wildcards -= names
+
+    if var_order is None:
+        var_order = [v for v in default_var_order(atoms, output_vars) if v not in wildcards]
+    else:
+        var_order = list(var_order)
+        missing = [v for v in all_vars if v not in var_order and v not in wildcards]
+        if missing:
+            raise PlanError("variable order misses {}".format(missing))
+    level_of = {name: level for level, name in enumerate(var_order)}
+
+    atom_plans = []
+    ground_atoms = []
+    assigns = {}
+    filters = {level: [] for level in range(len(var_order))}
+    ground_filters = []
+
+    for atom in atoms:
+        if isinstance(atom, PredAtom):
+            has_var = any(
+                isinstance(arg, Var) and arg.name not in wildcards
+                for arg in atom.args
+            )
+            if atom.negated or not has_var:
+                max_level = -1
+                for arg in atom.args:
+                    if isinstance(arg, Var) and arg.name in level_of:
+                        max_level = max(max_level, level_of[arg.name])
+                if max_level < 0:
+                    ground_atoms.append(atom)
+                else:
+                    filters[max_level].append(atom)
+                continue
+            const_positions = [
+                i for i, a in enumerate(atom.args) if isinstance(a, Const)
+            ]
+            var_positions = [
+                (level_of[a.name], i)
+                for i, a in enumerate(atom.args)
+                if isinstance(a, Var) and a.name not in wildcards
+            ]
+            var_positions.sort()
+            wildcard_positions = [
+                i
+                for i, a in enumerate(atom.args)
+                if isinstance(a, Var) and a.name in wildcards
+            ]
+            perm = (
+                const_positions
+                + [pos for _, pos in var_positions]
+                + wildcard_positions
+            )
+            const_prefix = [atom.args[i].value for i in const_positions]
+            levels = [level for level, _ in var_positions]
+            atom_plans.append(AtomPlan(atom.pred, perm, const_prefix, levels, atom))
+        elif isinstance(atom, AssignAtom):
+            level = level_of[atom.var]
+            for name in atom.input_vars():
+                if level_of[name] >= level:
+                    raise PlanError(
+                        "assignment {} uses variable bound later in order".format(atom)
+                    )
+            if level in assigns:
+                raise PlanError(
+                    "variable {} assigned more than once".format(atom.var)
+                )
+            assigns[level] = atom
+        elif isinstance(atom, CompareAtom):
+            names = atom.var_names()
+            if not names:
+                ground_filters.append(atom)
+            else:
+                filters[max(level_of[name] for name in names)].append(atom)
+        else:
+            raise PlanError("unknown atom type: {!r}".format(atom))
+
+    plan = Plan(var_order, atom_plans, assigns, filters, ground_atoms, ground_filters)
+    for level, name in enumerate(var_order):
+        if not plan.participants[level] and level not in assigns:
+            raise PlanError(
+                "variable {} is bound by no iterator at its level".format(name)
+            )
+    return plan

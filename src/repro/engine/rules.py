@@ -1,0 +1,211 @@
+"""Engine-level rules, dependency analysis, and stratification.
+
+A :class:`Rule` is a derivation rule lowered from LogiQL: a head atom
+(with an optional aggregation — the paper's P2P rules), and a body of
+IR atoms.  The *execution graph* (paper §3.3, Figure 6) has predicates
+as nodes and rules as edges; strata are its condensation (SCCs in
+reverse topological order), with the LogiQL stratification conditions:
+negation and aggregation must not occur inside a recursive component.
+"""
+
+from repro.engine.ir import AssignAtom, CompareAtom, Const, PredAtom, Var
+from repro.engine.planner import build_plan
+
+
+AGG_FUNCTIONS = ("sum", "count", "min", "max", "avg")
+
+
+class AggSpec:
+    """Aggregation of a P2P rule: ``agg<<u = fn(z)>>``."""
+
+    __slots__ = ("fn", "result_var", "value_var")
+
+    def __init__(self, fn, result_var, value_var):
+        if fn not in AGG_FUNCTIONS:
+            raise ValueError("unknown aggregation {!r}".format(fn))
+        self.fn = fn
+        self.result_var = result_var
+        self.value_var = value_var
+
+    def __repr__(self):
+        return "agg<<{} = {}({})>>".format(self.result_var, self.fn, self.value_var)
+
+
+class Rule:
+    """One derivation rule: ``head_pred(head_args) <- body``.
+
+    For functional predicates the last head argument is the value and
+    ``n_keys`` is set accordingly; ``agg`` marks a P2P aggregation rule
+    whose last head argument must be ``agg.result_var``.
+    """
+
+    __slots__ = ("head_pred", "head_args", "body", "agg", "n_keys", "name", "_plan_cache")
+
+    def __init__(self, head_pred, head_args, body, agg=None, n_keys=None, name=None):
+        self.head_pred = head_pred
+        self.head_args = tuple(head_args)
+        self.body = list(body)
+        self.agg = agg
+        if n_keys is None:
+            n_keys = len(self.head_args) - 1 if agg is not None else len(self.head_args)
+        self.n_keys = n_keys
+        self.name = name
+        self._plan_cache = {}
+        if agg is not None:
+            last = self.head_args[-1]
+            if not (isinstance(last, Var) and last.name == agg.result_var):
+                raise ValueError(
+                    "aggregate head must end with the result variable {}".format(
+                        agg.result_var
+                    )
+                )
+
+    def head_vars(self):
+        """Variable names whose bindings must be enumerated distinctly.
+
+        For plain rules: the head variables (other body variables are
+        existential).  For aggregate rules: *every* variable bound by a
+        positive atom or assignment — aggregation is over the multiset
+        of distinct satisfying assignments, so none may be collapsed
+        (two employees with equal salaries both contribute to a sum).
+        """
+        names = [a.name for a in self.head_args if isinstance(a, Var)]
+        if self.agg is not None:
+            names = [n for n in names if n != self.agg.result_var]
+            seen = set(names)
+            for atom in self.body:
+                if isinstance(atom, PredAtom) and not atom.negated:
+                    for arg in atom.args:
+                        if isinstance(arg, Var) and arg.name not in seen:
+                            seen.add(arg.name)
+                            names.append(arg.name)
+                elif isinstance(atom, AssignAtom) and atom.var not in seen:
+                    seen.add(atom.var)
+                    names.append(atom.var)
+            if self.agg.value_var not in seen:
+                names.append(self.agg.value_var)
+        return names
+
+    def body_preds(self, positive_only=False):
+        """Predicate names referenced in the body."""
+        names = set()
+        for atom in self.body:
+            if isinstance(atom, PredAtom) and (not positive_only or not atom.negated):
+                names.add(atom.pred)
+        return names
+
+    def plan(self, var_order=None):
+        """The (cached) LFTJ plan for this body."""
+        key = tuple(var_order) if var_order is not None else None
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = build_plan(self.body, var_order=var_order, output_vars=self.head_vars())
+            self._plan_cache[key] = plan
+        return plan
+
+    def __repr__(self):
+        head = "{}({})".format(self.head_pred, ", ".join(map(repr, self.head_args)))
+        agg = " {}".format(self.agg) if self.agg else ""
+        return "{} <-{} {}".format(head, agg, ", ".join(map(repr, self.body)))
+
+
+class StratificationError(ValueError):
+    """Negation or aggregation through recursion (not stratifiable)."""
+
+
+def _tarjan_sccs(nodes, successors):
+    """Tarjan's strongly connected components, iterative.
+
+    Returns SCCs in reverse topological order (callees first).
+    """
+    index_counter = [0]
+    indices, lowlinks = {}, {}
+    on_stack = set()
+    stack = []
+    result = []
+
+    for start in nodes:
+        if start in indices:
+            continue
+        work = [(start, iter(successors(start)))]
+        indices[start] = lowlinks[start] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, child_iter = work[-1]
+            advanced = False
+            for child in child_iter:
+                if child not in indices:
+                    indices[child] = lowlinks[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def stratify(rules, edb_preds=()):
+    """Partition derived predicates into evaluation strata.
+
+    Returns ``(strata, recursive_flags)`` where ``strata`` is a list of
+    predicate-name lists in dependency order and ``recursive_flags[i]``
+    marks stratum ``i`` as recursive.  Raises
+    :class:`StratificationError` when a negation or aggregation lies on
+    a cycle.
+    """
+    derived = {rule.head_pred for rule in rules}
+    positive_deps = {pred: set() for pred in derived}
+    negative_deps = {pred: set() for pred in derived}
+    for rule in rules:
+        for atom in rule.body:
+            if not isinstance(atom, PredAtom) or atom.pred not in derived:
+                continue
+            if atom.negated or rule.agg is not None:
+                negative_deps[rule.head_pred].add(atom.pred)
+            else:
+                positive_deps[rule.head_pred].add(atom.pred)
+
+    def successors(node):
+        return sorted(positive_deps[node] | negative_deps[node])
+
+    components = _tarjan_sccs(sorted(derived), successors)
+    component_of = {}
+    for index, component in enumerate(components):
+        for pred in component:
+            component_of[pred] = index
+
+    recursive_flags = []
+    for index, component in enumerate(components):
+        members = set(component)
+        recursive = len(component) > 1
+        for pred in component:
+            if pred in positive_deps[pred] or pred in negative_deps[pred]:
+                recursive = True
+        for pred in component:
+            for dep in negative_deps[pred]:
+                if dep in members:
+                    raise StratificationError(
+                        "negation/aggregation through recursion at {}".format(pred)
+                    )
+        recursive_flags.append(recursive)
+    return [list(component) for component in components], recursive_flags

@@ -1,0 +1,17 @@
+"""LogiQL: the unified declarative language (paper §2).
+
+The front-end: lexer, parser, AST, semantic analysis, and compilation
+into engine rules, schema declarations, integrity constraints, and
+solve/predict directives.
+"""
+
+from repro.logiql.parser import parse_program, parse_clause, ParseError
+from repro.logiql.compiler import compile_program, CompileError
+
+__all__ = [
+    "parse_program",
+    "parse_clause",
+    "ParseError",
+    "compile_program",
+    "CompileError",
+]

@@ -1,0 +1,339 @@
+"""Abstract syntax of LogiQL programs (paper §2.2).
+
+The AST mirrors the surface language: clauses are derivation rules,
+integrity constraints (rightward arrow), or directives; atoms come in
+relational ``R(t...)`` and functional ``R[t...] = t`` forms, optionally
+negated, delta-marked (``+R``, ``-R``, ``^R``), or versioned
+(``R@start``); terms include arithmetic, functional applications used
+as expressions, and distribution terms (``Flip[p]``).
+"""
+
+
+class Node:
+    """Base AST node with structural equality for tests."""
+
+    __slots__ = ()
+
+    def _fields(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other._fields() == self._fields()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._fields()))
+
+
+# -- terms -------------------------------------------------------------------
+
+
+class VarT(Node):
+    """A variable occurrence."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class Wildcard(Node):
+    """The anonymous variable ``_``."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "_"
+
+
+class NumT(Node):
+    """A numeric literal (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class StrT(Node):
+    """A string literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class BoolT(Node):
+    """A boolean literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+class Arith(Node):
+    """Binary arithmetic over terms."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return "({} {} {})".format(self.left, self.op, self.right)
+
+
+class FuncTerm(Node):
+    """A functional application used as a term: ``price[sku]``."""
+
+    __slots__ = ("pred", "keys", "at_start")
+
+    def __init__(self, pred, keys, at_start=False):
+        self.pred = pred
+        self.keys = tuple(keys)
+        self.at_start = at_start
+
+    def __repr__(self):
+        suffix = "@start" if self.at_start else ""
+        return "{}{}[{}]".format(self.pred, suffix, ", ".join(map(repr, self.keys)))
+
+
+class CallT(Node):
+    """A built-in scalar function call used as a term."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = tuple(args)
+
+    def __repr__(self):
+        return "{}({})".format(self.fn, ", ".join(map(repr, self.args)))
+
+
+class FlipT(Node):
+    """``Flip[r]``: a Bernoulli distribution term (paper §2.3.3)."""
+
+    __slots__ = ("param",)
+
+    def __init__(self, param):
+        self.param = param
+
+    def __repr__(self):
+        return "Flip[{!r}]".format(self.param)
+
+
+class _RelTermAtom(Node):
+    """Internal: a relational application parsed in term position.
+
+    The parser resolves it into a :class:`RelAtom` at atom level; its
+    appearance inside arithmetic is a syntax error raised by the
+    compiler.
+    """
+
+    __slots__ = ("pred", "terms", "at_start")
+
+    def __init__(self, pred, terms, at_start=False):
+        self.pred = pred
+        self.terms = tuple(terms)
+        self.at_start = at_start
+
+    def __repr__(self):
+        suffix = "@start" if self.at_start else ""
+        return "{}{}({})".format(self.pred, suffix, ", ".join(map(repr, self.terms)))
+
+
+class PredRef(Node):
+    """A backquoted predicate reference: ``` `Stock ```."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "`" + self.name
+
+
+# -- atoms -------------------------------------------------------------------
+
+
+class RelAtom(Node):
+    """A relational atom ``R(t1, ..., tn)``."""
+
+    __slots__ = ("pred", "terms", "negated", "delta", "at_start")
+
+    def __init__(self, pred, terms, negated=False, delta=None, at_start=False):
+        self.pred = pred
+        self.terms = tuple(terms)
+        self.negated = negated
+        self.delta = delta  # None | '+' | '-' | '^'
+        self.at_start = at_start
+
+    def __repr__(self):
+        prefix = ("!" if self.negated else "") + (self.delta or "")
+        suffix = "@start" if self.at_start else ""
+        return "{}{}{}({})".format(
+            prefix, self.pred, suffix, ", ".join(map(repr, self.terms))
+        )
+
+
+class FuncAtom(Node):
+    """A functional atom ``R[t1, ..., tn-1] = t``."""
+
+    __slots__ = ("pred", "keys", "value", "negated", "delta", "at_start")
+
+    def __init__(self, pred, keys, value, negated=False, delta=None, at_start=False):
+        self.pred = pred
+        self.keys = tuple(keys)
+        self.value = value
+        self.negated = negated
+        self.delta = delta
+        self.at_start = at_start
+
+    def __repr__(self):
+        prefix = ("!" if self.negated else "") + (self.delta or "")
+        suffix = "@start" if self.at_start else ""
+        return "{}{}{}[{}] = {!r}".format(
+            prefix, self.pred, suffix, ", ".join(map(repr, self.keys)), self.value
+        )
+
+
+class Comparison(Node):
+    """A comparison atom ``t1 op t2``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return "({!r} {} {!r})".format(self.left, self.op, self.right)
+
+
+class TypeAtom(Node):
+    """A primitive type atom in a constraint RHS: ``float(v)``."""
+
+    __slots__ = ("type_name", "term")
+
+    def __init__(self, type_name, term):
+        self.type_name = type_name
+        self.term = term
+
+    def __repr__(self):
+        return "{}({!r})".format(self.type_name, self.term)
+
+
+# -- clauses -------------------------------------------------------------------
+
+
+class AggClause(Node):
+    """``agg<<u = fn(z)>>`` on a P2P rule."""
+
+    __slots__ = ("result_var", "fn", "value")
+
+    def __init__(self, result_var, fn, value):
+        self.result_var = result_var
+        self.fn = fn
+        self.value = value  # a term (usually VarT)
+
+    def __repr__(self):
+        return "agg<<{} = {}({!r})>>".format(self.result_var, self.fn, self.value)
+
+
+class PredictClause(Node):
+    """``predict m = fn(v|f)``: a machine-learning P2P rule (§2.3.2)."""
+
+    __slots__ = ("result_var", "fn", "target", "feature")
+
+    def __init__(self, result_var, fn, target, feature):
+        self.result_var = result_var
+        self.fn = fn  # e.g. 'logist', 'linear', 'eval', 'kmeans'
+        self.target = target  # term bound to the target/model variable
+        self.feature = feature  # term bound to the feature variable
+
+    def __repr__(self):
+        return "predict {} = {}({!r}|{!r})".format(
+            self.result_var, self.fn, self.target, self.feature
+        )
+
+
+class RuleClause(Node):
+    """A derivation rule (plain, aggregate, predict, reactive, or fact)."""
+
+    __slots__ = ("head", "body", "agg", "predict")
+
+    def __init__(self, head, body, agg=None, predict=None):
+        self.head = head
+        self.body = tuple(body)
+        self.agg = agg
+        self.predict = predict
+
+    def __repr__(self):
+        extra = ""
+        if self.agg:
+            extra = " {!r}".format(self.agg)
+        if self.predict:
+            extra = " {!r}".format(self.predict)
+        return "{!r} <-{} {}.".format(self.head, extra, ", ".join(map(repr, self.body)))
+
+
+class ConstraintClause(Node):
+    """An integrity constraint ``F -> G`` (optionally soft-weighted)."""
+
+    __slots__ = ("lhs", "rhs", "weight")
+
+    def __init__(self, lhs, rhs, weight=None):
+        self.lhs = tuple(lhs)
+        self.rhs = tuple(rhs)
+        self.weight = weight
+
+    def __repr__(self):
+        prefix = "{}: ".format(self.weight) if self.weight is not None else ""
+        return "{}{} -> {}.".format(
+            prefix,
+            ", ".join(map(repr, self.lhs)),
+            ", ".join(map(repr, self.rhs)),
+        )
+
+
+class DirectiveClause(Node):
+    """A ``lang:...`` directive, e.g. ``lang:solve:max(`totalProfit)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = tuple(args)
+
+    def __repr__(self):
+        return "{}({}).".format(self.name, ", ".join(map(repr, self.args)))
+
+
+class Program(Node):
+    """A parsed block: an ordered list of clauses."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses):
+        self.clauses = tuple(clauses)
+
+    def __repr__(self):
+        return "\n".join(repr(c) for c in self.clauses)

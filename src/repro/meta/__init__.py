@@ -1,0 +1,5 @@
+"""The meta-engine: live programming support (paper §3.3)."""
+
+from repro.meta.metaengine import MetaEngine, META_RULES_SOURCE
+
+__all__ = ["MetaEngine", "META_RULES_SOURCE"]

@@ -1,0 +1,75 @@
+"""The meta-rules, written in LogiQL itself (paper §3.3).
+
+The paper: "the meta-engine uses meta-rules to declaratively describe
+the LogiQL code as collections of meta-facts and their relationships
+... There are currently about 200 meta-rules".  This reproduction
+implements a representative subset covering the mechanisms the paper
+spells out — EDB/IDB inference (the ``lang_edb`` example), frame-rule
+bookkeeping (the ``need_frame_rule`` example), the execution-graph
+dependency closure that tells the engine proper which derived
+predicates to revise, and a handful of code invariants (aggregate or
+negation through recursion, multi-block definitions, sampling-rule
+sites).
+
+The meta-rules are compiled and evaluated by this very engine, and the
+meta-fact collections are maintained incrementally under
+addblock/removeblock exactly like any other materialized views.
+"""
+
+META_RULES_SOURCE = """
+// ---- EDB/IDB inference (the paper's first example meta-rule) ----
+lang_idb(p) <- rule_head_pred(r, p).
+lang_edb(p) <- lang_predname(p), !lang_idb(p).
+
+// ---- frame rules (the paper's second example meta-rule) ----
+// a base predicate needs a frame rule when some rule head writes its
+// delta predicates
+need_frame_rule(p) <- delta_head_base(r, p).
+
+// ---- the execution graph: predicates are nodes, rules are edges ----
+depends(p, q) <- rule_head_pred(r, p), rule_body_pred(r, q).
+depends(p, q) <- rule_head_pred(r, p), rule_body_negpred(r, q).
+negdep(p, q) <- rule_head_pred(r, p), rule_body_negpred(r, q).
+depends_tc(p, q) <- depends(p, q).
+depends_tc(p, q) <- depends_tc(p, x), depends(x, q).
+
+// ---- revision propagation: which views must the engine revise? ----
+dirty(p) <- changed_rule(r), rule_head_pred(r, p).
+dirty(p) <- changed_base(p).
+need_revision(p) <- dirty(p).
+need_revision(p) <- need_revision(q), depends(p, q).
+
+// ---- code invariants and diagnostics ----
+recursive_pred(p) <- depends_tc(p, p).
+agg_pred(p) <- rule_head_pred(r, p), rule_is_agg(r).
+bad_agg_recursion(p) <- agg_pred(p), recursive_pred(p).
+bad_neg_recursion(p) <- negdep(p, q), depends_tc(q, p).
+bad_neg_recursion(p) <- negdep(p, p).
+defined_in_block(p, b) <- rule_in_block(b, r), rule_head_pred(r, p).
+multi_block_pred(p) <- defined_in_block(p, b1), defined_in_block(p, b2), b1 != b2.
+undefined_pred(p) <- rule_body_pred(r, p), !lang_predname(p).
+
+// ---- materialization policy (paper §2.2.1: derived predicates
+// default to materialized, but may be left unmaterialized when the
+// derivation uses no aggregation or recursion) ----
+must_materialize(p) <- agg_pred(p).
+must_materialize(p) <- recursive_pred(p).
+may_unmaterialize(p) <- lang_idb(p), !must_materialize(p).
+
+// ---- optimizer support: on-the-fly creation of sampling rules ----
+sampling_site(p) <- rule_body_pred(r, p), lang_edb(p).
+"""
+
+# The base meta-predicates populated from compiled blocks:
+META_BASE_PREDS = {
+    "lang_predname": 1,  # every predicate name mentioned anywhere
+    "rule_in_block": 2,  # (block, rule-id)
+    "rule_head_pred": 2,  # (rule-id, head predicate)
+    "rule_body_pred": 2,  # (rule-id, positive body predicate)
+    "rule_body_negpred": 2,  # (rule-id, negated body predicate)
+    "rule_is_agg": 1,  # (rule-id)
+    "delta_head_base": 2,  # (rule-id, base predicate of a +/- head)
+    "declared_pred": 1,  # explicitly declared predicates
+    "changed_rule": 1,  # transient: rules added/removed this update
+    "changed_base": 1,  # transient: base predicates changed this update
+}

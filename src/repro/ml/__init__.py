@@ -1,0 +1,37 @@
+"""Built-in machine learning library (paper §2.3.2).
+
+"The above rules are evaluated using a built-in machine learning
+library, which implements a variety of state-of-the-art, scalable
+machine learning algorithms to support regression, clustering, density
+estimation, classification, and dimensionality reduction."
+
+All algorithms are implemented from scratch on numpy:
+
+* regression — :class:`LinearRegression` (ridge-regularized normal
+  equations), :class:`LogisticRegression` (Newton/IRLS);
+* classification — :class:`GaussianNaiveBayes`;
+* clustering — :class:`KMeans` (Lloyd iterations, k-means++ seeding);
+* density estimation — :class:`GaussianKDE`;
+* dimensionality reduction — :class:`PCA` (SVD).
+
+:mod:`repro.ml.predict` wires them to LogiQL ``predict`` P2P rules.
+"""
+
+from repro.ml.linreg import LinearRegression
+from repro.ml.logistic import LogisticRegression
+from repro.ml.kmeans import KMeans
+from repro.ml.kde import GaussianKDE
+from repro.ml.pca import PCA
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.predict import ModelStore, run_predict_rules
+
+__all__ = [
+    "LinearRegression",
+    "LogisticRegression",
+    "KMeans",
+    "GaussianKDE",
+    "PCA",
+    "GaussianNaiveBayes",
+    "ModelStore",
+    "run_predict_rules",
+]

@@ -1,0 +1,69 @@
+"""k-means clustering: k-means++ seeding + Lloyd iterations."""
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, n_clusters, max_iter=100, tol=1e-8, seed=0):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_ = None
+        self.inertia_ = None
+
+    def _init_centers(self, X, rng):
+        n = X.shape[0]
+        centers = [X[rng.integers(n)]]
+        while len(centers) < self.n_clusters:
+            d2 = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probabilities = d2 / total
+            centers.append(X[rng.choice(n, p=probabilities)])
+        return np.array(centers)
+
+    def fit(self, X):
+        """Cluster rows of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, rng)
+        previous_inertia = None
+        for _ in range(self.max_iter):
+            distances = np.stack(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=1
+            )
+            labels = np.argmin(distances, axis=1)
+            inertia = float(distances[np.arange(len(X)), labels].sum())
+            new_centers = []
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if len(members) == 0:
+                    new_centers.append(X[rng.integers(len(X))])
+                else:
+                    new_centers.append(members.mean(axis=0))
+            centers = np.array(new_centers)
+            if previous_inertia is not None and abs(previous_inertia - inertia) < self.tol:
+                break
+            previous_inertia = inertia
+        self.centers_ = centers
+        self.inertia_ = previous_inertia
+        return self
+
+    def predict(self, X):
+        """Nearest-center labels for ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        distances = np.stack(
+            [np.sum((X - c) ** 2, axis=1) for c in self.centers_], axis=1
+        )
+        return np.argmin(distances, axis=1)

@@ -1,0 +1,48 @@
+"""Linear regression via ridge-regularized normal equations."""
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares with a small ridge term for stability."""
+
+    def __init__(self, ridge=1e-8, fit_intercept=True):
+        self.ridge = ridge
+        self.fit_intercept = fit_intercept
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y):
+        """Fit on ``X`` (n × d) and targets ``y`` (n)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        beta = np.linalg.solve(gram, design.T @ y)
+        if self.fit_intercept:
+            self.coef_ = beta[:-1]
+            self.intercept_ = float(beta[-1])
+        else:
+            self.coef_ = beta
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X):
+        """Predicted targets for ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+    def score(self, X, y):
+        """Coefficient of determination R²."""
+        y = np.asarray(y, dtype=float)
+        predictions = self.predict(X)
+        residual = float(np.sum((y - predictions) ** 2))
+        total = float(np.sum((y - y.mean()) ** 2))
+        return 1.0 - residual / total if total > 0 else 1.0

@@ -1,0 +1,55 @@
+"""Binary logistic regression via Newton/IRLS."""
+
+import numpy as np
+
+
+def _sigmoid(z):
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+class LogisticRegression:
+    """Binary logistic regression (targets in {0, 1})."""
+
+    def __init__(self, max_iter=50, tol=1e-8, ridge=1e-6):
+        self.max_iter = max_iter
+        self.tol = tol
+        self.ridge = ridge
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y):
+        """Fit by iteratively reweighted least squares."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        beta = np.zeros(design.shape[1])
+        for _ in range(self.max_iter):
+            mu = _sigmoid(design @ beta)
+            weights = np.maximum(mu * (1 - mu), 1e-10)
+            gradient = design.T @ (y - mu) - self.ridge * beta
+            hessian = (design.T * weights) @ design + self.ridge * np.eye(len(beta))
+            step = np.linalg.solve(hessian, gradient)
+            beta += step
+            if float(np.max(np.abs(step))) < self.tol:
+                break
+        self.coef_ = beta[:-1]
+        self.intercept_ = float(beta[-1])
+        return self
+
+    def predict_proba(self, X):
+        """P(y = 1 | x)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return _sigmoid(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X):
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(X) >= 0.5).astype(float)
+
+    def score(self, X, y):
+        """Accuracy on 0/1 targets."""
+        y = np.asarray(y, dtype=float)
+        return float(np.mean(self.predict(X) == y))

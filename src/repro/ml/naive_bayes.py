@@ -1,0 +1,58 @@
+"""Gaussian naive Bayes classification."""
+
+import numpy as np
+
+
+class GaussianNaiveBayes:
+    """Per-class independent Gaussians with Laplace-smoothed priors."""
+
+    def __init__(self, var_smoothing=1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_ = None
+        self._means = None
+        self._vars = None
+        self._log_priors = None
+
+    def fit(self, X, y):
+        """Fit class-conditional Gaussians."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        means, variances, priors = [], [], []
+        epsilon = self.var_smoothing * max(X.var(), 1.0)
+        for label in self.classes_:
+            members = X[y == label]
+            means.append(members.mean(axis=0))
+            variances.append(members.var(axis=0) + epsilon)
+            priors.append(len(members) / len(X))
+        self._means = np.array(means)
+        self._vars = np.array(variances)
+        self._log_priors = np.log(np.array(priors))
+        return self
+
+    def _joint_log_likelihood(self, X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        scores = []
+        for index in range(len(self.classes_)):
+            mean = self._means[index]
+            variance = self._vars[index]
+            log_prob = -0.5 * np.sum(
+                np.log(2 * np.pi * variance) + (X - mean) ** 2 / variance, axis=1
+            )
+            scores.append(self._log_priors[index] + log_prob)
+        return np.stack(scores, axis=1)
+
+    def predict(self, X):
+        """Most likely class per row."""
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X):
+        """Class posterior probabilities."""
+        joint = self._joint_log_likelihood(X)
+        joint -= joint.max(axis=1, keepdims=True)
+        probabilities = np.exp(joint)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)

@@ -1,0 +1,40 @@
+"""Principal component analysis via SVD."""
+
+import numpy as np
+
+
+class PCA:
+    """Dimensionality reduction onto the top principal components."""
+
+    def __init__(self, n_components):
+        self.n_components = n_components
+        self.mean_ = None
+        self.components_ = None
+        self.explained_variance_ratio_ = None
+
+    def fit(self, X):
+        """Fit on centered data via singular value decomposition."""
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        variance = singular_values**2
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[: self.n_components] / total if total > 0 else variance[: self.n_components]
+        )
+        return self
+
+    def transform(self, X):
+        """Project onto the principal components."""
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X):
+        """Fit and project in one step."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z):
+        """Reconstruct from component space."""
+        return np.asarray(Z, dtype=float) @ self.components_ + self.mean_

@@ -1,0 +1,6 @@
+"""Declarative probabilistic modeling (paper §2.3.3)."""
+
+from repro.prob.mln import MLN
+from repro.prob.ppdl import PPDLProgram
+
+__all__ = ["MLN", "PPDLProgram"]

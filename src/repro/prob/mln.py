@@ -1,0 +1,222 @@
+"""Markov-Logic-style soft constraints with MAP inference (paper §2.3.3).
+
+Soft constraints are weighted LogiQL constraints (``2.0 : Customer(c),
+Promoted(p) -> Purchase(c, p).``).  "While ordinary (hard) constraints
+specify the set of legal database states, soft constraints assign to
+each state a score ... the likelihood of a possible world is
+proportional to the product of the factors", one factor ``e^w`` per
+satisfied grounding.
+
+MAP inference — the most likely possible world given the evidence —
+maximizes the sum of weights of satisfied ground clauses.  "This can be
+formulated as a mathematical optimization problem, which can be solved
+using the machinery described in Section 2.3.1": each candidate query
+atom becomes a 0/1 variable, each ground clause an auxiliary variable
+tied to its literals, and the whole thing goes to the from-scratch
+branch & bound MIP solver.
+"""
+
+import itertools
+
+from repro.engine import ir
+from repro.solver.mip import solve_mip
+from repro.solver.simplex import LinearProgram
+from repro.storage.schema import EntityType
+
+
+class MLNError(ValueError):
+    """Ill-posed MLN inference problem."""
+
+
+class MLN:
+    """MAP inference over the workspace's soft constraints.
+
+    ``query_preds`` are the open (unknown) predicates; every other
+    predicate referenced by the soft constraints is evidence read from
+    the workspace.
+    """
+
+    def __init__(self, workspace, query_preds):
+        self.workspace = workspace
+        self.state = workspace.state
+        self.query_preds = list(query_preds)
+        self.soft = [
+            c for c in self.state.artifacts.constraints if c.is_soft
+        ]
+        if not self.soft:
+            raise MLNError("no soft constraints in the workspace")
+        self.relations = self.state.env_with_defaults()
+
+    # -- domains -------------------------------------------------------------
+
+    def _position_domain(self, pred, position):
+        decl = self.state.artifacts.schema.get(pred)
+        if decl is not None and isinstance(decl.arg_types[position], EntityType):
+            population = self.relations.get(decl.arg_types[position].name)
+            if population is not None:
+                return {t[0] for t in population}
+        relation = self.relations.get(pred)
+        if relation is not None:
+            return {t[position] for t in relation}
+        return set()
+
+    def candidate_atoms(self):
+        """All candidate ground atoms of the query predicates."""
+        candidates = {}
+        for pred in self.query_preds:
+            arity = self.state.artifacts.arity_of(pred)
+            if arity is None:
+                raise MLNError("unknown query predicate {}".format(pred))
+            position_domains = [
+                sorted(self._position_domain(pred, position))
+                for position in range(arity)
+            ]
+            candidates[pred] = [
+                tuple(combo) for combo in itertools.product(*position_domains)
+            ]
+        return candidates
+
+    def _var_domains(self, constraint):
+        domains = {}
+        for atom in list(constraint.lhs) + list(constraint.rhs):
+            if not isinstance(atom, ir.PredAtom):
+                continue
+            for position, arg in enumerate(atom.args):
+                if not isinstance(arg, ir.Var):
+                    continue
+                values = self._position_domain(atom.pred, position)
+                if arg.name in domains:
+                    domains[arg.name] |= values
+                else:
+                    domains[arg.name] = set(values)
+        return domains
+
+    # -- grounding ---------------------------------------------------------------
+
+    def _literal(self, atom, binding, var_index):
+        """Resolve one ground literal: returns ``True``/``False`` or
+        ``(index, positive)`` for a query-atom literal."""
+        values = tuple(
+            arg.value if isinstance(arg, ir.Const) else binding[arg.name]
+            for arg in atom.args
+        )
+        if atom.pred in var_index and values in var_index[atom.pred]:
+            return (var_index[atom.pred][values], not atom.negated)
+        relation = self.relations.get(atom.pred)
+        present = relation is not None and values in relation
+        return present != atom.negated
+
+    def ground_clauses(self, var_index):
+        """Ground every soft constraint into weighted clauses.
+
+        A clause is ``(weight, literals)`` with literals being
+        ``(var, positive)`` pairs; groundings decided by evidence are
+        folded into constants.
+        """
+        clauses = []
+        for constraint in self.soft:
+            domains = self._var_domains(constraint)
+            names = sorted(domains)
+            atoms = [
+                a
+                for a in list(constraint.lhs) + list(constraint.rhs)
+                if isinstance(a, ir.PredAtom)
+            ]
+            lhs_atoms = [a for a in constraint.lhs if isinstance(a, ir.PredAtom)]
+            rhs_atoms = [a for a in constraint.rhs if isinstance(a, ir.PredAtom)]
+            for combo in itertools.product(*(sorted(domains[n]) for n in names)):
+                binding = dict(zip(names, combo))
+                # clause: ¬F ∨ G  (negate LHS literals, keep RHS)
+                literals = []
+                satisfied = False
+                for atom in lhs_atoms:
+                    literal = self._literal(atom, binding, var_index)
+                    if literal is True:
+                        continue  # ¬true drops from the disjunction
+                    if literal is False:
+                        satisfied = True  # ¬false satisfies the clause
+                        break
+                    index, positive = literal
+                    literals.append((index, not positive))
+                if not satisfied:
+                    for atom in rhs_atoms:
+                        literal = self._literal(atom, binding, var_index)
+                        if literal is True:
+                            satisfied = True
+                            break
+                        if literal is False:
+                            continue
+                        literals.append(literal)
+                if satisfied:
+                    clauses.append((constraint.weight, None))  # constant factor
+                elif literals:
+                    clauses.append((constraint.weight, literals))
+                else:
+                    pass  # unsatisfiable grounding contributes nothing
+        return clauses
+
+    # -- inference ----------------------------------------------------------------
+
+    def map_inference(self, atom_prior=-1e-3):
+        """Most likely world: returns ``(assignment, objective)``.
+
+        ``assignment`` maps each query predicate to the set of tuples
+        true in the MAP world; ``objective`` is the total weight of
+        satisfied groundings (including evidence-decided ones).
+        ``atom_prior`` is a tiny per-atom weight that breaks ties in
+        favour of minimal worlds (set to 0 to disable).
+        """
+        candidates = self.candidate_atoms()
+        var_index = {}
+        flat = []
+        for pred, tuples in candidates.items():
+            var_index[pred] = {}
+            for values in tuples:
+                var_index[pred][values] = len(flat)
+                flat.append((pred, values))
+        clauses = self.ground_clauses(var_index)
+
+        n_atoms = len(flat)
+        constant = sum(w for w, lits in clauses if lits is None)
+        active = [(w, lits) for w, lits in clauses if lits is not None]
+        n = n_atoms + len(active)
+        lp = LinearProgram(n, minimize=False)
+        objective = [atom_prior] * n_atoms + [0.0] * len(active)
+        for row_index, (weight, _) in enumerate(active):
+            objective[n_atoms + row_index] = weight
+        lp.set_objective(objective)
+        for column in range(n):
+            lp.set_bounds(column, 0.0, 1.0)
+        for row_index, (weight, literals) in enumerate(active):
+            s = n_atoms + row_index
+            # s <= sum of literal values;   s >= each literal value
+            row = [0.0] * n
+            row[s] = 1.0
+            bound = 0.0
+            for var, positive in literals:
+                if positive:
+                    row[var] -= 1.0
+                else:
+                    row[var] += 1.0
+                    bound += 1.0
+            lp.add_ub(row, bound)
+            for var, positive in literals:
+                row2 = [0.0] * n
+                row2[s] = -1.0
+                if positive:
+                    row2[var] = 1.0
+                    lp.add_ub(row2, 0.0)
+                else:
+                    row2[var] = -1.0
+                    lp.add_ub(row2, -1.0)  # (1 - x) - s <= 0
+        result = solve_mip(lp, list(range(n_atoms)))
+        if not result.ok:
+            raise MLNError("MAP inference failed: {}".format(result.status))
+        assignment = {pred: set() for pred in self.query_preds}
+        n_true = 0
+        for index, (pred, values) in enumerate(flat):
+            if result.x[index] > 0.5:
+                assignment[pred].add(values)
+                n_true += 1
+        objective = result.objective + constant - atom_prior * n_true
+        return assignment, objective

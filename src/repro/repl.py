@@ -1,0 +1,135 @@
+"""A minimal interactive LogiQL REPL.
+
+The paper's footnote 4 points at developer.logicblox.com's "online REPL
+for interactive tryout programming"; this is the equivalent for this
+reproduction.  Run ``python -m repro.repl``.
+
+Commands::
+
+    <clause(s)>.            addblock the clauses (schema, rules, facts)
+    exec  <reactive logic>  run an exec transaction
+    query <rule(s)>         run a query (answer predicate: _)
+    print <pred>            show a predicate's rows
+    blocks | branches       list installed blocks / branches
+    branch <name>           create and switch to a branch
+    switch <name>           switch branches
+    solve                   run lang:solve directives
+    meta <pred>             show a meta-engine relation (lang_edb, ...)
+    help | quit
+"""
+
+import sys
+
+from repro import ConstraintViolation, TransactionAborted, Workspace
+
+PROMPT = "logiql> "
+
+
+class Repl:
+    """Line-oriented REPL over one workspace."""
+
+    def __init__(self, workspace=None, out=sys.stdout):
+        self.workspace = workspace or Workspace()
+        self.out = out
+
+    def emit(self, text=""):
+        print(text, file=self.out)
+
+    def show_rows(self, rows, limit=50):
+        for row in rows[:limit]:
+            self.emit("  " + ", ".join(repr(value) for value in row))
+        if len(rows) > limit:
+            self.emit("  ... ({} rows total)".format(len(rows)))
+        if not rows:
+            self.emit("  (empty)")
+
+    def handle(self, line):
+        """Process one input line; returns False to quit."""
+        stripped = line.strip()
+        if not stripped:
+            return True
+        command, _, rest = stripped.partition(" ")
+        try:
+            if command in ("quit", "exit"):
+                return False
+            if command == "help":
+                self.emit(__doc__)
+            elif command == "print":
+                self.show_rows(self.workspace.rows(rest.strip()))
+            elif command == "blocks":
+                self.emit("  " + ", ".join(self.workspace.blocks() or ["(none)"]))
+            elif command == "branches":
+                current = self.workspace.branch
+                names = [
+                    "*" + name if name == current else name
+                    for name in self.workspace.branches()
+                ]
+                self.emit("  " + ", ".join(names))
+            elif command == "branch":
+                self.workspace.create_branch(rest.strip())
+                self.workspace.switch(rest.strip())
+                self.emit("  on branch {}".format(rest.strip()))
+            elif command == "switch":
+                self.workspace.switch(rest.strip())
+                self.emit("  on branch {}".format(rest.strip()))
+            elif command == "exec":
+                deltas = self.workspace.exec(rest)
+                self.emit("  ok ({} predicates changed)".format(len(deltas)))
+            elif command == "query":
+                self.show_rows(self.workspace.query(rest))
+            elif command == "solve":
+                from repro.solver import solve_workspace
+
+                result, _ = solve_workspace(self.workspace)
+                self.emit("  {} (objective {})".format(
+                    result.status, result.objective))
+            elif command == "meta":
+                meta = self.workspace.state.meta_state
+                self.show_rows(meta.rows(rest.strip()))
+            elif command == "removeblock":
+                self.workspace.removeblock(rest.strip())
+                self.emit("  removed")
+            else:
+                name = self.workspace.addblock(stripped)
+                self.emit("  added block {}".format(name))
+        except (ConstraintViolation, TransactionAborted) as error:
+            self.emit("  ABORTED: {}".format(error))
+        except Exception as error:  # surface, keep the session alive
+            self.emit("  ERROR: {}".format(error))
+        return True
+
+    def run(self, stdin=sys.stdin):
+        """Interactive loop."""
+        self.emit("LogiQL REPL — 'help' for commands, 'quit' to leave.")
+        while True:
+            self.out.write(PROMPT)
+            self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            # allow multi-line clauses terminated by '.'
+            while line.strip() and not _complete(line):
+                more = stdin.readline()
+                if not more:
+                    break
+                line += more
+            if not self.handle(line):
+                break
+        self.emit("bye")
+
+
+def _complete(text):
+    stripped = text.strip()
+    command = stripped.split(" ", 1)[0]
+    if command in ("help", "quit", "exit", "print", "blocks", "branches",
+                   "branch", "switch", "solve", "meta", "removeblock"):
+        return True
+    return stripped.endswith(".") or stripped.endswith("}")
+
+
+def main():
+    Repl().run()
+
+
+if __name__ == "__main__":
+    main()

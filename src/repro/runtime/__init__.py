@@ -1,0 +1,15 @@
+"""Runtime: workspaces, transactions, constraints, and workbooks."""
+
+from repro.runtime.workspace import Workspace
+from repro.runtime.errors import (
+    ConstraintViolation,
+    TransactionAborted,
+    UnknownPredicate,
+)
+
+__all__ = [
+    "Workspace",
+    "ConstraintViolation",
+    "TransactionAborted",
+    "UnknownPredicate",
+]

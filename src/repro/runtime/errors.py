@@ -1,0 +1,22 @@
+"""Runtime error types."""
+
+
+class TransactionAborted(RuntimeError):
+    """A transaction failed and its branch was dropped (no state change)."""
+
+
+class ConstraintViolation(TransactionAborted):
+    """An integrity constraint failed; carries the violating bindings."""
+
+    def __init__(self, violations):
+        self.violations = violations
+        lines = []
+        for constraint, binding in violations[:5]:
+            lines.append("{} violated by {}".format(constraint.text or constraint, binding))
+        if len(violations) > 5:
+            lines.append("... and {} more".format(len(violations) - 5))
+        super().__init__("; ".join(lines))
+
+
+class UnknownPredicate(KeyError):
+    """Reference to a predicate that is neither declared nor derivable."""

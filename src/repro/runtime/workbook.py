@@ -1,0 +1,144 @@
+"""Workbooks: long-running what-if branches (paper §2.1).
+
+"Through the notion of workbooks, we enable users to create branches of
+(subsets of) the database that can be modified independently" — used
+for scenario analysis and long-running predictive/prescriptive jobs
+while millions of small transactions proceed on the main branch.
+
+A workbook is a named branch (O(1) to create) plus an optional
+predicate scope.  Committing a workbook computes the base-predicate
+deltas it made relative to its fork point (structural diffing, so the
+cost is proportional to what changed) and replays them onto the current
+main head through the normal maintenance + constraint machinery; the
+repair scheduler's sensitivity test reconciles concurrent main-branch
+activity without locks.
+"""
+
+import itertools
+
+from repro.runtime.errors import TransactionAborted
+
+_workbook_counter = itertools.count(1)
+
+
+class Workbook:
+    """One what-if branch of a workspace."""
+
+    def __init__(self, workspace, name=None, scope=None, from_branch=None):
+        self.workspace = workspace
+        self.name = name or "workbook-{}".format(next(_workbook_counter))
+        self.scope = frozenset(scope) if scope is not None else None
+        self.base_branch = from_branch or workspace.branch
+        workspace.create_branch(self.name, self.base_branch)
+        self.fork_state = workspace._graph.head(self.name).state
+        self._open = True
+
+    # -- working inside the workbook ------------------------------------------
+
+    def _enter(self):
+        if not self._open:
+            raise TransactionAborted("workbook {} is closed".format(self.name))
+        previous = self.workspace.branch
+        self.workspace.switch(self.name)
+        return previous
+
+    def exec(self, source):
+        """Run an exec transaction inside the workbook."""
+        previous = self._enter()
+        try:
+            return self.workspace.exec(source)
+        finally:
+            self.workspace.switch(previous)
+
+    def load(self, pred, tuples, remove=()):
+        """Bulk load inside the workbook."""
+        self._check_scope(pred)
+        previous = self._enter()
+        try:
+            return self.workspace.load(pred, tuples, remove)
+        finally:
+            self.workspace.switch(previous)
+
+    def query(self, source, answer=None):
+        """Query the workbook's state."""
+        previous = self._enter()
+        try:
+            return self.workspace.query(source, answer)
+        finally:
+            self.workspace.switch(previous)
+
+    def rows(self, name):
+        """Rows of a predicate as seen inside the workbook."""
+        previous = self._enter()
+        try:
+            return self.workspace.rows(name)
+        finally:
+            self.workspace.switch(previous)
+
+    def _check_scope(self, pred):
+        if self.scope is not None and pred not in self.scope:
+            raise TransactionAborted(
+                "predicate {} outside workbook scope".format(pred)
+            )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def changes(self):
+        """Base-predicate deltas made in this workbook since its fork.
+
+        Uses structural diffing between the fork state and the current
+        workbook state — cost proportional to the edit distance.
+        """
+        current = self.workspace._graph.head(self.name).state
+        deltas = {}
+        fork_bases = self.fork_state.base_relations
+        for pred, relation in current.base_relations.items():
+            old = fork_bases.get(pred)
+            if old is None:
+                from repro.storage.relation import Relation
+
+                old = Relation.empty(relation.arity)
+            delta = old.diff(relation)
+            if delta:
+                if self.scope is not None and pred not in self.scope:
+                    raise TransactionAborted(
+                        "workbook {} changed out-of-scope predicate {}".format(
+                            self.name, pred
+                        )
+                    )
+                deltas[pred] = delta
+        return deltas
+
+    def commit(self):
+        """Merge the workbook's changes into its base branch.
+
+        The deltas go through the base branch's incremental maintenance
+        and constraint checking; on violation the merge aborts and the
+        workbook stays open.  Returns the applied deltas.
+        """
+        deltas = self.changes()
+        previous = self.workspace.branch
+        self.workspace.switch(self.base_branch)
+        try:
+            state = self.workspace.state
+            applied = self.workspace._apply_deltas(state, deltas) if deltas else {}
+        finally:
+            self.workspace.switch(previous)
+        self.discard()
+        return applied
+
+    def discard(self):
+        """Abandon the workbook: drop the branch (no undo log needed)."""
+        if self._open:
+            self.workspace.delete_branch(self.name)
+            self._open = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None and self._open:
+            self.commit()
+        elif self._open:
+            self.discard()
+        return False

@@ -1,0 +1,355 @@
+"""Workspaces and transactions (paper §2.2.2).
+
+The transaction types of the paper:
+
+* **query** — evaluate a program with a designated answer predicate
+  against the current state, without committing anything;
+* **exec** — reactive logic over delta predicates (``+R``, ``-R``,
+  ``^R``) and versioned predicates (``R@start``); the resulting base
+  deltas flow through incremental view maintenance and the constraint
+  checker before the branch head advances (frame rules are applied
+  natively when the deltas hit the base relations);
+* **addblock / removeblock** — live programming: install or remove
+  named blocks of logic; only derived predicates affected by the change
+  are re-materialized, everything else is reused (§3.3);
+* **branch / delete-branch** — O(1) branches over persistent state.
+
+Aborting is simply not advancing the head: there is no undo log (T4).
+"""
+
+import itertools
+
+from repro.ds.versions import VersionGraph
+from repro.meta.metaengine import MetaEngine
+from repro.engine.evaluator import Evaluator, RuleSet
+from repro.engine.ir import PredAtom
+from repro.logiql.compiler import compile_program
+from repro.runtime.errors import ConstraintViolation, TransactionAborted
+from repro.runtime.state import ProgramArtifacts, WorkspaceState, _base_name
+from repro.storage.relation import Delta, Relation
+
+_block_counter = itertools.count(1)
+
+
+class _TypeViolation:
+    """Pseudo-constraint describing a declared-type violation."""
+
+    def __init__(self, text):
+        self.text = text
+
+
+def _type_violation(pred, arg_type):
+    return _TypeViolation("{} value must be {}".format(pred, arg_type))
+
+
+class Workspace:
+    """A versioned LogiQL workspace with named branches."""
+
+    def __init__(self):
+        self._graph = VersionGraph(WorkspaceState.empty())
+        self.branch = "main"
+        self._meta_engine = MetaEngine()
+
+    # -- state access ---------------------------------------------------------
+
+    @property
+    def state(self):
+        """The current branch head's :class:`WorkspaceState`."""
+        return self._graph.head(self.branch).state
+
+    def version(self):
+        """The current branch head version object."""
+        return self._graph.head(self.branch)
+
+    def relation(self, name):
+        """Current extension of a predicate as a :class:`Relation`."""
+        return self.state.relation(name)
+
+    def rows(self, name):
+        """Current extension as a sorted list of tuples."""
+        return list(self.state.relation(name))
+
+    def blocks(self):
+        """Names of installed blocks."""
+        return sorted(name for name, _ in self.state.artifacts.blocks.items())
+
+    def _commit(self, new_state):
+        self._graph.advance(self.branch, new_state)
+
+    # -- branches ---------------------------------------------------------------
+
+    def create_branch(self, name, from_branch=None):
+        """O(1): a new branch sharing the source branch's state."""
+        self._graph.branch(from_branch or self.branch, name)
+
+    def switch(self, name):
+        """Make ``name`` the active branch."""
+        if name not in self._graph:
+            raise KeyError(name)
+        self.branch = name
+
+    def delete_branch(self, name):
+        """Drop a branch (its unshared state becomes garbage)."""
+        self._graph.delete_branch(name)
+        if self.branch == name:
+            self.branch = self._graph.root_name
+
+    def branches(self):
+        """All branch names."""
+        return self._graph.branches()
+
+    # -- addblock / removeblock (live programming) -------------------------------
+
+    def addblock(self, source, name=None):
+        """Install a block of logic; returns the block name.
+
+        Re-materializes only derived predicates affected by the change
+        (new/changed rules and their transitive dependents); everything
+        else — relations, support counts, sensitivity indices — is
+        carried over.
+        """
+        state = self.state
+        block = compile_program(source)
+        if name is None:
+            name = "block-{}".format(next(_block_counter))
+        new_blocks = state.artifacts.blocks.set(name, block)
+        new_state = self._rebuild(state, new_blocks, name, block)
+        self._check(new_state, changed_preds=None)
+        self._commit(new_state)
+        return name
+
+    def removeblock(self, name):
+        """Remove a block, restoring the workspace program without it."""
+        state = self.state
+        old_block = state.artifacts.blocks.get(name)
+        if old_block is None:
+            raise KeyError("no such block: {}".format(name))
+        new_blocks = state.artifacts.blocks.remove(name)
+        new_state = self._rebuild(state, new_blocks, name, None)
+        self._check(new_state, changed_preds=None)
+        self._commit(new_state)
+
+    def _rebuild(self, state, new_blocks, block_name, block):
+        artifacts = ProgramArtifacts(new_blocks)
+        old_artifacts = state.artifacts
+
+        # base relations: carry over, then reconcile block facts
+        bases = dict(state.base_relations.items())
+        changed_bases = set()
+        old_facts = old_artifacts.facts
+        new_facts = artifacts.facts
+        for pred in set(old_facts) | set(new_facts):
+            before = old_facts.get(pred, set())
+            after = new_facts.get(pred, set())
+            if before == after:
+                continue
+            arity = artifacts.arity_of(pred) or old_artifacts.arity_of(pred)
+            relation = bases.get(pred, Relation.empty(arity))
+            bases[pred] = relation.apply(
+                Delta.from_iters(after - before, before - after)
+            )
+            changed_bases.add(pred)
+        base_env = {}
+        for pred in artifacts.edb_preds:
+            arity = artifacts.arity_of(pred)
+            base_env[pred] = bases.get(pred, Relation.empty(arity))
+        for pred, relation in bases.items():
+            base_env.setdefault(pred, relation)
+
+        # the meta-engine maintains the execution graph incrementally and
+        # reports which derived predicates the engine proper must revise
+        meta_state = state.meta_state
+        if meta_state is None:
+            meta_state = self._meta_engine.initial()
+        meta_state, need_revision = self._meta_engine.update(
+            meta_state, block_name, block, changed_bases
+        )
+        affected = need_revision & artifacts.ruleset.derived
+        reuse_relations, reuse_states = {}, {}
+        old_mat = state.materialization
+        for pred in artifacts.ruleset.derived:
+            if pred in affected:
+                continue
+            if pred in old_mat.states and pred in old_artifacts.ruleset.derived:
+                reuse_relations[pred] = old_mat.relations[pred]
+                reuse_states[pred] = old_mat.states[pred]
+
+        reuse_recorders = {}
+        old_index_of = {id(rule): i for i, rule in enumerate(old_artifacts.ruleset.rules)}
+        for new_index, rule in enumerate(artifacts.ruleset.rules):
+            old_index = old_index_of.get(id(rule))
+            if old_index is not None:
+                recorder = old_mat.rule_recorders.get(old_index)
+                if recorder is not None:
+                    reuse_recorders[new_index] = recorder
+
+        mat = artifacts.engine.initialize(
+            base_env,
+            reuse=(reuse_relations, reuse_states),
+            reuse_recorders=reuse_recorders,
+        )
+        from repro.ds.pmap import PMap
+
+        return WorkspaceState(
+            artifacts, PMap.from_dict(dict(base_env)), mat, meta_state
+        )
+
+    # -- exec ------------------------------------------------------------------
+
+    def exec(self, source):
+        """Run a reactive transaction; returns the applied base deltas.
+
+        Raises :class:`TransactionAborted` (leaving the head untouched)
+        on writes to derived predicates or constraint violations.
+        """
+        state = self.state
+        block = compile_program(source)
+        if block.rules and any(r.body for r in block.rules):
+            raise TransactionAborted(
+                "exec transactions may only contain reactive logic; "
+                "use addblock for derivation rules"
+            )
+        deltas = self._reactive_deltas(state, block.reactive_rules)
+        return self._apply_deltas(state, deltas)
+
+    def _reactive_deltas(self, state, reactive_rules):
+        if not reactive_rules:
+            return {}
+        artifacts = state.artifacts
+        ruleset = RuleSet(list(reactive_rules))
+        env = state.start_env()
+        # referenced delta predicates not derived here default to empty
+        for rule in reactive_rules:
+            for atom in rule.body:
+                if isinstance(atom, PredAtom) and atom.pred not in env:
+                    if atom.pred in ruleset.derived:
+                        continue
+                    arity = artifacts.arity_of(atom.pred)
+                    if arity is None:
+                        arity = len(atom.args)
+                    env[atom.pred] = Relation.empty(arity)
+        relations, _ = Evaluator(ruleset, prefer_array=False).evaluate(env)
+        deltas = {}
+        preds = set()
+        for head in ruleset.derived:
+            if head[0] not in "+-":
+                raise TransactionAborted(
+                    "exec rules must derive delta predicates, got {}".format(head)
+                )
+            preds.add(head[1:])
+        for pred in preds:
+            if pred in artifacts.ruleset.derived:
+                raise TransactionAborted(
+                    "cannot write to derived predicate {}".format(pred)
+                )
+            plus = relations.get("+" + pred)
+            minus = relations.get("-" + pred)
+            added = set(plus) if plus is not None else set()
+            removed = set(minus) if minus is not None else set()
+            deltas[pred] = Delta.from_iters(added - removed, removed)
+        return deltas
+
+    def _apply_deltas(self, state, deltas):
+        artifacts = state.artifacts
+        mat = state.materialization
+        known = set(mat.relations)
+        filtered = {}
+        for pred, delta in deltas.items():
+            if pred not in known:
+                arity = artifacts.arity_of(pred)
+                if arity is None:
+                    raise TransactionAborted("unknown predicate {}".format(pred))
+                mat.relations[pred] = Relation.empty(arity)
+            self._validate_types(artifacts, pred, delta.added)
+            if delta:
+                filtered[pred] = delta
+        new_mat, all_deltas = artifacts.engine.apply(mat, filtered)
+        new_bases = state.base_relations
+        for pred in filtered:
+            new_bases = new_bases.set(pred, new_mat.relations[pred])
+        new_state = WorkspaceState(
+            artifacts, new_bases, new_mat, state.meta_state
+        )
+        self._check(new_state, changed_preds=set(all_deltas))
+        self._commit(new_state)
+        return all_deltas
+
+    @staticmethod
+    def _validate_types(artifacts, pred, tuples):
+        """Reject tuples whose values contradict the declared primitive
+        types before they reach the sorted storage (mixed-type columns
+        would not even be comparable)."""
+        from repro.storage.datum import PrimitiveType, check_type
+
+        decl = artifacts.schema.get(pred)
+        if decl is None:
+            return
+        for tup in tuples:
+            if len(tup) != decl.arity:
+                raise TransactionAborted(
+                    "arity mismatch for {}: {!r}".format(pred, tup)
+                )
+            for value, arg_type in zip(tup, decl.arg_types):
+                if isinstance(arg_type, PrimitiveType) and not check_type(
+                    value, arg_type
+                ):
+                    raise ConstraintViolation(
+                        [(_type_violation(pred, arg_type), {"value": value})]
+                    )
+
+    def _check(self, state, changed_preds):
+        # unsolved solve-variables are the system's responsibility:
+        # constraints over them only bind once values are populated
+        exempt = {
+            pred
+            for pred in state.artifacts.solve_variable_preds
+            if not state.relations.get(pred)
+        }
+        # constraints over probabilistic heads are observations: they
+        # condition PPDL inference, they do not gate transactions
+        exempt |= state.artifacts.prob_head_preds
+        violations = state.artifacts.checker.check(
+            state.env_with_defaults(), changed_preds, exempt
+        )
+        if violations:
+            raise ConstraintViolation(violations)
+
+    # -- bulk loading -------------------------------------------------------------
+
+    def load(self, pred, tuples, remove=()):
+        """Bulk-insert (and optionally remove) tuples of a base predicate.
+
+        Convenience equivalent of an ``exec`` with one ``+pred`` fact
+        per tuple; goes through the same maintenance and constraint
+        checking.
+        """
+        state = self.state
+        if pred in state.artifacts.ruleset.derived:
+            raise TransactionAborted("cannot write to derived predicate {}".format(pred))
+        tuples = [tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in tuples]
+        removals = [tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in remove]
+        return self._apply_deltas(state, {pred: Delta.from_iters(tuples, removals)})
+
+    # -- query ---------------------------------------------------------------------
+
+    def query(self, source, answer=None):
+        """Evaluate a query program; returns the answer relation's rows.
+
+        The designated answer predicate is ``_`` (or ``answer``); all
+        other rule heads act as auxiliary views local to the query.
+        """
+        state = self.state
+        block = compile_program(source)
+        if block.reactive_rules:
+            raise TransactionAborted("queries cannot contain reactive rules")
+        ruleset = RuleSet(block.rules)
+        env = state.env_with_defaults()
+        for rule in block.rules:
+            for atom in rule.body:
+                if isinstance(atom, PredAtom) and atom.pred not in env:
+                    if atom.pred not in ruleset.derived:
+                        env[atom.pred] = Relation.empty(len(atom.args))
+        relations, _ = Evaluator(ruleset, prefer_array=False).evaluate(env)
+        if answer is None:
+            answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
+        return sorted(relations[answer])

@@ -1,0 +1,14 @@
+"""Prescriptive analytics: LP/MIP solving for ``lang:solve`` (paper §2.3.1)."""
+
+from repro.solver.simplex import LinearProgram, SimplexResult, solve_lp
+from repro.solver.mip import solve_mip
+from repro.solver.solve import SolveSession, solve_workspace
+
+__all__ = [
+    "LinearProgram",
+    "SimplexResult",
+    "solve_lp",
+    "solve_mip",
+    "SolveSession",
+    "solve_workspace",
+]

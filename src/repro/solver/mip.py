@@ -1,0 +1,100 @@
+"""Mixed-integer programming by branch & bound over the simplex.
+
+The paper: "If the sample application is changed such that the stock
+predicate is now ... integers, LogicBlox will detect the change and
+reformulate the problem so that a different solver is invoked, one that
+supports Mixed Integer Programming."  This is that solver: best-first
+branch & bound on the LP relaxation, branching on the most fractional
+integer variable.
+"""
+
+import heapq
+import itertools
+import math
+
+from repro.solver.simplex import LinearProgram, SimplexResult, solve_lp
+
+_INT_TOL = 1e-6
+
+
+def _copy_lp(lp):
+    clone = LinearProgram(lp.n_vars, lp.minimize)
+    clone.set_objective(lp.objective.copy())
+    clone.ub_rows = list(lp.ub_rows)
+    clone.eq_rows = list(lp.eq_rows)
+    clone.lower = list(lp.lower)
+    clone.upper = list(lp.upper)
+    return clone
+
+
+def _most_fractional(x, integer_vars):
+    worst, worst_frac = None, _INT_TOL
+    for index in integer_vars:
+        frac = abs(x[index] - round(x[index]))
+        if frac > worst_frac:
+            worst_frac = frac
+            worst = index
+    return worst
+
+
+def solve_mip(lp, integer_vars, max_nodes=20000):
+    """Solve ``lp`` with the given variables restricted to integers.
+
+    Returns a :class:`SimplexResult`; integer variables in ``x`` are
+    exact integers on success.
+    """
+    integer_vars = sorted(set(integer_vars))
+    root = solve_lp(lp)
+    if not root.ok:
+        return root
+    sense = 1.0 if lp.minimize else -1.0
+    counter = itertools.count()
+    heap = [(sense * root.objective, next(counter), lp, root)]
+    best = None
+    best_value = None
+    nodes = 0
+    while heap and nodes < max_nodes:
+        bound, _, node_lp, relaxed = heapq.heappop(heap)
+        nodes += 1
+        if best_value is not None and bound >= best_value - 1e-12:
+            continue
+        branch_var = _most_fractional(relaxed.x, integer_vars)
+        if branch_var is None:
+            value = sense * relaxed.objective
+            if best_value is None or value < best_value:
+                best_value = value
+                x = relaxed.x.copy()
+                for index in integer_vars:
+                    x[index] = round(x[index])
+                best = SimplexResult("optimal", x, relaxed.objective)
+            continue
+        value = relaxed.x[branch_var]
+        for direction, new_bound in (
+            ("down", math.floor(value)),
+            ("up", math.ceil(value)),
+        ):
+            child = _copy_lp(node_lp)
+            if direction == "down":
+                child.upper[branch_var] = (
+                    new_bound
+                    if child.upper[branch_var] is None
+                    else min(child.upper[branch_var], new_bound)
+                )
+            else:
+                child.lower[branch_var] = (
+                    new_bound
+                    if child.lower[branch_var] is None
+                    else max(child.lower[branch_var], new_bound)
+                )
+            lower = child.lower[branch_var]
+            upper = child.upper[branch_var]
+            if lower is not None and upper is not None and lower > upper:
+                continue
+            result = solve_lp(child)
+            if result.ok:
+                heapq.heappush(
+                    heap, (sense * result.objective, next(counter), child, result)
+                )
+    if best is None:
+        return SimplexResult("infeasible")
+    return best

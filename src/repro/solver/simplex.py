@@ -1,0 +1,275 @@
+"""Two-phase primal simplex, implemented from scratch (paper §2.3.1).
+
+The paper delegates to commercial solvers (Gurobi, SCIP); this
+reproduction implements its own dense tableau simplex with Bland's
+anti-cycling rule.  scipy is used only in the test suite as a
+cross-check, never here.
+
+Problem form::
+
+    minimize    c · x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lo <= x <= hi   (per variable; None = unbounded)
+
+Internally everything converts to standard form (equalities over
+non-negative variables, free variables split) and phase 1 drives the
+artificial variables out of the basis.
+"""
+
+import numpy as np
+
+
+class LinearProgram:
+    """A linear program in inequality/equality form."""
+
+    def __init__(self, n_vars, minimize=True):
+        self.n_vars = n_vars
+        self.minimize = minimize
+        self.objective = np.zeros(n_vars)
+        self.ub_rows = []  # (coeff vector, bound)
+        self.eq_rows = []
+        self.lower = [0.0] * n_vars
+        self.upper = [None] * n_vars
+
+    def set_objective(self, coeffs):
+        """Objective coefficient vector."""
+        self.objective = np.asarray(coeffs, dtype=float)
+
+    def set_bounds(self, index, lower=None, upper=None):
+        """Per-variable bounds (``None`` = unbounded on that side)."""
+        self.lower[index] = lower
+        self.upper[index] = upper
+
+    def add_ub(self, coeffs, bound):
+        """Add ``coeffs · x <= bound``."""
+        self.ub_rows.append((np.asarray(coeffs, dtype=float), float(bound)))
+
+    def add_lb(self, coeffs, bound):
+        """Add ``coeffs · x >= bound``."""
+        self.ub_rows.append((-np.asarray(coeffs, dtype=float), -float(bound)))
+
+    def add_eq(self, coeffs, bound):
+        """Add ``coeffs · x == bound``."""
+        self.eq_rows.append((np.asarray(coeffs, dtype=float), float(bound)))
+
+
+class SimplexResult:
+    """Outcome of a solve: status, point, objective."""
+
+    __slots__ = ("status", "x", "objective")
+
+    def __init__(self, status, x=None, objective=None):
+        self.status = status  # 'optimal' | 'infeasible' | 'unbounded'
+        self.x = x
+        self.objective = objective
+
+    @property
+    def ok(self):
+        """True when an optimal point was found."""
+        return self.status == "optimal"
+
+    def __repr__(self):
+        return "SimplexResult({}, obj={})".format(self.status, self.objective)
+
+
+_EPS = 1e-9
+
+
+def _to_standard_form(lp):
+    """Convert to ``min c z, A z = b, z >= 0``.
+
+    Returns ``(c, A, b, recover)`` where ``recover(z)`` maps a standard
+    solution back to the original variables.
+    """
+    n = lp.n_vars
+    # per original variable: list of (column, scale, shift) pieces
+    columns = []
+    col_count = 0
+    shifts = np.zeros(n)
+    extra_rows = []  # upper bounds x <= hi become rows in shifted space
+    for index in range(n):
+        lo = lp.lower[index]
+        hi = lp.upper[index]
+        if lo is not None:
+            shifts[index] = lo
+            columns.append(("single", col_count))
+            col_count += 1
+            if hi is not None:
+                extra_rows.append((index, hi - lo))
+        else:
+            # free variable: x = x+ - x-  (any upper bound becomes a row)
+            columns.append(("split", col_count))
+            col_count += 2
+            if hi is not None:
+                extra_rows.append((index, None))  # handled generically below
+    rows = []
+
+    def expand(coeffs):
+        out = np.zeros(col_count)
+        for index in range(n):
+            kind, base = columns[index]
+            if kind == "single":
+                out[base] = coeffs[index]
+            else:
+                out[base] = coeffs[index]
+                out[base + 1] = -coeffs[index]
+        return out
+
+    b_list = []
+    slack_signs = []  # +1 per <= row (slack), 0 per == row
+    for coeffs, bound in lp.ub_rows:
+        adjusted = bound - float(np.dot(coeffs, shifts))
+        rows.append(expand(coeffs))
+        b_list.append(adjusted)
+        slack_signs.append(1)
+    for index, hi_shifted in extra_rows:
+        unit = np.zeros(n)
+        unit[index] = 1.0
+        if hi_shifted is None:
+            bound = lp.upper[index] - shifts[index]
+        else:
+            bound = hi_shifted
+        rows.append(expand(unit))
+        b_list.append(bound)
+        slack_signs.append(1)
+    for coeffs, bound in lp.eq_rows:
+        adjusted = bound - float(np.dot(coeffs, shifts))
+        rows.append(expand(coeffs))
+        b_list.append(adjusted)
+        slack_signs.append(0)
+
+    m = len(rows)
+    n_slack = sum(1 for s in slack_signs if s)
+    A = np.zeros((m, col_count + n_slack))
+    slack_at = 0
+    for row_index in range(m):
+        A[row_index, :col_count] = rows[row_index]
+        if slack_signs[row_index]:
+            A[row_index, col_count + slack_at] = 1.0
+            slack_at += 1
+    b = np.asarray(b_list)
+    c = np.zeros(col_count + n_slack)
+    sign = 1.0 if lp.minimize else -1.0
+    base_obj = expand(lp.objective)
+    c[:col_count] = sign * base_obj
+    obj_shift = float(np.dot(lp.objective, shifts))
+
+    def recover(z):
+        x = np.zeros(n)
+        for index in range(n):
+            kind, base = columns[index]
+            if kind == "single":
+                x[index] = z[base] + shifts[index]
+            else:
+                x[index] = z[base] - z[base + 1]
+        return x
+
+    return c, A, b, recover, sign, obj_shift
+
+
+def _pivot(tableau, basis, row, col):
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    for other in range(tableau.shape[0]):
+        if other != row and abs(tableau[other, col]) > _EPS:
+            tableau[other] -= tableau[other, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_core(tableau, basis, cost_row, max_iter=20000):
+    """Minimize ``cost_row`` over the tableau; Bland's rule."""
+    m = len(basis)
+    for _ in range(max_iter):
+        reduced = cost_row.copy()
+        for row, column in enumerate(basis):
+            if abs(cost_row[column]) > _EPS:
+                reduced -= cost_row[column] * tableau[row]
+        entering = -1
+        for column in range(len(reduced) - 1):
+            if reduced[column] < -1e-8:
+                entering = column
+                break  # Bland: smallest index
+        if entering < 0:
+            return reduced, True
+        leaving = -1
+        best_ratio = None
+        for row in range(m):
+            coefficient = tableau[row, entering]
+            if coefficient > _EPS:
+                ratio = tableau[row, -1] / coefficient
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio - _EPS
+                    or (abs(ratio - best_ratio) <= _EPS and basis[row] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = row
+        if leaving < 0:
+            return reduced, False  # unbounded
+        _pivot(tableau, basis, leaving, entering)
+    raise RuntimeError("simplex iteration limit exceeded")
+
+
+def solve_lp(lp):
+    """Solve a :class:`LinearProgram`; returns :class:`SimplexResult`."""
+    c, A, b, recover, sign, obj_shift = _to_standard_form(lp)
+    m, n_total = A.shape
+    if m == 0:
+        # unconstrained: optimum at zero unless objective pushes a
+        # free direction (treat as optimal at the shifted origin when
+        # all costs are non-negative)
+        if np.any(c < -_EPS):
+            return SimplexResult("unbounded")
+        x = recover(np.zeros(n_total))
+        return SimplexResult("optimal", x, float(np.dot(lp.objective, x)))
+    # make b non-negative
+    for row in range(m):
+        if b[row] < 0:
+            A[row] = -A[row]
+            b[row] = -b[row]
+    # phase 1: artificials
+    tableau = np.zeros((m, n_total + m + 1))
+    tableau[:, :n_total] = A
+    tableau[:, -1] = b
+    basis = []
+    for row in range(m):
+        tableau[row, n_total + row] = 1.0
+        basis.append(n_total + row)
+    phase1_cost = np.zeros(n_total + m + 1)
+    phase1_cost[n_total : n_total + m] = 1.0
+    reduced, bounded = _simplex_core(tableau, basis, phase1_cost)
+    if not bounded:
+        return SimplexResult("infeasible")
+    phase1_value = sum(
+        tableau[row, -1] for row, column in enumerate(basis) if column >= n_total
+    )
+    if phase1_value > 1e-7:
+        return SimplexResult("infeasible")
+    # drive remaining artificials out of the basis
+    for row in range(m):
+        if basis[row] >= n_total:
+            for column in range(n_total):
+                if abs(tableau[row, column]) > _EPS:
+                    _pivot(tableau, basis, row, column)
+                    break
+    # drop artificial columns
+    keep = list(range(n_total)) + [n_total + m]
+    tableau = tableau[:, keep]
+    live_rows = [row for row in range(m) if basis[row] < n_total]
+    if len(live_rows) != m:
+        tableau = tableau[live_rows]
+        basis = [basis[row] for row in live_rows]
+        m = len(basis)
+    # phase 2
+    phase2_cost = np.zeros(n_total + 1)
+    phase2_cost[:n_total] = c
+    reduced, bounded = _simplex_core(tableau, basis, phase2_cost)
+    if not bounded:
+        return SimplexResult("unbounded")
+    z = np.zeros(n_total)
+    for row, column in enumerate(basis):
+        z[column] = tableau[row, -1]
+    x = recover(z)
+    objective = float(np.dot(lp.objective, x))
+    return SimplexResult("optimal", x, objective)

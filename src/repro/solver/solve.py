@@ -1,0 +1,93 @@
+"""``lang:solve`` integration (paper §2.3.1).
+
+``lang:solve:variable(`Stock)`` declares a free second-order variable
+predicate; ``lang:solve:max(`totalProfit)`` (or ``:min``) declares the
+objective.  :func:`solve_workspace` grounds the workspace's integrity
+constraints over the variable predicates into an LP (or a MIP when the
+value type is integer), invokes the from-scratch solver, and populates
+the variable predicates with the solution — "turning unknown values
+into known ones".
+
+:class:`SolveSession` additionally supports incremental re-solving:
+after data edits, only constraints touching changed predicates are
+re-grounded (paper: "the grounding logic incrementally maintains the
+input to the solver").
+"""
+
+from repro.runtime.errors import TransactionAborted
+from repro.solver.grounding import Grounder, GroundingError
+from repro.solver.mip import solve_mip
+from repro.solver.simplex import solve_lp
+from repro.storage.datum import PrimitiveType
+
+
+def _solve_directives(artifacts):
+    variables = []
+    objective = None
+    sense = None
+    for directive in artifacts.directives:
+        if directive.name == "lang:solve:variable":
+            variables.append(directive.args[0].name)
+        elif directive.name in ("lang:solve:max", "lang:solve:min"):
+            if objective is not None:
+                raise GroundingError("multiple objectives declared")
+            objective = directive.args[0].name
+            sense = "max" if directive.name.endswith("max") else "min"
+    return variables, objective, sense
+
+
+class SolveSession:
+    """A reusable grounding+solving session over one workspace."""
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        artifacts = workspace.state.artifacts
+        variables, objective, sense = _solve_directives(artifacts)
+        if not variables:
+            raise GroundingError("no lang:solve:variable directive found")
+        if objective is None:
+            raise GroundingError("no lang:solve:max/min directive found")
+        self.variable_preds = variables
+        self.objective_pred = objective
+        self.sense = sense
+        self.grounder = Grounder(
+            workspace.state, variables, objective, sense
+        )
+
+    def _is_integer(self, pred):
+        decl = self.workspace.state.artifacts.schema.get(pred)
+        return decl is not None and decl.arg_types[-1] is PrimitiveType.INT
+
+    def solve(self, changed_preds=None, write_back=True):
+        """Ground (incrementally if ``changed_preds`` given) and solve.
+
+        Returns ``(result, assignments)`` where ``assignments`` maps
+        variable predicate names to their solved tuples.
+        """
+        self.grounder.refresh(self.workspace.state, changed_preds)
+        lp, var_keys, integer_vars = self.grounder.build(
+            integer=any(self._is_integer(p) for p in self.variable_preds)
+        )
+        if integer_vars:
+            result = solve_mip(lp, integer_vars)
+        else:
+            result = solve_lp(lp)
+        if not result.ok:
+            return result, {}
+        assignments = {pred: [] for pred in self.variable_preds}
+        for (pred, keys), index in var_keys.items():
+            value = result.x[index]
+            if index in set(integer_vars):
+                value = int(round(value))
+            assignments[pred].append(keys + (value,))
+        if write_back:
+            for pred, tuples in assignments.items():
+                existing = list(self.workspace.relation(pred))
+                self.workspace.load(pred, tuples, remove=existing)
+        return result, assignments
+
+
+def solve_workspace(workspace, write_back=True):
+    """One-shot: ground, solve, and populate the variable predicates."""
+    session = SolveSession(workspace)
+    return session.solve(write_back=write_back)

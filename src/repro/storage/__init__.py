@@ -1,0 +1,17 @@
+"""Storage layer: the value model, 6NF schemas, and persistent relations."""
+
+from repro.storage.datum import BOTTOM, TOP, PrimitiveType, infer_type
+from repro.storage.schema import PredicateDecl, PredicateKind, Schema
+from repro.storage.relation import Delta, Relation
+
+__all__ = [
+    "BOTTOM",
+    "TOP",
+    "PrimitiveType",
+    "infer_type",
+    "PredicateDecl",
+    "PredicateKind",
+    "Schema",
+    "Delta",
+    "Relation",
+]

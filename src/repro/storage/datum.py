@@ -1,0 +1,134 @@
+"""The LogiQL value model.
+
+LogiQL attributes have either a primitive type (int, float, decimal,
+string, boolean, date) or a user-defined entity type (paper §2.2.1).
+Values are plain Python objects; within one predicate column every value
+has the same type, so tuple comparison is always well defined.
+
+Entity values are represented by the member values of their population
+(typically strings, e.g. ``"Popsicle"`` for a ``Product`` entity): the
+paper's examples address entities directly by such identifiers, and this
+keeps the 6NF schema style without a separate surrogate-id indirection.
+
+``BOTTOM`` and ``TOP`` are order sentinels comparing below/above every
+value of every type; iterators use them to build seek keys for tuple
+prefixes (e.g. "the first tuple strictly after prefix ``(a, b)``" is the
+lower bound of ``(a, b, TOP)``).
+"""
+
+import datetime
+import enum
+from decimal import Decimal
+
+
+class _Bottom:
+    """Sentinel ordered strictly below every other value."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return other is not self
+
+    def __le__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+    def __ge__(self, other):
+        return other is self
+
+    def __eq__(self, other):
+        return other is self
+
+    def __hash__(self):
+        return 0x5E11B07
+
+    def __repr__(self):
+        return "-inf"
+
+
+class _Top:
+    """Sentinel ordered strictly above every other value."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return False
+
+    def __le__(self, other):
+        return other is self
+
+    def __gt__(self, other):
+        return other is not self
+
+    def __ge__(self, other):
+        return True
+
+    def __eq__(self, other):
+        return other is self
+
+    def __hash__(self):
+        return 0x70AC1D
+
+    def __repr__(self):
+        return "+inf"
+
+
+BOTTOM = _Bottom()
+TOP = _Top()
+
+
+class PrimitiveType(enum.Enum):
+    """LogiQL primitive attribute types."""
+
+    INT = "int"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def __repr__(self):
+        return "PrimitiveType.{}".format(self.name)
+
+
+_PYTHON_TO_PRIMITIVE = (
+    (bool, PrimitiveType.BOOLEAN),  # bool before int: bool is an int subtype
+    (int, PrimitiveType.INT),
+    (float, PrimitiveType.FLOAT),
+    (Decimal, PrimitiveType.DECIMAL),
+    (str, PrimitiveType.STRING),
+    (datetime.date, PrimitiveType.DATE),
+)
+
+
+def infer_type(value):
+    """The :class:`PrimitiveType` of a Python value, or ``None``."""
+    for python_type, primitive in _PYTHON_TO_PRIMITIVE:
+        if isinstance(value, python_type):
+            return primitive
+    return None
+
+
+def check_type(value, expected):
+    """True iff ``value`` belongs to primitive type ``expected``.
+
+    Ints are accepted where floats or decimals are expected (LogiQL
+    performs this widening implicitly in arithmetic contexts).
+    """
+    actual = infer_type(value)
+    if actual is expected:
+        return True
+    if expected in (PrimitiveType.FLOAT, PrimitiveType.DECIMAL):
+        return actual is PrimitiveType.INT
+    return False
+
+
+def type_from_name(name):
+    """Parse a primitive type name (``int``, ``float[64]``, ...)."""
+    base = name.split("[", 1)[0]
+    for primitive in PrimitiveType:
+        if primitive.value == base:
+            return primitive
+    return None

@@ -1,0 +1,13 @@
+"""Concurrency control: transaction repair, locking baseline, simulator."""
+
+from repro.txn.repair import PreparedTransaction, RepairScheduler
+from repro.txn.locking import LockingScheduler
+from repro.txn.simcores import simulate_parallel, simulate_locking
+
+__all__ = [
+    "PreparedTransaction",
+    "RepairScheduler",
+    "LockingScheduler",
+    "simulate_parallel",
+    "simulate_locking",
+]

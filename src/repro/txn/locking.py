@@ -1,0 +1,72 @@
+"""Row-level locking baseline (paper §3.4's comparison point).
+
+Strict two-phase locking over row granularity: each transaction locks
+the ``(predicate, key)`` rows it reads or writes, holds the locks to
+commit, and blocks on conflict.  We execute the equivalent serial
+schedule (what 2PL guarantees) while recording the lock sets and the
+wait-for edges; :func:`repro.txn.simcores.simulate_locking` replays
+those edges to model multi-core wall-clock behaviour.
+
+The paper's analysis: with items touched with probability α·n^(-1/2),
+the expected number of common items between two transactions is α²
+(a birthday paradox), so for α ≥ 1 most transaction pairs conflict and
+lock waiting destroys parallel speedup.
+"""
+
+import time
+
+from repro.txn.repair import PreparedTransaction
+
+
+def lock_rows_of(effects):
+    """The row locks implied by a transaction's effects."""
+    rows = set()
+    for pred, delta in effects.items():
+        for tup in delta.added:
+            rows.add((pred, tup[:-1] if len(tup) > 1 else tup))
+        for tup in delta.removed:
+            rows.add((pred, tup[:-1] if len(tup) > 1 else tup))
+    return rows
+
+
+class LockingScheduler:
+    """Serial-equivalent execution under strict row-level 2PL.
+
+    Executes transactions one at a time against the evolving workspace
+    (the schedule 2PL would serialize to), recording per-transaction
+    lock sets, execution costs, and the wait-for edges between
+    conflicting transactions.
+    """
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        self.stats = {
+            "transactions": 0,
+            "lock_conflicts": 0,
+            "wait_edges": [],  # (earlier_index, later_index)
+            "exec_seconds": [],
+        }
+
+    def run(self, transactions, commit=True):
+        """Run the batch; returns the prepared transactions."""
+        lock_tables = []  # per txn: set of (pred, key)
+        prepared = []
+        for index, txn in enumerate(transactions):
+            if not isinstance(txn, PreparedTransaction):
+                txn = PreparedTransaction(txn)
+            started = time.perf_counter()
+            state = self.workspace.state
+            txn.execute(state)
+            if commit and txn.effects:
+                self.workspace._apply_deltas(state, txn.effects)
+            elapsed = time.perf_counter() - started
+            rows = lock_rows_of(txn.effects)
+            for earlier_index, earlier_rows in enumerate(lock_tables):
+                if rows & earlier_rows:
+                    self.stats["lock_conflicts"] += 1
+                    self.stats["wait_edges"].append((earlier_index, index))
+            lock_tables.append(rows)
+            self.stats["transactions"] += 1
+            self.stats["exec_seconds"].append(elapsed)
+            prepared.append(txn)
+        return prepared

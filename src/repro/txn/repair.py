@@ -1,0 +1,221 @@
+"""Transaction repair: full serializability without locks (paper §3.4).
+
+Every transaction runs on its own O(1) branch of the workspace and
+produces:
+
+* **transaction effects** — the base-predicate deltas it wants to
+  commit (``+inventory[l] = 1`` etc.); and
+* **transaction sensitivities** — the intervals of the input workspace
+  its execution depended on, recorded by LFTJ while evaluating the
+  transaction's reactive rules.
+
+Two concurrent transactions conflict when the first one's *effects*
+intersect the second one's *sensitivities*.  Conflicts are not resolved
+by blocking: the second transaction is *repaired* — its reactive-rule
+materialization is incrementally maintained under the incoming
+corrections (the first transaction's effects), exactly the machinery of
+§3.2.  Composing pairs yields the binary transaction circuit of
+Figure 7; a whole batch commits together, serializable in circuit
+order.
+"""
+
+import time
+
+from repro.engine.evaluator import RuleSet
+from repro.engine.ir import PredAtom
+from repro.engine.ivm import IncrementalEngine
+from repro.engine.sensitivity import SensitivityRecorder
+from repro.logiql.compiler import compile_program, start_pred
+from repro.runtime.errors import ConstraintViolation, TransactionAborted
+from repro.runtime.state import WorkspaceState
+from repro.storage.relation import Delta, Relation
+
+
+class PreparedTransaction:
+    """One transaction in the repair framework (Figure 7a).
+
+    Built from LogiQL reactive source (or precompiled reactive rules);
+    ``execute`` runs it against a workspace state, after which
+    ``effects`` / ``sensitivity`` are available and ``correct`` may be
+    called any number of times with incoming corrections.
+    """
+
+    def __init__(self, source, name=None):
+        if isinstance(source, str):
+            block = compile_program(source)
+            rules = block.reactive_rules
+            if block.rules and any(r.body for r in block.rules):
+                raise TransactionAborted("transactions must be reactive logic")
+        else:
+            rules = list(source)
+        self.name = name
+        self.rules = rules
+        self.ruleset = RuleSet(rules)
+        self.engine = IncrementalEngine(self.ruleset)
+        self._mat = None
+        self._sens_cache = None
+        self._arities = {}
+        self.effects = {}
+        self.repair_count = 0
+        self.execute_seconds = 0.0
+        self.repair_seconds = 0.0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _build_env(self, state):
+        env = state.start_env()
+        self._arities = dict(state.artifacts.arities)
+        for rule in self.rules:
+            head = rule.head_pred
+            base = head[1:]
+            self._arities.setdefault(base, len(rule.head_args))
+            for atom in rule.body:
+                if isinstance(atom, PredAtom) and atom.pred not in env:
+                    if atom.pred in self.ruleset.derived:
+                        continue
+                    raw = atom.pred
+                    if raw.endswith("@start"):
+                        raw = raw[: -len("@start")]
+                    if raw and raw[0] in "+-":
+                        raw = raw[1:]
+                    arity = self._arities.get(raw, len(atom.args))
+                    env[atom.pred] = Relation.empty(arity)
+        return env
+
+    def _extract_effects(self):
+        relations = self._mat.relations
+        preds = {head[1:] for head in self.ruleset.derived}
+        effects = {}
+        for pred in sorted(preds):
+            plus = relations.get("+" + pred)
+            minus = relations.get("-" + pred)
+            added = set(plus) if plus is not None else set()
+            removed = set(minus) if minus is not None else set()
+            delta = Delta.from_iters(added - removed, removed)
+            if delta:
+                effects[pred] = delta
+        self.effects = effects
+
+    # -- the transaction interface (Figure 7a) --------------------------------
+
+    def execute(self, state):
+        """Run against ``state``; records effects and sensitivities."""
+        started = time.perf_counter()
+        env = self._build_env(state)
+        self._mat = self.engine.initialize(env)
+        self._sens_cache = None
+        self._extract_effects()
+        self.execute_seconds = time.perf_counter() - started
+        return self.effects
+
+    def sensitivity(self):
+        """The merged, frozen sensitivity index of this transaction."""
+        if self._sens_cache is None:
+            merged = SensitivityRecorder()
+            for recorder in self._mat.rule_recorders.values():
+                merged.merge_from(recorder)
+            self._sens_cache = merged.freeze()
+        return self._sens_cache
+
+    def conflicts_with(self, corrections):
+        """Do incoming corrections intersect this txn's sensitivities?"""
+        return bool(self.relevant_corrections(corrections))
+
+    def relevant_corrections(self, corrections):
+        """Restrict corrections to the tuples inside this transaction's
+        sensitivity intervals — the only changes that can alter its
+        effects.  Repair work is then proportional to the conflict, not
+        to the other transactions' total footprint."""
+        index = self.sensitivity()
+        relevant = {}
+        for pred, delta in corrections.items():
+            added = [t for t in delta.added if index.tuple_affects(pred, t)]
+            removed = [t for t in delta.removed if index.tuple_affects(pred, t)]
+            if added or removed:
+                relevant[pred] = Delta.from_iters(added, removed)
+        return relevant
+
+    def correct(self, corrections):
+        """Incrementally repair under corrections (a dict of base
+        deltas); updates effects.  This is the Figure 7(a) corrections
+        input: the transaction's reactive materialization is maintained,
+        not re-executed."""
+        started = time.perf_counter()
+        start_deltas = {}
+        for pred, delta in corrections.items():
+            name = start_pred(pred)
+            if name in self._mat.relations:
+                start_deltas[name] = delta
+        if start_deltas:
+            self._mat, _ = self.engine.apply(self._mat, start_deltas)
+            self._sens_cache = None
+            self._extract_effects()
+        self.repair_count += 1
+        self.repair_seconds += time.perf_counter() - started
+        return self.effects
+
+
+def compose_corrections(first, second):
+    """Compose two correction maps (apply ``first``, then ``second``)."""
+    composed = dict(first)
+    for pred, delta in second.items():
+        if pred in composed:
+            composed[pred] = composed[pred].then(delta)
+        else:
+            composed[pred] = delta
+    return composed
+
+
+class RepairScheduler:
+    """Commits a batch of concurrent transactions serializably (Fig 7b).
+
+    All transactions execute against the same initial workspace version
+    (each on its own conceptual branch — O(1)).  They are then composed
+    left-to-right: transaction *i* receives the accumulated effects of
+    transactions ``0..i-1`` as corrections, repairing only when its
+    sensitivities are actually touched.  Finally the combined effects
+    commit through the workspace's incremental maintenance and
+    constraint checking as one group.
+    """
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        self.stats = {
+            "transactions": 0,
+            "conflicts": 0,
+            "repairs": 0,
+            "execute_seconds": 0.0,
+            "repair_seconds": 0.0,
+        }
+
+    def run(self, transactions, commit=True):
+        """Execute + repair + (optionally) commit a batch.
+
+        ``transactions`` are LogiQL sources or
+        :class:`PreparedTransaction` objects.  Returns the list of
+        prepared transactions (with per-txn stats filled in).
+        """
+        state = self.workspace.state
+        prepared = [
+            txn if isinstance(txn, PreparedTransaction) else PreparedTransaction(txn)
+            for txn in transactions
+        ]
+        # Phase 1: run all transactions against the same branch point.
+        for txn in prepared:
+            txn.execute(state)
+            self.stats["transactions"] += 1
+            self.stats["execute_seconds"] += txn.execute_seconds
+        # Phase 2: compose left-to-right, repairing on conflict.
+        accumulated = {}
+        for txn in prepared:
+            relevant = txn.relevant_corrections(accumulated) if accumulated else {}
+            if relevant:
+                self.stats["conflicts"] += 1
+                txn.correct(relevant)
+                self.stats["repairs"] += 1
+                self.stats["repair_seconds"] += txn.repair_seconds
+            accumulated = compose_corrections(accumulated, txn.effects)
+        # Phase 3: commit the composite effects as one group.
+        if commit and accumulated:
+            self.workspace._apply_deltas(state, accumulated)
+        return prepared

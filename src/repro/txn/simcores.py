@@ -1,0 +1,79 @@
+"""Multi-core wall-clock simulation for the concurrency benchmarks.
+
+CPython's GIL prevents honest parallel wall-clock measurement of the
+engine, so the transaction benchmarks measure *real* single-thread
+costs (execution and repair times from the actual engine) and replay
+them through these deterministic scheduling models — a substitution
+documented in DESIGN.md.
+
+* :func:`simulate_parallel` models the transaction-repair circuit
+  (paper Figure 7b): initial executions are embarrassingly parallel;
+  repairs sit on the critical path of a binary composition tree of
+  depth ``ceil(log2 n)``.  Wall-clock is the Brent bound
+  ``max(span, work / cores)``.
+* :func:`simulate_locking` replays a strict-2PL schedule: a transaction
+  starts when a core is free *and* every conflicting earlier
+  transaction has committed (wait-for edges recorded by
+  :class:`~repro.txn.locking.LockingScheduler`).
+"""
+
+import math
+
+
+def makespan(costs, cores):
+    """Greedy list-scheduling makespan of independent tasks."""
+    if not costs:
+        return 0.0
+    finish = [0.0] * max(1, cores)
+    for cost in sorted(costs, reverse=True):
+        slot = min(range(len(finish)), key=finish.__getitem__)
+        finish[slot] += cost
+    return max(finish)
+
+
+def simulate_parallel(exec_costs, repair_costs, cores):
+    """Wall-clock of the repair circuit on ``cores`` cores.
+
+    ``exec_costs`` and ``repair_costs`` are per-transaction measured
+    seconds (repair cost 0 for unconflicted transactions).
+    """
+    n = len(exec_costs)
+    if n == 0:
+        return 0.0
+    work = sum(exec_costs) + sum(repair_costs)
+    depth = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    # critical path: one execution, then at most one repair per tree level
+    positive_repairs = sorted((r for r in repair_costs if r > 0), reverse=True)
+    span = max(exec_costs) + sum(positive_repairs[:depth])
+    return max(span, work / cores)
+
+
+def simulate_locking(exec_costs, wait_edges, cores):
+    """Wall-clock of a strict-2PL schedule on ``cores`` cores.
+
+    ``wait_edges`` are ``(earlier, later)`` pairs meaning the later
+    transaction blocks until the earlier commits.
+    """
+    n = len(exec_costs)
+    if n == 0:
+        return 0.0
+    blockers = {}
+    for earlier, later in wait_edges:
+        blockers.setdefault(later, []).append(earlier)
+    finish = [0.0] * n
+    core_free = [0.0] * max(1, cores)
+    for index in range(n):
+        slot = min(range(len(core_free)), key=core_free.__getitem__)
+        start = core_free[slot]
+        for earlier in blockers.get(index, ()):
+            start = max(start, finish[earlier])
+        finish[index] = start + exec_costs[index]
+        core_free[slot] = finish[index]
+    return max(finish)
+
+
+def speedup_curve(simulate, core_counts):
+    """Speedups relative to one core for each core count."""
+    baseline = simulate(1)
+    return [(cores, baseline / simulate(cores) if simulate(cores) > 0 else 1.0)
+            for cores in core_counts]

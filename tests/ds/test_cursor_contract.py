@@ -1,0 +1,90 @@
+"""Property tests for the linear-iterator contract (paper §3.2).
+
+``next()`` visits values in ascending order; ``seek(v)`` lands at the
+least upper bound of ``v``; interleavings match a reference model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.pset import PSet
+
+elements = st.sets(st.integers(-100, 100), min_size=0, max_size=40)
+operations = st.lists(
+    st.one_of(
+        st.just(("next", None)),
+        st.tuples(st.just("seek"), st.integers(-100, 120)),
+    ),
+    max_size=30,
+)
+
+
+class _ModelCursor:
+    """Reference implementation over a plain sorted list."""
+
+    def __init__(self, values):
+        self.values = sorted(values)
+        self.position = 0
+
+    def at_end(self):
+        return self.position >= len(self.values)
+
+    def key(self):
+        return self.values[self.position]
+
+    def next(self):
+        self.position += 1
+
+    def seek(self, value):
+        while self.position < len(self.values) and self.values[self.position] < value:
+            self.position += 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(elements, operations)
+def test_cursor_matches_model(values, script):
+    cursor = PSet.from_iter(values).cursor()
+    model = _ModelCursor(values)
+    assert cursor.at_end() == model.at_end()
+    for op, argument in script:
+        if model.at_end():
+            break
+        if op == "next":
+            cursor.next()
+            model.next()
+        else:
+            # the contract requires forward-only seeks
+            if argument < model.key():
+                continue
+            cursor.seek(argument)
+            model.seek(argument)
+        assert cursor.at_end() == model.at_end()
+        if not model.at_end():
+            assert cursor.key() == model.key()
+
+
+@settings(max_examples=100, deadline=None)
+@given(elements)
+def test_full_scan_is_sorted(values):
+    cursor = PSet.from_iter(values).cursor()
+    seen = []
+    while not cursor.at_end():
+        seen.append(cursor.key())
+        cursor.next()
+    assert seen == sorted(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(elements, st.integers(-120, 120))
+def test_seek_is_least_upper_bound(values, target):
+    cursor = PSet.from_iter(values).cursor()
+    if cursor.at_end() or target < cursor.key():
+        # forward-only: only seek from the very start when legal
+        if not cursor.at_end() and target < cursor.key():
+            return
+    cursor.seek(target)
+    candidates = [v for v in values if v >= target]
+    if candidates:
+        assert cursor.key() == min(candidates)
+    else:
+        assert cursor.at_end()

@@ -1,0 +1,72 @@
+"""Tests for the deterministic hash functions, including the CPython
+hash(-1) == hash(-2) pitfall that motivated them."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.hashing import combine_hashes, splitmix64, stable_hash
+
+
+class TestKnownPitfalls:
+    def test_minus_one_minus_two(self):
+        # builtin hash(-1) == hash(-2) == -2; ours must differ
+        assert hash(-1) == hash(-2)  # the CPython quirk is real
+        assert stable_hash(-1) != stable_hash(-2)
+        assert stable_hash(-1.0) != stable_hash(-2.0)
+        assert stable_hash((-1,)) != stable_hash((-2,))
+        assert stable_hash(("x", -1)) != stable_hash(("x", -2))
+
+    def test_type_tags_separate_domains(self):
+        assert stable_hash(0) != stable_hash(False)
+        assert stable_hash(1) != stable_hash(True)
+        assert stable_hash(0) != stable_hash(None)
+        assert stable_hash(()) != stable_hash(0)
+
+    def test_int_float_distinct(self):
+        # within a typed column this never mixes; the hash still keeps
+        # the domains apart deliberately
+        assert stable_hash(1) != stable_hash(1.0)
+
+    def test_big_integers(self):
+        assert stable_hash(2**100) != stable_hash(2**100 + 2**64)
+        assert stable_hash(2**64) != stable_hash(0)
+
+
+class TestDeterminism:
+    def test_repeatable(self):
+        for value in (42, "hello", (1, "a", 2.5), None, True, -7.25):
+            assert stable_hash(value) == stable_hash(value)
+
+    def test_tuple_order_sensitive(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_tuple_length_sensitive(self):
+        assert stable_hash((1,)) != stable_hash((1, 1))
+
+    def test_nested_tuples(self):
+        assert stable_hash(((1, 2), 3)) != stable_hash((1, (2, 3)))
+
+    def test_combine_order_sensitive(self):
+        assert combine_hashes(1, 2) != combine_hashes(2, 1)
+        assert combine_hashes(1, 2, 3) != combine_hashes(1, 2)
+
+    def test_splitmix_range(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_no_small_int_collisions(a, b):
+    if a != b:
+        assert stable_hash(a) != stable_hash(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.tuples(st.integers(-100, 100), st.floats(allow_nan=False, width=32)),
+    st.tuples(st.integers(-100, 100), st.floats(allow_nan=False, width=32)),
+)
+def test_tuple_hash_injective_in_practice(a, b):
+    if a != b:
+        assert stable_hash(a) != stable_hash(b)

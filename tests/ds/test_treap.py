@@ -1,0 +1,284 @@
+"""Unit and property tests for the deterministic treap core."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds import treap
+from repro.ds.treap import MISSING, Cursor
+
+
+def build(pairs):
+    root = None
+    for key, value in pairs:
+        root = treap.insert(root, key, value)
+    return root
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        assert treap.size(None) == 0
+        assert treap.get(None, 1) is MISSING
+        assert list(treap.items(None)) == []
+
+    def test_insert_get(self):
+        root = build([(2, "b"), (1, "a"), (3, "c")])
+        assert treap.size(root) == 3
+        assert treap.get(root, 1) == "a"
+        assert treap.get(root, 2) == "b"
+        assert treap.get(root, 3) == "c"
+        assert treap.get(root, 4) is MISSING
+
+    def test_insert_replaces_value(self):
+        root = build([(1, "a")])
+        root = treap.insert(root, 1, "z")
+        assert treap.size(root) == 1
+        assert treap.get(root, 1) == "z"
+
+    def test_insert_same_value_returns_same_node(self):
+        root = build([(1, "a"), (2, "b")])
+        again = treap.insert(root, 1, "a")
+        assert again is root
+
+    def test_remove(self):
+        root = build([(1, "a"), (2, "b"), (3, "c")])
+        root = treap.remove(root, 2)
+        assert treap.size(root) == 2
+        assert treap.get(root, 2) is MISSING
+        assert treap.get(root, 1) == "a"
+
+    def test_remove_absent_is_noop(self):
+        root = build([(1, "a")])
+        assert treap.remove(root, 9) is root
+        assert treap.remove(None, 9) is None
+
+    def test_items_sorted(self):
+        keys = random.Random(0).sample(range(1000), 200)
+        root = build([(k, k) for k in keys])
+        assert [k for k, _ in treap.items(root)] == sorted(keys)
+
+    def test_items_from(self):
+        root = build([(k, None) for k in range(0, 100, 10)])
+        assert [k for k, _ in treap.items_from(root, 35)] == [40, 50, 60, 70, 80, 90]
+        assert [k for k, _ in treap.items_from(root, 0)] == list(range(0, 100, 10))
+        assert list(treap.items_from(root, 91)) == []
+
+    def test_first_last_kth_rank(self):
+        root = build([(k, -k) for k in (5, 1, 9, 3)])
+        assert treap.first(root) == (1, -1)
+        assert treap.last(root) == (9, -9)
+        assert treap.kth(root, 0) == (1, -1)
+        assert treap.kth(root, 2) == (5, -5)
+        assert treap.rank(root, 5) == 2
+        assert treap.rank(root, 6) == 3
+        with pytest.raises(IndexError):
+            treap.kth(root, 4)
+
+
+class TestPersistence:
+    def test_insert_does_not_mutate(self):
+        root = build([(1, "a"), (2, "b")])
+        snapshot = list(treap.items(root))
+        treap.insert(root, 3, "c")
+        treap.remove(root, 1)
+        assert list(treap.items(root)) == snapshot
+
+    def test_structure_sharing(self):
+        root = build([(k, k) for k in range(100)])
+        updated = treap.insert(root, 100, 100)
+        # the new version reuses most of the old nodes
+        old_nodes = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node is not None:
+                old_nodes.add(id(node))
+                stack.extend((node.left, node.right))
+        shared = 0
+        stack = [updated]
+        while stack:
+            node = stack.pop()
+            if node is not None:
+                if id(node) in old_nodes:
+                    shared += 1
+                stack.extend((node.left, node.right))
+        assert shared > 80
+
+
+class TestUniqueRepresentation:
+    def test_insertion_order_invariance(self):
+        pairs = [(k, str(k)) for k in range(64)]
+        a = build(pairs)
+        shuffled = list(pairs)
+        random.Random(7).shuffle(shuffled)
+        b = build(shuffled)
+        assert treap.equal(a, b)
+        assert treap.tree_hash(a) == treap.tree_hash(b)
+        assert _structure(a) == _structure(b)
+
+    def test_bulk_load_matches_insertion(self):
+        pairs = [(k, k * 2) for k in range(257)]
+        a = build(pairs)
+        b = treap.from_sorted_items(pairs)
+        assert _structure(a) == _structure(b)
+
+    def test_delete_reinsert_roundtrip(self):
+        pairs = [(k, k) for k in range(50)]
+        a = build(pairs)
+        b = treap.remove(a, 25)
+        b = treap.insert(b, 25, 25)
+        assert treap.equal(a, b)
+        assert _structure(a) == _structure(b)
+
+    def test_from_sorted_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            treap.from_sorted_items([(2, None), (1, None)])
+
+
+def _structure(node):
+    if node is None:
+        return None
+    return (node.key, node.value, _structure(node.left), _structure(node.right))
+
+
+class TestSetAlgebra:
+    def test_union_values_right_biased(self):
+        a = build([(1, "a1"), (2, "a2")])
+        b = build([(2, "b2"), (3, "b3")])
+        union = treap.union(a, b)
+        assert dict(treap.items(union)) == {1: "a1", 2: "b2", 3: "b3"}
+
+    def test_union_combine(self):
+        a = build([(1, 10), (2, 20)])
+        b = build([(2, 2), (3, 3)])
+        union = treap.union(a, b, combine=lambda x, y: x + y)
+        assert dict(treap.items(union)) == {1: 10, 2: 22, 3: 3}
+
+    def test_intersection_difference(self):
+        a = build([(k, "a") for k in range(0, 20, 2)])
+        b = build([(k, "b") for k in range(0, 20, 3)])
+        inter = treap.intersection(a, b)
+        assert [k for k, _ in treap.items(inter)] == [0, 6, 12, 18]
+        assert all(v == "a" for _, v in treap.items(inter))
+        diff = treap.difference(a, b)
+        assert [k for k, _ in treap.items(diff)] == [2, 4, 8, 10, 14, 16]
+
+    def test_algebra_with_empty(self):
+        a = build([(1, None)])
+        assert treap.union(a, None) is a
+        assert treap.union(None, a) is a
+        assert treap.intersection(a, None) is None
+        assert treap.difference(a, None) is a
+        assert treap.difference(None, a) is None
+
+
+class TestCursor:
+    def test_full_scan(self):
+        root = build([(k, None) for k in range(10)])
+        cursor = Cursor(root)
+        seen = []
+        while not cursor.at_end():
+            seen.append(cursor.key())
+            cursor.next()
+        assert seen == list(range(10))
+
+    def test_seek_landing(self):
+        root = build([(k, None) for k in (0, 1, 3, 4, 5, 6, 7, 8, 9, 11)])
+        cursor = Cursor(root)
+        cursor.seek(2)
+        assert cursor.key() == 3
+        cursor.seek(8)
+        assert cursor.key() == 8
+        cursor.seek(10)
+        assert cursor.key() == 11
+        cursor.seek(12)
+        assert cursor.at_end()
+
+    def test_empty_cursor(self):
+        cursor = Cursor(None)
+        assert cursor.at_end()
+
+
+class TestDiff:
+    def test_diff_basics(self):
+        a = build([(1, "x"), (2, "y"), (3, "z")])
+        b = treap.insert(treap.remove(a, 1), 4, "w")
+        b = treap.insert(b, 2, "Y")
+        changes = {key: (old, new) for key, old, new in treap.diff(a, b)}
+        assert changes == {
+            1: ("x", MISSING),
+            2: ("y", "Y"),
+            4: (MISSING, "w"),
+        }
+
+    def test_diff_identical_is_empty(self):
+        a = build([(k, k) for k in range(50)])
+        assert list(treap.diff(a, a)) == []
+        b = build([(k, k) for k in range(50)])
+        assert list(treap.diff(a, b)) == []
+
+    def test_diff_from_empty(self):
+        a = build([(1, "a")])
+        assert list(treap.diff(None, a)) == [(1, MISSING, "a")]
+        assert list(treap.diff(a, None)) == [(1, "a", MISSING)]
+
+
+# -- property-based tests ---------------------------------------------------
+
+keys = st.integers(min_value=-50, max_value=50)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove"]), keys, st.integers()),
+    max_size=120,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops)
+def test_matches_dict_semantics(operations):
+    root = None
+    reference = {}
+    for op, key, value in operations:
+        if op == "insert":
+            root = treap.insert(root, key, value)
+            reference[key] = value
+        else:
+            root = treap.remove(root, key)
+            reference.pop(key, None)
+        assert treap.size(root) == len(reference)
+    assert dict(treap.items(root)) == reference
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(keys, max_size=60), st.lists(keys, max_size=60))
+def test_set_algebra_laws(left, right):
+    a = build([(k, None) for k in set(left)])
+    b = build([(k, None) for k in set(right)])
+    union_keys = {k for k, _ in treap.items(treap.union(a, b))}
+    inter_keys = {k for k, _ in treap.items(treap.intersection(a, b))}
+    diff_keys = {k for k, _ in treap.items(treap.difference(a, b))}
+    assert union_keys == set(left) | set(right)
+    assert inter_keys == set(left) & set(right)
+    assert diff_keys == set(left) - set(right)
+    # canonical form: results equal freshly built treaps
+    assert treap.equal(
+        treap.union(a, b), build([(k, None) for k in union_keys])
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(keys, st.integers()), max_size=50), ops)
+def test_diff_patch_roundtrip(initial, operations):
+    a = build(dict(initial).items())
+    b = a
+    for op, key, value in operations:
+        b = treap.insert(b, key, value) if op == "insert" else treap.remove(b, key)
+    patched = a
+    for key, old, new in treap.diff(a, b):
+        if new is MISSING:
+            patched = treap.remove(patched, key)
+        else:
+            patched = treap.insert(patched, key, new)
+    assert treap.equal(patched, b)
+    assert dict(treap.items(patched)) == dict(treap.items(b))

@@ -1,0 +1,76 @@
+"""Unit tests for the incrementally maintainable aggregate states."""
+
+import pytest
+
+from repro.engine.aggregates import (
+    AGGREGATES,
+    MultisetState,
+    SumState,
+    agg_add,
+    agg_remove,
+)
+
+
+class TestSumState:
+    def test_add_remove_roundtrip(self):
+        state = SumState()
+        state = state.add(5.0).add(3.0)
+        assert state.total == 8.0 and state.count == 2
+        state = state.remove(5.0)
+        assert state.total == 3.0 and state.count == 1
+        assert not state.is_empty()
+        assert state.remove(3.0).is_empty()
+
+    def test_immutability(self):
+        state = SumState().add(1.0)
+        state.add(2.0)
+        assert state.total == 1.0
+
+
+class TestMultisetState:
+    def test_multiplicity(self):
+        state = MultisetState().add(5).add(5).add(3)
+        assert state.count == 3
+        state = state.remove(5)
+        assert state.count == 2
+        assert state.values.get(5) == 1
+        state = state.remove(5)
+        assert 5 not in state.values
+
+    def test_min_max_results(self):
+        state = MultisetState().add(5).add(1).add(9)
+        assert AGGREGATES["min"].result(state) == 1
+        assert AGGREGATES["max"].result(state) == 9
+        state = state.remove(1)
+        assert AGGREGATES["min"].result(state) == 5
+
+
+class TestAggregateDispatch:
+    @pytest.mark.parametrize("fn,values,expected", [
+        ("sum", [1.0, 2.0, 3.0], 6.0),
+        ("count", [10, 20, 30], 3),
+        ("avg", [2.0, 4.0], 3.0),
+        ("min", [5, 2, 8], 2),
+        ("max", [5, 2, 8], 8),
+    ])
+    def test_results(self, fn, values, expected):
+        aggregate = AGGREGATES[fn]
+        state = aggregate.empty()
+        for value in values:
+            state = agg_add(fn, state, value)
+        assert aggregate.result(state) == expected
+
+    @pytest.mark.parametrize("fn", ["sum", "count", "avg", "min", "max"])
+    def test_remove_inverts_add(self, fn):
+        aggregate = AGGREGATES[fn]
+        state = aggregate.empty()
+        state = agg_add(fn, state, 4)
+        state = agg_add(fn, state, 7)
+        after = agg_remove(fn, state, 7)
+        solo = agg_add(fn, aggregate.empty(), 4)
+        assert aggregate.result(after) == aggregate.result(solo)
+
+    def test_count_ignores_magnitude(self):
+        state = agg_add("count", AGGREGATES["count"].empty(), 1e9)
+        state = agg_add("count", state, -1e9)
+        assert AGGREGATES["count"].result(state) == 2

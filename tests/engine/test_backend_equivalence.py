@@ -1,0 +1,104 @@
+"""Property: treap and array trie backends implement one contract."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.iterators import ArrayTrieIterator, TreapTrieIterator
+from repro.storage.relation import Relation
+
+tuples3 = st.sets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def both_backends(tuples, prefix=()):
+    relation = Relation.from_iter(3, tuples)
+    return (
+        TreapTrieIterator(relation.index_root((0, 1, 2)), 3, prefix),
+        ArrayTrieIterator(relation.flat((0, 1, 2)), 3, prefix),
+    )
+
+
+def random_walk(iterator, script):
+    """Replay a navigation script; returns the observation log."""
+    log = []
+    depth = 0
+    for op, value in script:
+        # the trie contract: open() requires a valid current position
+        if op == "open" and depth < 3 and (depth == 0 or not iterator.at_end()):
+            iterator.open()
+            depth += 1
+        elif op == "up" and depth > 0:
+            iterator.up()
+            depth -= 1
+        elif op == "next" and depth > 0 and not iterator.at_end():
+            iterator.next()
+        elif op == "seek" and depth > 0 and not iterator.at_end():
+            if not iterator.key() < value:
+                continue
+            iterator.seek(value)
+        else:
+            continue
+        state = "END" if (depth and iterator.at_end()) else (
+            iterator.key() if depth else "ROOT"
+        )
+        log.append((op, depth, state))
+    return log
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    tuples3,
+    st.lists(
+        st.tuples(
+            st.sampled_from(["open", "up", "next", "seek"]),
+            st.integers(0, 6),
+        ),
+        max_size=40,
+    ),
+)
+def test_backends_agree_on_random_walks(tuples, script):
+    treap_it, array_it = both_backends(tuples)
+    assert random_walk(treap_it, script) == random_walk(array_it, script)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tuples3, st.integers(0, 5))
+def test_backends_agree_with_fixed_prefix(tuples, prefix_value):
+    treap_it, array_it = both_backends(tuples, prefix=(prefix_value,))
+    assert treap_it.check_fixed_prefix() == array_it.check_fixed_prefix()
+    if not treap_it.check_fixed_prefix():
+        return
+    script = [("open", 0), ("next", 0), ("seek", 3), ("open", 0), ("up", 0)]
+    assert random_walk(treap_it, script) == random_walk(array_it, script)
+
+
+def test_deep_enumeration_equivalence():
+    rng = random.Random(9)
+    tuples = {
+        (rng.randrange(8), rng.randrange(8), rng.randrange(8))
+        for _ in range(60)
+    }
+    treap_it, array_it = both_backends(tuples)
+
+    def enumerate_all(it):
+        out = []
+
+        def walk(depth):
+            it.open()
+            while not it.at_end():
+                if depth == 2:
+                    out.append(it.context() + (it.key(),))
+                else:
+                    walk(depth + 1)
+                it.next()
+            it.up()
+
+        walk(0)
+        return out
+
+    assert enumerate_all(treap_it) == enumerate_all(array_it) == sorted(tuples)

@@ -1,0 +1,228 @@
+"""Incremental view maintenance: equivalence with recomputation, cost
+proportionality, and the sensitivity short-circuit."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.evaluator import Evaluator, RuleSet
+from repro.engine.ir import AssignAtom, BinOp, CompareAtom, Const, PredAtom, Var
+from repro.engine.ivm import IncrementalEngine
+from repro.engine.rules import AggSpec, Rule
+from repro.storage.relation import Delta, Relation
+
+TRIANGLE_RULES = [
+    Rule("tri", [Var("a"), Var("b"), Var("c")],
+         [PredAtom("E", [Var("a"), Var("b")]),
+          PredAtom("E", [Var("b"), Var("c")]),
+          PredAtom("E", [Var("a"), Var("c")])]),
+]
+
+
+def fresh_eval(rules, relations):
+    out, _ = Evaluator(RuleSet(rules)).evaluate(relations)
+    return out
+
+
+class TestBasicMaintenance:
+    def test_insert_creates_triangle(self):
+        E = Relation.from_iter(2, [(1, 2), (2, 3)])
+        engine = IncrementalEngine(RuleSet(TRIANGLE_RULES))
+        mat = engine.initialize({"E": E})
+        assert len(mat.relations["tri"]) == 0
+        mat, deltas = engine.apply(mat, {"E": Delta.from_iters([(1, 3)], ())})
+        assert set(mat.relations["tri"]) == {(1, 2, 3)}
+        assert set(deltas["tri"].added) == {(1, 2, 3)}
+
+    def test_delete_removes_triangle(self):
+        E = Relation.from_iter(2, [(1, 2), (2, 3), (1, 3)])
+        engine = IncrementalEngine(RuleSet(TRIANGLE_RULES))
+        mat = engine.initialize({"E": E})
+        assert len(mat.relations["tri"]) == 1
+        mat, deltas = engine.apply(mat, {"E": Delta.from_iters((), [(2, 3)])})
+        assert len(mat.relations["tri"]) == 0
+        assert set(deltas["tri"].removed) == {(1, 2, 3)}
+
+    def test_counting_keeps_multiply_derived(self):
+        # proj(y) derived from two tuples; deleting one keeps it
+        A = Relation.from_iter(2, [(1, 9), (2, 9)])
+        rules = [Rule("proj", [Var("y")], [PredAtom("A", [Var("x"), Var("y")])])]
+        engine = IncrementalEngine(RuleSet(rules))
+        mat = engine.initialize({"A": A})
+        mat, deltas = engine.apply(mat, {"A": Delta.from_iters((), [(1, 9)])})
+        assert set(mat.relations["proj"]) == {(9,)}
+        assert "proj" not in deltas  # no visible change
+        mat, deltas = engine.apply(mat, {"A": Delta.from_iters((), [(2, 9)])})
+        assert len(mat.relations["proj"]) == 0
+
+    def test_noop_delta(self):
+        E = Relation.from_iter(2, [(1, 2)])
+        engine = IncrementalEngine(RuleSet(TRIANGLE_RULES))
+        mat = engine.initialize({"E": E})
+        mat2, deltas = engine.apply(mat, {"E": Delta.from_iters([(1, 2)], ())})
+        assert not deltas
+        assert mat2.relations["E"] == mat.relations["E"]
+
+    def test_unknown_base_pred_rejected(self):
+        engine = IncrementalEngine(RuleSet(TRIANGLE_RULES))
+        mat = engine.initialize({"E": Relation.empty(2)})
+        with pytest.raises(KeyError):
+            engine.apply(mat, {"nope": Delta.from_iters([(1,)], ())})
+
+
+class TestSensitivityShortCircuit:
+    def test_unaffected_delta_skips_rule(self):
+        E = Relation.from_iter(2, [(1, 2), (2, 3), (1, 3)])
+        # view over a *different* predicate entirely
+        rules = TRIANGLE_RULES + [
+            Rule("other", [Var("x")], [PredAtom("F", [Var("x")])]),
+        ]
+        engine = IncrementalEngine(RuleSet(rules))
+        mat = engine.initialize({"E": E, "F": Relation.empty(1)})
+        index = mat.sensitivity_index(1)
+        assert not index.tuple_affects("E", (5, 6))
+        mat, deltas = engine.apply(mat, {"F": Delta.from_iters([(7,)], ())})
+        assert set(mat.relations["other"]) == {(7,)}
+        assert "tri" not in deltas
+
+    def test_skip_is_sound_under_later_changes(self):
+        """Inserting outside intervals, then making it relevant."""
+        A = Relation.from_iter(1, [(5,)])
+        B = Relation.empty(1)
+        rules = [Rule("both", [Var("x")],
+                      [PredAtom("A", [Var("x")]), PredAtom("B", [Var("x")])])]
+        engine = IncrementalEngine(RuleSet(rules))
+        mat = engine.initialize({"A": A, "B": B})
+        # A(7): B is empty, nothing can change
+        mat, _ = engine.apply(mat, {"A": Delta.from_iters([(7,)], ())})
+        assert len(mat.relations["both"]) == 0
+        # B(7): now the earlier insert must surface
+        mat, _ = engine.apply(mat, {"B": Delta.from_iters([(7,)], ())})
+        assert set(mat.relations["both"]) == {(7,)}
+        # and deleting A(7) must retract it
+        mat, _ = engine.apply(mat, {"A": Delta.from_iters((), [(7,)])})
+        assert len(mat.relations["both"]) == 0
+
+
+class TestAggregateMaintenance:
+    RULES = [
+        Rule("total", [Var("k"), Var("u")],
+             [PredAtom("A", [Var("k"), Var("e"), Var("v")])],
+             agg=AggSpec("sum", "u", "v"), n_keys=1),
+        Rule("peak", [Var("k"), Var("u")],
+             [PredAtom("A", [Var("k"), Var("e"), Var("v")])],
+             agg=AggSpec("max", "u", "v"), n_keys=1),
+    ]
+
+    def test_sum_updates(self):
+        A = Relation.from_iter(3, [("g", 1, 10.0), ("g", 2, 5.0)])
+        engine = IncrementalEngine(RuleSet(self.RULES))
+        mat = engine.initialize({"A": A})
+        assert set(mat.relations["total"]) == {("g", 15.0)}
+        mat, deltas = engine.apply(mat, {"A": Delta.from_iters([("g", 3, 2.0)], ())})
+        assert set(mat.relations["total"]) == {("g", 17.0)}
+        assert set(deltas["total"].removed) == {("g", 15.0)}
+        assert set(deltas["total"].added) == {("g", 17.0)}
+
+    def test_max_survives_non_extremum_delete(self):
+        A = Relation.from_iter(3, [("g", 1, 10.0), ("g", 2, 30.0)])
+        engine = IncrementalEngine(RuleSet(self.RULES))
+        mat = engine.initialize({"A": A})
+        mat, deltas = engine.apply(mat, {"A": Delta.from_iters((), [("g", 1, 10.0)])})
+        assert set(mat.relations["peak"]) == {("g", 30.0)}
+        assert "peak" not in deltas
+
+    def test_max_recomputes_on_extremum_delete(self):
+        A = Relation.from_iter(3, [("g", 1, 10.0), ("g", 2, 30.0)])
+        engine = IncrementalEngine(RuleSet(self.RULES))
+        mat = engine.initialize({"A": A})
+        mat, _ = engine.apply(mat, {"A": Delta.from_iters((), [("g", 2, 30.0)])})
+        assert set(mat.relations["peak"]) == {("g", 10.0)}
+
+    def test_group_disappears(self):
+        A = Relation.from_iter(3, [("g", 1, 10.0)])
+        engine = IncrementalEngine(RuleSet(self.RULES))
+        mat = engine.initialize({"A": A})
+        mat, deltas = engine.apply(mat, {"A": Delta.from_iters((), [("g", 1, 10.0)])})
+        assert len(mat.relations["total"]) == 0
+        assert len(mat.relations["peak"]) == 0
+
+
+class TestRandomizedEquivalence:
+    PROGRAM = [
+        Rule("tri", [Var("a"), Var("b"), Var("c")],
+             [PredAtom("E", [Var("a"), Var("b")]),
+              PredAtom("E", [Var("b"), Var("c")]),
+              PredAtom("E", [Var("a"), Var("c")])]),
+        Rule("lonely", [Var("x")],
+             [PredAtom("V", [Var("x")]),
+              PredAtom("E", [Var("x"), Var("w")], negated=True)]),
+        Rule("outdeg", [Var("x"), Var("u")],
+             [PredAtom("E", [Var("x"), Var("y")])],
+             agg=AggSpec("count", "u", "y"), n_keys=1),
+        Rule("tc", [Var("x"), Var("y")], [PredAtom("E", [Var("x"), Var("y")])]),
+        Rule("tc", [Var("x"), Var("z")],
+             [PredAtom("tc", [Var("x"), Var("y")]),
+              PredAtom("E", [Var("y"), Var("z")])]),
+    ]
+
+    def test_long_random_run(self):
+        rng = random.Random(99)
+        dom = 10
+        E = Relation.from_iter(
+            2,
+            {(rng.randrange(dom), rng.randrange(dom)) for _ in range(25)},
+        )
+        V = Relation.from_iter(1, [(i,) for i in range(dom)])
+        ruleset = RuleSet(self.PROGRAM)
+        engine = IncrementalEngine(ruleset)
+        mat = engine.initialize({"E": E, "V": V})
+        for step in range(25):
+            added = {
+                (rng.randrange(dom), rng.randrange(dom))
+                for _ in range(rng.randrange(3))
+            }
+            removed = set(
+                rng.sample(list(mat.relations["E"]),
+                           min(len(mat.relations["E"]), rng.randrange(3)))
+            )
+            mat, _ = engine.apply(
+                mat, {"E": Delta.from_iters(added - removed, removed)}
+            )
+            fresh = fresh_eval(self.PROGRAM, {"E": mat.relations["E"], "V": V})
+            for pred in ("tri", "lonely", "outdeg", "tc"):
+                assert set(mat.relations[pred]) == set(fresh[pred]), (step, pred)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        ),
+        max_size=8,
+    ),
+)
+def test_property_ivm_equals_recompute(initial, updates):
+    rules = [
+        Rule("join", [Var("a"), Var("c")],
+             [PredAtom("E", [Var("a"), Var("b")]),
+              PredAtom("E", [Var("b"), Var("c")])]),
+        Rule("nonref", [Var("x")],
+             [PredAtom("E", [Var("x"), Var("y")]),
+              PredAtom("E", [Var("x"), Var("x")], negated=True)]),
+    ]
+    engine = IncrementalEngine(RuleSet(rules))
+    mat = engine.initialize({"E": Relation.from_iter(2, initial)})
+    for op, tup in updates:
+        delta = (
+            Delta.from_iters([tup], ()) if op == "add" else Delta.from_iters((), [tup])
+        )
+        mat, _ = engine.apply(mat, {"E": delta})
+        fresh = fresh_eval(rules, {"E": mat.relations["E"]})
+        assert set(mat.relations["join"]) == set(fresh["join"])
+        assert set(mat.relations["nonref"]) == set(fresh["nonref"])

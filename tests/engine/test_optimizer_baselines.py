@@ -1,0 +1,131 @@
+"""Sampling optimizer and binary-join baselines."""
+
+import random
+
+import pytest
+
+from repro.engine.baseline_joins import hash_join_query, merge_join_query
+from repro.engine.ir import AssignAtom, BinOp, Const, PredAtom, Var
+from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.optimizer import (
+    SamplingOptimizer,
+    candidate_orders,
+    measure_order,
+    sample_relations,
+)
+from repro.engine.rules import Rule
+from repro.storage.relation import Relation
+
+
+def random_edges(n, dom, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < n:
+        a, b = rng.randrange(dom), rng.randrange(dom)
+        if a != b:
+            edges.add((a, b))
+    return edges
+
+
+TRIANGLE_ATOMS = [
+    PredAtom("E", [Var("a"), Var("b")]),
+    PredAtom("E", [Var("b"), Var("c")]),
+    PredAtom("E", [Var("a"), Var("c")]),
+]
+
+
+class TestCandidateOrders:
+    def test_all_orders_for_triangle(self):
+        rule = Rule("t", [Var("a"), Var("b"), Var("c")], TRIANGLE_ATOMS)
+        orders = candidate_orders(rule)
+        assert len(orders) == 6
+        assert orders[0] == ("a", "b", "c")  # default first
+
+    def test_assignment_dependencies_respected(self):
+        rule = Rule("t", [Var("x"), Var("z")], [
+            PredAtom("R", [Var("x"), Var("y")]),
+            AssignAtom("z", BinOp("+", Var("x"), Var("y"))),
+        ])
+        for order in candidate_orders(rule):
+            assert order.index("z") > order.index("x")
+            assert order.index("z") > order.index("y")
+
+    def test_limit(self):
+        atoms = [PredAtom("R", [Var(chr(97 + i)) for i in range(6)])]
+        rule = Rule("t", [Var(chr(97 + i)) for i in range(6)], atoms)
+        assert len(candidate_orders(rule, limit=10)) <= 10
+
+
+class TestSamplingOptimizer:
+    def test_sampling_preserves_small_relations(self):
+        r = Relation.from_iter(1, [(i,) for i in range(5)])
+        sampled = sample_relations({"r": r}, 100)
+        assert sampled["r"] is r
+
+    def test_sampling_caps_size(self):
+        r = Relation.from_iter(1, [(i,) for i in range(500)])
+        sampled = sample_relations({"r": r}, 50)
+        assert len(sampled["r"]) == 50
+
+    def test_chosen_order_is_correct(self):
+        edges = random_edges(200, 25, seed=2)
+        relation = Relation.from_iter(2, edges)
+        rule = Rule("t", [Var("a"), Var("b"), Var("c")], TRIANGLE_ATOMS)
+        optimizer = SamplingOptimizer(sample_size=64)
+        order = optimizer(rule, {"E": relation})
+        plan = rule.plan(order)
+        rows = set(LeapfrogTrieJoin(plan, {"E": relation}).run())
+        default = set(LeapfrogTrieJoin(rule.plan(), {"E": relation}).run())
+        index = [plan.var_order.index(v) for v in ("a", "b", "c")]
+        remapped = {tuple(r[i] for i in index) for r in rows}
+        base_index = [rule.plan().var_order.index(v) for v in ("a", "b", "c")]
+        base = {tuple(r[i] for i in base_index) for r in default}
+        assert remapped == base
+
+    def test_decision_cached_per_version(self):
+        relation = Relation.from_iter(2, random_edges(50, 10, seed=3))
+        rule = Rule("t", [Var("a"), Var("b"), Var("c")], TRIANGLE_ATOMS)
+        optimizer = SamplingOptimizer(sample_size=32)
+        first = optimizer(rule, {"E": relation})
+        assert optimizer(rule, {"E": relation}) == first
+
+    def test_measure_order_returns_cost(self):
+        relation = Relation.from_iter(2, random_edges(60, 12, seed=4))
+        rule = Rule("t", [Var("a"), Var("b"), Var("c")], TRIANGLE_ATOMS)
+        cost = measure_order(rule, {"E": relation}, ("a", "b", "c"))
+        assert cost is not None and cost[0] > 0
+
+
+class TestBaselineJoins:
+    def test_agree_with_lftj(self):
+        edges = random_edges(300, 30, seed=5)
+        relation = Relation.from_iter(2, edges)
+        plan = Rule("t", [Var("a"), Var("b"), Var("c")], TRIANGLE_ATOMS).plan()
+        lftj = set(LeapfrogTrieJoin(plan, {"E": relation}).run())
+        index = [plan.var_order.index(v) for v in ("a", "b", "c")]
+        expected = {tuple(r[i] for i in index) for r in lftj}
+        assert hash_join_query(TRIANGLE_ATOMS, {"E": relation}, ["a", "b", "c"]) == expected
+        assert merge_join_query(TRIANGLE_ATOMS, {"E": relation}, ["a", "b", "c"]) == expected
+
+    def test_intermediate_rows_reported(self):
+        relation = Relation.from_iter(2, random_edges(100, 12, seed=6))
+        stats = {}
+        hash_join_query(TRIANGLE_ATOMS, {"E": relation}, ["a", "b", "c"], stats)
+        # binary plans materialize the open wedges: far more rows than output
+        assert stats["intermediate_rows"] > 0
+
+    def test_cross_product_no_shared_vars(self):
+        A = Relation.from_iter(2, [(1, 2)])
+        B = Relation.from_iter(2, [(3, 4)])
+        atoms = [PredAtom("A", [Var("a"), Var("b")]),
+                 PredAtom("B", [Var("c"), Var("d")])]
+        assert merge_join_query(atoms, {"A": A, "B": B}) == {(1, 2, 3, 4)}
+        assert hash_join_query(atoms, {"A": A, "B": B}) == {(1, 2, 3, 4)}
+
+    def test_rejects_unsupported_shapes(self):
+        with pytest.raises(ValueError):
+            hash_join_query([PredAtom("R", [Const(1), Var("x")])],
+                            {"R": Relation.empty(2)})
+        with pytest.raises(ValueError):
+            hash_join_query([PredAtom("R", [Var("x")], negated=True)],
+                            {"R": Relation.empty(1)})

@@ -1,0 +1,124 @@
+"""Tests for LFTJ plan construction."""
+
+import pytest
+
+from repro.engine.ir import AssignAtom, BinOp, CompareAtom, Const, PredAtom, Var
+from repro.engine.planner import PlanError, build_plan, default_var_order
+
+
+class TestVariableOrder:
+    def test_default_first_appearance(self):
+        atoms = [
+            PredAtom("R", [Var("a"), Var("b")]),
+            PredAtom("S", [Var("b"), Var("c")]),
+        ]
+        assert default_var_order(atoms) == ["a", "b", "c"]
+
+    def test_assignments_after_inputs(self):
+        atoms = [
+            AssignAtom("z", BinOp("+", Var("x"), Var("y"))),
+            PredAtom("R", [Var("x"), Var("y")]),
+        ]
+        order = default_var_order(atoms)
+        assert order.index("z") > order.index("x")
+        assert order.index("z") > order.index("y")
+
+    def test_cyclic_assignments_rejected(self):
+        atoms = [
+            AssignAtom("a", BinOp("+", Var("b"), Const(1))),
+            AssignAtom("b", BinOp("+", Var("a"), Const(1))),
+        ]
+        with pytest.raises(PlanError):
+            default_var_order(atoms)
+
+    def test_explicit_order_must_cover(self):
+        atoms = [PredAtom("R", [Var("a"), Var("b")])]
+        with pytest.raises(PlanError):
+            build_plan(atoms, var_order=["a"], output_vars=["a", "b"])
+
+
+class TestAtomShapes:
+    def test_constants_first_in_perm(self):
+        atoms = [PredAtom("R", [Var("x"), Const(5), Var("y")])]
+        plan = build_plan(atoms, output_vars=["x", "y"])
+        atom_plan = plan.atom_plans[0]
+        assert atom_plan.perm[0] == 1  # constant column leads
+        assert atom_plan.const_prefix == (5,)
+
+    def test_secondary_index_detection(self):
+        atoms = [
+            PredAtom("R", [Var("a"), Var("b")]),
+            PredAtom("S", [Var("b"), Var("a")]),
+        ]
+        plan = build_plan(atoms, var_order=["a", "b"], output_vars=["a", "b"])
+        shapes = {ap.pred: ap.perm for ap in plan.atom_plans}
+        assert shapes["R"] == (0, 1)
+        assert shapes["S"] == (1, 0)  # needs the permuted index
+        assert plan.needs_index(plan.atom_plans[1])
+
+    def test_wildcards_trail(self):
+        atoms = [PredAtom("R", [Var("w1"), Var("x"), Var("w2")])]
+        plan = build_plan(atoms, output_vars=["x"])
+        atom_plan = plan.atom_plans[0]
+        assert atom_plan.perm[0] == 1
+        assert set(atom_plan.perm[1:]) == {0, 2}
+        assert atom_plan.levels == (0,)
+
+    def test_repeated_vars_rewritten(self):
+        atoms = [PredAtom("R", [Var("x"), Var("x")])]
+        plan = build_plan(atoms, output_vars=["x"])
+        # rewritten into two distinct levels plus an equality binding
+        assert len(plan.var_order) == 2
+        assert plan.assigns
+
+
+class TestSafety:
+    def test_unbound_comparison_rejected(self):
+        atoms = [CompareAtom("<", Var("x"), Const(1))]
+        with pytest.raises(PlanError):
+            build_plan(atoms, output_vars=["x"])
+
+    def test_unbound_negation_rejected(self):
+        atoms = [
+            PredAtom("R", [Var("x")]),
+            PredAtom("S", [Var("y")], negated=True),
+            PredAtom("T", [Var("y")], negated=True),
+        ]
+        with pytest.raises(PlanError):
+            build_plan(atoms, output_vars=["x"])
+
+    def test_output_var_unbound_rejected(self):
+        atoms = [PredAtom("R", [Var("x")])]
+        with pytest.raises(PlanError):
+            build_plan(atoms + [CompareAtom("=", Var("x"), Var("x"))],
+                       var_order=["x", "y"], output_vars=["y"])
+
+    def test_negated_local_existential_allowed(self):
+        atoms = [
+            PredAtom("R", [Var("x")]),
+            PredAtom("S", [Var("x"), Var("local")], negated=True),
+        ]
+        plan = build_plan(atoms, output_vars=["x"])
+        assert plan.var_order == ("x",)
+
+    def test_filters_at_earliest_complete_level(self):
+        atoms = [
+            PredAtom("R", [Var("a"), Var("b")]),
+            PredAtom("S", [Var("b"), Var("c")]),
+            CompareAtom("<", Var("a"), Var("b")),
+        ]
+        plan = build_plan(atoms, var_order=["a", "b", "c"],
+                          output_vars=["a", "b", "c"])
+        assert plan.filters[1], "a<b should attach at b's level"
+        assert not plan.filters[2]
+
+    def test_participants_structure(self):
+        atoms = [
+            PredAtom("R", [Var("a"), Var("b")]),
+            PredAtom("S", [Var("b"), Var("c")]),
+            PredAtom("T", [Var("a"), Var("c")]),
+        ]
+        plan = build_plan(atoms, var_order=["a", "b", "c"],
+                          output_vars=["a", "b", "c"])
+        per_level = [sorted(i for i, _ in plan.participants[lvl]) for lvl in range(3)]
+        assert per_level == [[0, 2], [0, 1], [1, 2]]

@@ -1,0 +1,124 @@
+"""Deeper recursion coverage: same-generation, mutual recursion,
+nonlinear rules, and recursion through workspaces."""
+
+import pytest
+
+from repro import Workspace
+from repro.engine.evaluator import Evaluator, RuleSet
+from repro.engine.ir import PredAtom, Var
+from repro.engine.ivm import IncrementalEngine
+from repro.engine.rules import Rule
+from repro.storage.relation import Delta, Relation
+
+
+class TestSameGeneration:
+    RULES = [
+        Rule("sg", [Var("x"), Var("y")],
+             [PredAtom("flat", [Var("x"), Var("y")])]),
+        Rule("sg", [Var("x"), Var("y")],
+             [PredAtom("up", [Var("x"), Var("x1")]),
+              PredAtom("sg", [Var("x1"), Var("y1")]),
+              PredAtom("down", [Var("y1"), Var("y")])]),
+    ]
+
+    def test_same_generation(self):
+        # a tree: 1 -> {2, 3}, 2 -> {4}, 3 -> {5}
+        up = Relation.from_iter(2, [(2, 1), (3, 1), (4, 2), (5, 3)])
+        down = Relation.from_iter(2, [(1, 2), (1, 3), (2, 4), (3, 5)])
+        flat = Relation.from_iter(2, [(1, 1)])
+        relations, _ = Evaluator(RuleSet(self.RULES)).evaluate(
+            {"up": up, "down": down, "flat": flat}
+        )
+        sg = set(relations["sg"])
+        assert (2, 3) in sg and (3, 2) in sg  # siblings
+        assert (4, 5) in sg  # cousins
+        assert (2, 4) not in sg  # different generations
+
+    def test_incremental_same_generation(self):
+        up = Relation.from_iter(2, [(2, 1), (3, 1)])
+        down = Relation.from_iter(2, [(1, 2), (1, 3)])
+        flat = Relation.from_iter(2, [(1, 1)])
+        engine = IncrementalEngine(RuleSet(self.RULES))
+        mat = engine.initialize({"up": up, "down": down, "flat": flat})
+        assert (2, 3) in mat.relations["sg"]
+        # grow the tree one level
+        mat, _ = engine.apply(mat, {
+            "up": Delta.from_iters([(4, 2), (5, 3)], ()),
+            "down": Delta.from_iters([(2, 4), (3, 5)], ()),
+        })
+        fresh, _ = Evaluator(RuleSet(self.RULES)).evaluate(
+            {"up": mat.relations["up"], "down": mat.relations["down"],
+             "flat": flat}
+        )
+        assert set(mat.relations["sg"]) == set(fresh["sg"])
+        assert (4, 5) in mat.relations["sg"]
+
+
+class TestNonlinearRecursion:
+    def test_doubling_tc(self):
+        rules = [
+            Rule("tc", [Var("x"), Var("y")],
+                 [PredAtom("e", [Var("x"), Var("y")])]),
+            Rule("tc", [Var("x"), Var("z")],
+                 [PredAtom("tc", [Var("x"), Var("y")]),
+                  PredAtom("tc", [Var("y"), Var("z")])]),
+        ]
+        chain = Relation.from_iter(2, [(i, i + 1) for i in range(10)])
+        relations, _ = Evaluator(RuleSet(rules)).evaluate({"e": chain})
+        assert len(relations["tc"]) == 10 * 11 // 2
+
+    def test_mutual_even_odd(self):
+        rules = [
+            Rule("even", [Var("x")], [PredAtom("zero", [Var("x")])]),
+            Rule("even", [Var("y")],
+                 [PredAtom("odd", [Var("x")]),
+                  PredAtom("succ", [Var("x"), Var("y")])]),
+            Rule("odd", [Var("y")],
+                 [PredAtom("even", [Var("x")]),
+                  PredAtom("succ", [Var("x"), Var("y")])]),
+        ]
+        succ = Relation.from_iter(2, [(i, i + 1) for i in range(10)])
+        zero = Relation.from_iter(1, [(0,)])
+        relations, _ = Evaluator(RuleSet(rules)).evaluate(
+            {"succ": succ, "zero": zero}
+        )
+        assert set(relations["even"]) == {(i,) for i in range(0, 11, 2)}
+        assert set(relations["odd"]) == {(i,) for i in range(1, 11, 2)}
+
+
+class TestWorkspaceRecursion:
+    def test_logiql_ancestor(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            parent(x, y) -> string(x), string(y).
+            ancestor(x, y) <- parent(x, y).
+            ancestor(x, z) <- ancestor(x, y), parent(y, z).
+            forebears[x] = u <- agg<<u = count(y)>> ancestor(y, x).
+            """,
+            name="family",
+        )
+        ws.load("parent", [("adam", "seth"), ("seth", "enos"),
+                           ("enos", "kenan")])
+        assert ("adam", "kenan") in ws.relation("ancestor")
+        assert dict(ws.rows("forebears"))["kenan"] == 3
+        # incremental: break the chain
+        ws.exec('-parent("seth", "enos").')
+        assert ("adam", "kenan") not in ws.relation("ancestor")
+        assert dict(ws.rows("forebears")).get("kenan", 0) == 1
+
+    def test_cycle_through_workspace(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            e(x, y) -> int(x), int(y).
+            reach(x, y) <- e(x, y).
+            reach(x, z) <- reach(x, y), e(y, z).
+            """,
+            name="g",
+        )
+        ws.load("e", [(1, 2), (2, 3), (3, 1)])
+        assert len(ws.rows("reach")) == 9
+        ws.exec("-e(3, 1).")
+        reach = set(ws.relation("reach"))
+        assert reach == {(1, 2), (1, 3), (2, 3)}

@@ -1,0 +1,98 @@
+"""Unit tests for the engine IR and rule helpers."""
+
+import pytest
+
+from repro.engine import ir
+from repro.engine.rules import AggSpec, Rule
+
+
+class TestExpressions:
+    def test_eval_arithmetic(self):
+        expr = ir.BinOp("+", ir.Var("x"), ir.BinOp("*", ir.Const(2), ir.Var("y")))
+        assert ir.eval_expr(expr, {"x": 1, "y": 3}) == 7
+
+    def test_eval_builtins(self):
+        assert ir.eval_expr(ir.Call("abs", [ir.Const(-4)]), {}) == 4
+        assert ir.eval_expr(
+            ir.Call("max", [ir.Var("a"), ir.Const(2)]), {"a": 9}
+        ) == 9
+        assert ir.eval_expr(ir.Call("sqrt", [ir.Const(9.0)]), {}) == 3.0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ir.BinOp("**", ir.Const(1), ir.Const(2))
+        with pytest.raises(ValueError):
+            ir.Call("mystery", [])
+
+    def test_expr_vars(self):
+        expr = ir.BinOp("-", ir.Var("x"), ir.Call("abs", [ir.Var("y")]))
+        assert ir.expr_vars(expr) == {"x", "y"}
+        assert ir.expr_vars(ir.Const(5)) == set()
+
+    def test_structural_equality(self):
+        a = ir.BinOp("+", ir.Var("x"), ir.Const(1))
+        b = ir.BinOp("+", ir.Var("x"), ir.Const(1))
+        assert a == b and hash(a) == hash(b)
+        assert a != ir.BinOp("+", ir.Var("x"), ir.Const(2))
+
+    def test_const_type_sensitive(self):
+        assert ir.Const(1) != ir.Const(1.0)
+        assert ir.Const(1) != ir.Const(True)
+
+
+class TestAtoms:
+    def test_compare_holds(self):
+        atom = ir.CompareAtom("<=", ir.Var("a"), ir.Const(5))
+        assert atom.holds({"a": 5})
+        assert not atom.holds({"a": 6})
+        assert atom.var_names() == {"a"}
+
+    def test_assign_compute(self):
+        atom = ir.AssignAtom("z", ir.BinOp("*", ir.Var("x"), ir.Const(3)))
+        assert atom.compute({"x": 4}) == 12
+        assert atom.input_vars() == {"x"}
+
+    def test_pred_atom_vars(self):
+        atom = ir.PredAtom("R", [ir.Var("x"), ir.Const(1), ir.Var("x")])
+        assert atom.var_names() == ["x"]
+        assert atom.arity == 3
+
+
+class TestRule:
+    def test_head_vars_plain(self):
+        rule = Rule("h", [ir.Var("a"), ir.Const(1)],
+                    [ir.PredAtom("R", [ir.Var("a"), ir.Var("b")])])
+        assert rule.head_vars() == ["a"]
+
+    def test_head_vars_aggregate_includes_all_bound(self):
+        rule = Rule(
+            "total", [ir.Var("g"), ir.Var("u")],
+            [ir.PredAtom("R", [ir.Var("g"), ir.Var("e"), ir.Var("v")])],
+            agg=AggSpec("sum", "u", "v"), n_keys=1,
+        )
+        assert set(rule.head_vars()) == {"g", "e", "v"}
+        assert "u" not in rule.head_vars()
+
+    def test_body_preds(self):
+        rule = Rule("h", [ir.Var("x")], [
+            ir.PredAtom("A", [ir.Var("x")]),
+            ir.PredAtom("B", [ir.Var("x")], negated=True),
+            ir.CompareAtom("<", ir.Var("x"), ir.Const(9)),
+        ])
+        assert rule.body_preds() == {"A", "B"}
+        assert rule.body_preds(positive_only=True) == {"A"}
+
+    def test_plan_cached(self):
+        rule = Rule("h", [ir.Var("x")], [ir.PredAtom("A", [ir.Var("x")])])
+        assert rule.plan() is rule.plan()
+        assert rule.plan(("x",)) is rule.plan(("x",))
+
+    def test_agg_head_must_end_with_result_var(self):
+        with pytest.raises(ValueError):
+            Rule("t", [ir.Var("u"), ir.Var("g")],
+                 [ir.PredAtom("R", [ir.Var("g"), ir.Var("v")])],
+                 agg=AggSpec("sum", "u", "v"))
+
+    def test_bad_agg_function(self):
+        with pytest.raises(ValueError):
+            AggSpec("median", "u", "v")

@@ -1,0 +1,133 @@
+"""Sensitivity recorders and indexes beyond the Figure 3 golden test."""
+
+from repro.engine.sensitivity import (
+    SensitivityIndex,
+    SensitivityRecorder,
+    canonical_pred,
+)
+from repro.storage.datum import BOTTOM, TOP
+from repro.storage.relation import Delta
+
+
+class TestCanonicalNames:
+    def test_passthrough(self):
+        assert canonical_pred("sales") == "sales"
+        assert canonical_pred("+sales") == "+sales"
+
+    def test_delta_pass_names(self):
+        assert canonical_pred("@new:sales") == "sales"
+        assert canonical_pred("@old:sales") == "sales"
+
+    def test_virtuals_dropped(self):
+        assert canonical_pred("@delta") is None
+        assert canonical_pred("@cand") is None
+        assert canonical_pred("@bound:x") is None
+
+    def test_start_stripped(self):
+        assert canonical_pred("inventory@start") == "inventory"
+        assert canonical_pred("@new:inventory@start") == "inventory"
+
+
+class TestRecorder:
+    def test_contextual_intervals(self):
+        recorder = SensitivityRecorder()
+        recorder.tracker("R", (0, 1), 1, ("a",)).record(1, 5)
+        recorder.tracker("R", (0, 1), 1, ("b",)).record(10, 20)
+        index = recorder.freeze()
+        assert index.tuple_affects("R", ("a", 3))
+        assert not index.tuple_affects("R", ("a", 9))
+        assert index.tuple_affects("R", ("b", 15))
+        assert not index.tuple_affects("R", ("c", 3))
+
+    def test_permuted_lookup(self):
+        recorder = SensitivityRecorder()
+        # recorded under the (1, 0) secondary index
+        recorder.tracker("R", (1, 0), 0, ()).record(5, 5)
+        index = recorder.freeze()
+        # tuple (x, 5) permutes to (5, x): level 0 value is 5
+        assert index.tuple_affects("R", ("x", 5))
+        assert not index.tuple_affects("R", ("x", 6))
+
+    def test_record_point_and_everything(self):
+        recorder = SensitivityRecorder()
+        recorder.record_point("N", ("a", 1))
+        recorder.record_everything("B")
+        index = recorder.freeze()
+        assert index.tuple_affects("N", ("a", 1))
+        assert not index.tuple_affects("N", ("a", 2))
+        assert index.tuple_affects("B", ("anything",))
+
+    def test_record_prefix(self):
+        recorder = SensitivityRecorder()
+        recorder.record_prefix("R", (0, 1), ("k",))
+        index = recorder.freeze()
+        assert index.tuple_affects("R", ("k", 99))
+        assert not index.tuple_affects("R", ("other", 99))
+
+    def test_freeze_cached_until_dirty(self):
+        recorder = SensitivityRecorder()
+        recorder.tracker("R", (0,), 0, ()).record(1, 2)
+        first = recorder.freeze()
+        assert recorder.freeze() is first
+        recorder.tracker("R", (0,), 0, ()).record(5, 6)
+        assert recorder.freeze() is not first
+
+    def test_merge_from(self):
+        a = SensitivityRecorder()
+        a.tracker("R", (0,), 0, ()).record(1, 2)
+        b = SensitivityRecorder()
+        b.tracker("R", (0,), 0, ()).record(10, 12)
+        a.merge_from(b)
+        index = a.freeze()
+        assert index.tuple_affects("R", (1,))
+        assert index.tuple_affects("R", (11,))
+        assert not index.tuple_affects("R", (5,))
+
+    def test_delta_affects(self):
+        recorder = SensitivityRecorder()
+        recorder.tracker("R", (0,), 0, ()).record(10, 20)
+        index = recorder.freeze()
+        assert index.delta_affects("R", Delta.from_iters([(15,)], ()))
+        assert index.delta_affects("R", Delta.from_iters((), [(10,)]))
+        assert not index.delta_affects("R", Delta.from_iters([(5,)], [(25,)]))
+        assert not index.delta_affects("S", Delta.from_iters([(15,)], ()))
+
+
+class TestIntervalRepresentation:
+    def test_touching_intervals_kept_separate(self):
+        recorder = SensitivityRecorder()
+        tracker = recorder.tracker("R", (0,), 0, ())
+        tracker.record(6, 8)
+        tracker.record(8, 10)
+        index = recorder.freeze()
+        assert index.intervals_for("R")[0][()] == [(6, 8), (8, 10)]
+        for value in (6, 7, 8, 9, 10):
+            assert index.tuple_affects("R", (value,))
+        assert not index.tuple_affects("R", (5,))
+        assert not index.tuple_affects("R", (11,))
+
+    def test_overlapping_intervals_merged(self):
+        recorder = SensitivityRecorder()
+        tracker = recorder.tracker("R", (0,), 0, ())
+        tracker.record(1, 10)
+        tracker.record(5, 7)
+        index = recorder.freeze()
+        assert index.intervals_for("R")[0][()] == [(1, 10)]
+
+    def test_unbounded_endpoints(self):
+        recorder = SensitivityRecorder()
+        tracker = recorder.tracker("R", (0,), 0, ())
+        tracker.record(BOTTOM, 3)
+        tracker.record(9, TOP)
+        index = recorder.freeze()
+        assert index.tuple_affects("R", (-(10**9),))
+        assert index.tuple_affects("R", (10**9,))
+        assert not index.tuple_affects("R", (5,))
+
+    def test_string_intervals(self):
+        recorder = SensitivityRecorder()
+        recorder.tracker("R", (0,), 0, ()).record("b", "d")
+        index = recorder.freeze()
+        assert index.tuple_affects("R", ("c",))
+        assert not index.tuple_affects("R", ("a",))
+        assert not index.tuple_affects("R", ("e",))

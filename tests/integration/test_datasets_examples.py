@@ -1,0 +1,110 @@
+"""Dataset generators and the runnable example scripts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import Workspace
+from repro.datasets import (
+    alpha_transactions,
+    erdos_renyi,
+    grid_graph,
+    powerlaw_graph,
+    retail_workload,
+)
+from repro.datasets.retail import load_retail
+from repro.datasets.txnload import item_name, setup_inventory
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+class TestGraphGenerators:
+    def test_powerlaw_shape(self):
+        edges = powerlaw_graph(300, edges_per_node=4, seed=1)
+        assert edges == sorted(set(edges))
+        assert all(a != b for a, b in edges)
+        # symmetric social-graph edges
+        edge_set = set(edges)
+        assert all((b, a) in edge_set for a, b in edges)
+        # heavy tail: max degree far above the median
+        degree = {}
+        for a, _ in edges:
+            degree[a] = degree.get(a, 0) + 1
+        degrees = sorted(degree.values())
+        assert degrees[-1] > 4 * degrees[len(degrees) // 2]
+
+    def test_powerlaw_deterministic(self):
+        assert powerlaw_graph(100, seed=7) == powerlaw_graph(100, seed=7)
+        assert powerlaw_graph(100, seed=7) != powerlaw_graph(100, seed=8)
+
+    def test_erdos_renyi(self):
+        edges = erdos_renyi(50, 200, seed=2)
+        assert len(edges) == 200
+        assert all(a != b for a, b in edges)
+        symmetric = erdos_renyi(20, 30, seed=3, symmetric=True)
+        edge_set = set(symmetric)
+        assert all((b, a) in edge_set for a, b in symmetric)
+
+    def test_grid_has_no_triangles(self):
+        edges = set(grid_graph(5))
+        by_src = {}
+        for a, b in edges:
+            by_src.setdefault(a, set()).add(b)
+        for a, b in edges:
+            assert not (by_src.get(b, set()) & by_src.get(a, set()) - {a, b})
+
+
+class TestRetailWorkload:
+    def test_schema_loads(self):
+        ws = Workspace()
+        data = load_retail(ws, n_skus=3, n_stores=2, n_weeks=4, seed=0)
+        assert len(ws.rows("sku")) == 3
+        assert len(ws.rows("sales")) == 3 * 2 * 4
+        prices = dict(ws.rows("price"))
+        costs = dict(ws.rows("cost"))
+        assert all(costs[s] < prices[s] for s in prices)
+
+    def test_promo_lift_visible(self):
+        data = retail_workload(n_skus=1, n_stores=1, n_weeks=52, seed=4)
+        promo_weeks = {w for _, w in data["promo"]}
+        sales = {w: u for (_, _, w, u) in data["sales"]}
+        lift = sum(sales[w] for w in promo_weeks) / len(promo_weeks)
+        base = sum(u for w, u in sales.items() if w not in promo_weeks) / (
+            52 - len(promo_weeks)
+        )
+        assert lift > 1.3 * base
+
+
+class TestTxnWorkload:
+    def test_alpha_footprint(self):
+        import re
+
+        sources = alpha_transactions(400, 20, alpha=2.0, seed=1)
+        sizes = [len(re.findall(r"\^inventory", s)) for s in sources]
+        mean = sum(sizes) / len(sizes)
+        # expected footprint = alpha * sqrt(n) = 2 * 20 = 40
+        assert 25 < mean < 55
+
+    def test_setup_and_run(self):
+        ws = Workspace()
+        setup_inventory(ws, 10, initial=2)
+        assert len(ws.rows("inventory")) == 10
+        ws.exec(alpha_transactions(10, 1, alpha=1.0, seed=0)[0])
+        values = {v for _, v in ws.rows("inventory")}
+        assert values <= {1, 2}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

@@ -1,0 +1,130 @@
+"""The paper's thesis: one system, mixed workloads (§1, §2.1).
+
+"It is important that the users of the system not be impacted
+negatively as hundreds of these long running transactions are taking
+place along with millions of smaller ones."  This test runs a scaled
+mixed workload — OLTP-style writes, analytical views, what-if
+workbooks, a program change, and an optimization — against ONE
+workspace, checking consistency invariants throughout.
+"""
+
+import random
+
+import pytest
+
+from repro import ConstraintViolation, Workbook, Workspace
+from repro.txn import RepairScheduler
+
+
+@pytest.fixture
+def app():
+    ws = Workspace()
+    ws.addblock(
+        """
+        item(i) -> .
+        onHand[i] = v -> item(i), int(v).
+        price[i] = p -> item(i), float(p).
+        item(i) -> onHand[i] >= 0.
+        stockValue[] = u <- agg<<u = sum(z)>> onHand[i] = v,
+            price[i] = p, z = v * p.
+        lowStock(i) <- onHand[i] = v, v < 3.
+        nLow[] = u <- agg<<u = count(i)>> lowStock(i).
+        """,
+        name="core",
+    )
+    items = ["i{:03d}".format(k) for k in range(30)]
+    # item(i) -> onHand[i] >= 0 is an inclusion dependency: items and
+    # their stock must arrive in one atomic transaction
+    lines = []
+    for k, i in enumerate(items):
+        lines.append('+item("{}").'.format(i))
+        lines.append('+onHand["{}"] = 10.'.format(i))
+        lines.append('+price["{}"] = {}.'.format(i, 2.0 + k * 0.1))
+    ws.exec("\n".join(lines))
+    return ws
+
+
+def check_invariants(ws):
+    on_hand = dict(ws.rows("onHand"))
+    prices = dict(ws.rows("price"))
+    expected_value = sum(on_hand[i] * prices[i] for i in on_hand)
+    [(value,)] = ws.rows("stockValue")
+    assert abs(value - expected_value) < 1e-6
+    low = {i for (i,) in ws.rows("lowStock")}
+    assert low == {i for i, v in on_hand.items() if v < 3}
+    n_low = ws.rows("nLow")
+    assert (n_low[0][0] if n_low else 0) == len(low)
+
+
+class TestMixedWorkload:
+    def test_interleaved_activities(self, app):
+        ws = app
+        rng = random.Random(8)
+        items = [i for (i,) in ws.rows("item")]
+
+        # 1) a stream of small OLTP transactions
+        for _ in range(25):
+            item = rng.choice(items)
+            delta = rng.choice([-2, -1, 1, 2])
+            try:
+                ws.exec(
+                    '^onHand["{0}"] = x <- onHand@start["{0}"] = y, '
+                    "x = y + {1}.".format(item, delta)
+                )
+            except ConstraintViolation:
+                pass  # would have gone negative: correctly rejected
+            check_invariants(ws)
+
+        # 2) a long-running planning workbook, concurrent with writes
+        workbook = Workbook(ws, name="replenishment")
+        workbook.exec(
+            '^onHand["{0}"] = x <- onHand@start["{0}"] = y, '
+            "x = y + 50.".format(items[0])
+        )
+        ws.exec(
+            '^onHand["{0}"] = x <- onHand@start["{0}"] = y, '
+            "x = y + 1.".format(items[1])
+        )
+        check_invariants(ws)  # main untouched by the workbook
+        workbook.commit()
+        check_invariants(ws)
+        assert dict(ws.rows("onHand"))[items[0]] >= 50
+
+        # 3) live programming mid-stream: add a view, keep writing
+        ws.addblock(
+            "valuable(i) <- onHand[i] = v, price[i] = p, v * p > 100.0.",
+            name="analytics",
+        )
+        ws.exec(
+            '^onHand["{0}"] = x <- onHand@start["{0}"] = y, x = y + 5.'.format(
+                items[2]
+            )
+        )
+        check_invariants(ws)
+        on_hand = dict(ws.rows("onHand"))
+        prices = dict(ws.rows("price"))
+        assert {i for (i,) in ws.rows("valuable")} == {
+            i for i in on_hand if on_hand[i] * prices[i] > 100.0
+        }
+
+        # 4) a conflicting batch through the repair scheduler
+        batch = [
+            '^onHand["{0}"] = x <- onHand@start["{0}"] = y, x = y - 1.'.format(
+                rng.choice(items[:5])
+            )
+            for _ in range(8)
+        ]
+        RepairScheduler(ws).run(batch)
+        check_invariants(ws)
+
+        # 5) the analytical state survived everything
+        assert len(ws.rows("onHand")) == len(items)
+
+    def test_rejected_writes_never_leak_into_views(self, app):
+        ws = app
+        [(before,)] = ws.rows("stockValue")
+        with pytest.raises(ConstraintViolation):
+            ws.exec('^onHand["i000"] = 0 - 50 <- .')
+        [(after,)] = ws.rows("stockValue")
+        assert before == after
+        check_invariants(ws)

@@ -1,0 +1,212 @@
+"""Integration: every inline example of the paper, end to end."""
+
+import pytest
+
+from repro import ConstraintViolation, Workspace
+from repro.solver import solve_workspace
+
+
+class TestSection2Examples:
+    def test_profit_rule_both_syntaxes(self):
+        """profit[sku] = z <- sellingPrice - buyingPrice (both forms)."""
+        for source in (
+            """
+            profit[sku] = z <- sellingPrice[sku] = x, buyingPrice[sku] = y,
+                z = x - y.
+            """,
+            "profit[sku] = sellingPrice[sku] - buyingPrice[sku] <- .",
+        ):
+            ws = Workspace()
+            ws.addblock(
+                """
+                sellingPrice[s] = v -> string(s), float(v).
+                buyingPrice[s] = v -> string(s), float(v).
+                """,
+                name="schema",
+            )
+            ws.addblock(source, name="profit")
+            ws.load("sellingPrice", [("pop", 1.5)])
+            ws.load("buyingPrice", [("pop", 1.0)])
+            assert ws.rows("profit") == [("pop", 0.5)]
+
+    def test_total_shelf_p2p_rule(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            Stock[p] = v -> string(p), float(v).
+            spacePerProd[p] = v -> string(p), float(v).
+            totalShelf[] = u <- agg<<u = sum(z)>> Stock[p] = x,
+                spacePerProd[p] = y, z = x * y.
+            """,
+            name="m",
+        )
+        ws.load("Stock", [("a", 2.0), ("b", 4.0)])
+        ws.load("spacePerProd", [("a", 1.0), ("b", 0.5)])
+        assert ws.rows("totalShelf") == [(4.0,)]
+
+    def test_popsicle_discount_reactive_rule(self):
+        """§2.2.1: discount popsicles when January sales were low and a
+        promotion is being created."""
+        ws = Workspace()
+        ws.addblock(
+            """
+            price[p] = v -> string(p), float(v).
+            sales[p, m] = v -> string(p), string(m), int(v).
+            promo(p, m) -> string(p), string(m).
+            """,
+            name="schema",
+        )
+        ws.load("price", [("Popsicle", 1.0)])
+        ws.load("sales", [("Popsicle", "2015-01", 40)])
+        ws.exec(
+            """
+            ^price["Popsicle"] = 0.8 * x <- price@start["Popsicle"] = x,
+                sales@start["Popsicle", "2015-01"] < 50,
+                +promo("Popsicle", "2015-01").
+            +promo("Popsicle", "2015-01").
+            """
+        )
+        assert ws.rows("price") == [("Popsicle", 0.8)]
+        assert ws.rows("promo") == [("Popsicle", "2015-01")]
+        # without the promotion delta the discount does not fire
+        ws2 = Workspace()
+        ws2.addblock(
+            """
+            price[p] = v -> string(p), float(v).
+            sales[p, m] = v -> string(p), string(m), int(v).
+            promo(p, m) -> string(p), string(m).
+            """,
+            name="schema",
+        )
+        ws2.load("price", [("Popsicle", 1.0)])
+        ws2.load("sales", [("Popsicle", "2015-01", 40)])
+        ws2.exec(
+            """
+            ^price["Popsicle"] = 0.8 * x <- price@start["Popsicle"] = x,
+                sales@start["Popsicle", "2015-01"] < 50,
+                +promo("Popsicle", "2015-01").
+            """
+        )
+        assert ws2.rows("price") == [("Popsicle", 1.0)]
+
+    def test_sales_delta_fact(self):
+        ws = Workspace()
+        ws.addblock(
+            "sales[p, m] = v -> string(p), string(m), int(v).", name="s"
+        )
+        ws.exec('+sales["Popsicle", "2015-01"] = 122.')
+        assert ws.rows("sales") == [("Popsicle", "2015-01", 122)]
+
+    def test_query_transaction_shape(self):
+        """§2.2.2 query with the designated answer predicate ``_``."""
+        ws = Workspace()
+        ws.addblock(
+            """
+            week_sales[i, w] = v -> string(i), int(w), float(v).
+            week_revenue[i, w] = v -> string(i), int(w), float(v).
+            week_profit[i, w] = v -> string(i), int(w), float(v).
+            """,
+            name="s",
+        )
+        ws.load("week_sales", [("ice", 1, 10.0)])
+        ws.load("week_revenue", [("ice", 1, 20.0)])
+        ws.load("week_profit", [("ice", 1, 5.0)])
+        rows = ws.query(
+            """
+            _(icecream, week, sales, revenue, profit) <-
+                week_sales[icecream, week] = sales,
+                week_revenue[icecream, week] = revenue,
+                week_profit[icecream, week] = profit.
+            """
+        )
+        assert rows == [("ice", 1, 10.0, 20.0, 5.0)]
+
+    def test_sales_yr_addblock_removeblock(self):
+        """§2.2.2 addblock --name salesAgg1 / removeblock salesAgg1."""
+        ws = Workspace()
+        ws.addblock(
+            """
+            Sales[sku, store, wk] = v -> string(sku), string(store),
+                int(wk), float(v).
+            year[wk] = y -> int(wk), int(y).
+            """,
+            name="schema",
+        )
+        ws.load("Sales", [("a", "s", 1, 5.0), ("a", "s", 53, 7.0)])
+        ws.load("year", [(1, 2014), (53, 2015)])
+        ws.addblock(
+            """
+            Sales_yr[sku, store, yr] = z <- agg<<z = sum(s)>>
+                Sales[sku, store, wk] = s, year[wk] = yr.
+            """,
+            name="salesAgg1",
+        )
+        assert ws.rows("Sales_yr") == [
+            ("a", "s", 2014, 5.0), ("a", "s", 2015, 7.0),
+        ]
+        ws.removeblock("salesAgg1")
+        from repro import UnknownPredicate
+
+        with pytest.raises(UnknownPredicate):
+            ws.rows("Sales_yr")
+
+
+class TestFigure2Complete:
+    def test_full_program_with_solve(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            Product(p) -> .
+            spacePerProd[p] = v -> Product(p), float(v).
+            profitPerProd[p] = v -> Product(p), float(v).
+            minStock[p] = v -> Product(p), float(v).
+            maxStock[p] = v -> Product(p), float(v).
+            maxShelf[] = v -> float[64](v).
+            Stock[p] = v -> Product(p), float(v).
+            totalShelf[] = v -> float(v).
+            totalProfit[] = v -> float(v).
+            totalShelf[] = u <- agg<<u = sum(z)>> Stock[p] = x,
+                spacePerProd[p] = y, z = x * y.
+            totalProfit[] = u <- agg<<u = sum(z)>> Stock[p] = x,
+                profitPerProd[p] = y, z = x * y.
+            Product(p) -> Stock[p] >= minStock[p].
+            Product(p) -> Stock[p] <= maxStock[p].
+            totalShelf[] = u, maxShelf[] = v -> u <= v.
+            lang:solve:variable(`Stock).
+            lang:solve:max(`totalProfit).
+            """,
+            name="figure2",
+        )
+        ws.load("Product", [("w",), ("g",)])
+        ws.load("spacePerProd", [("w", 2.0), ("g", 3.0)])
+        ws.load("profitPerProd", [("w", 5.0), ("g", 7.0)])
+        ws.load("minStock", [("w", 1.0), ("g", 1.0)])
+        ws.load("maxStock", [("w", 20.0), ("g", 20.0)])
+        ws.load("maxShelf", [(30.0,)])
+        result, _ = solve_workspace(ws)
+        assert result.ok
+        stock = dict(ws.rows("Stock"))
+        assert stock["w"] >= 1.0 - 1e-9 and stock["g"] >= 1.0 - 1e-9
+        shelf = ws.rows("totalShelf")[0][0]
+        assert shelf <= 30.0 + 1e-6
+        # all constraints hold on the written-back solution; clearing
+        # the solution and tightening the shelf makes the model
+        # infeasible (minStock requires more space than the shelf has)
+        ws.load("Stock", [], remove=ws.rows("Stock"))
+        ws.load("maxShelf", [(4.0,)], remove=[(30.0,)])
+        result2, _ = solve_workspace(ws, write_back=False)
+        assert result2.status == "infeasible"
+
+    def test_meta_engine_frame_rule_example(self):
+        """§3.3's need_frame_rule meta-rule over installed blocks."""
+        ws = Workspace()
+        ws.addblock(
+            """
+            inv[s] = v -> string(s), int(v).
+            req(s) -> string(s).
+            +inv[s] = 1 <- req(s).
+            """,
+            name="reactive",
+        )
+        meta = ws.state.meta_state
+        assert "inv" in meta.members("need_frame_rule")

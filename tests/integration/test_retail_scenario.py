@@ -1,0 +1,164 @@
+"""The paper's §2.1 scenario, end to end.
+
+"A user community made up of several hundred merchants, planners,
+supply chain personnel, and store managers ... wants to analyze
+historical sales and promotions data ... plan future promotions,
+predict future sales, and optimize the fulfillment of the demand."
+
+One test class per activity, all on one evolving workspace: reporting
+views, concurrent workbook edits, live model evolution by a power user,
+per-SKU sales prediction, and assortment optimization.
+"""
+
+import pytest
+
+from repro import Workbook, Workspace
+from repro.datasets.retail import load_retail, retail_workload
+from repro.ml import ModelStore, run_predict_rules
+from repro.solver import solve_workspace
+from repro.txn import RepairScheduler
+
+
+@pytest.fixture(scope="module")
+def app():
+    ws = Workspace()
+    data = load_retail(ws, n_skus=6, n_stores=2, n_weeks=26, seed=11)
+    ws.addblock(
+        """
+        skuRevenue[s] = u <- agg<<u = sum(z)>> sales[s, t, w] = n,
+            price[s] = p, z = n * p.
+        totalRevenue[] = u <- agg<<u = sum(v)>> skuRevenue[s] = v.
+        promoWeeks[s] = u <- agg<<u = count(w)>> promo(s, w).
+        """,
+        name="reporting",
+    )
+    return ws, data
+
+
+class TestAnalysisViews:
+    def test_pivot_style_views(self, app):
+        ws, data = app
+        assert len(ws.rows("skuRevenue")) == 6
+        [(total,)] = ws.rows("totalRevenue")
+        manual = sum(
+            n * dict(data["price"])[s] for (s, t, w, n) in data["sales"]
+        )
+        assert abs(total - manual) < 1e-6
+
+    def test_views_maintained_under_edits(self, app):
+        ws, _ = app
+        [(before,)] = ws.rows("totalRevenue")
+        sku = ws.rows("sku")[0][0]
+        price = dict(ws.rows("price"))[sku]
+        ws.exec(
+            '+sales["{}", "store00", 99] = 10.0.'.format(sku)
+        )
+        [(after,)] = ws.rows("totalRevenue")
+        assert abs(after - (before + 10.0 * price)) < 1e-6
+
+
+class TestConcurrentPlanning:
+    def test_two_planners_in_workbooks(self, app):
+        ws, _ = app
+        sku = ws.rows("sku")[0][0]
+        first = Workbook(ws, name="promo-plan")
+        second = Workbook(ws, name="price-plan")
+        first.exec('+promo("{}", 98).'.format(sku))
+        second.exec(
+            '^price["{0}"] = x <- price@start["{0}"] = y, x = y * 1.1.'.format(sku)
+        )
+        # each sees only its own edits; main sees neither
+        assert (sku, 98) in {tuple(r) for r in first.rows("promo")}
+        assert (sku, 98) not in {tuple(r) for r in ws.rows("promo")}
+        first.commit()
+        second.commit()
+        assert (sku, 98) in {tuple(r) for r in ws.rows("promo")}
+
+    def test_small_transactions_via_repair(self, app):
+        ws, _ = app
+        skus = [s for (s,) in ws.rows("sku")][:4]
+        batch = [
+            '^price["{0}"] = x <- price@start["{0}"] = y, x = y + 0.01.'.format(s)
+            for s in skus + skus  # deliberately conflicting pairs
+        ]
+        scheduler = RepairScheduler(ws)
+        before = dict(ws.rows("price"))
+        scheduler.run(batch)
+        after = dict(ws.rows("price"))
+        for sku in skus:
+            assert abs(after[sku] - (before[sku] + 0.02)) < 1e-9
+        assert scheduler.stats["repairs"] >= len(skus)
+
+
+class TestSelfService:
+    def test_power_user_evolves_model(self, app):
+        ws, _ = app
+        ws.addblock(
+            "margin[s] = m <- price[s] = p, cost[s] = c, m = p - c.",
+            name="margin-metric",
+        )
+        first = dict(ws.rows("margin"))
+        ws.addblock(
+            "margin[s] = m <- price[s] = p, cost[s] = c, m = (p - c) / p.",
+            name="margin-metric",
+        )
+        second = dict(ws.rows("margin"))
+        assert set(first) == set(second)
+        assert all(0 < second[s] < 1 for s in second)
+        ws.removeblock("margin-metric")
+
+
+class TestPredictAndOptimize:
+    def test_predict_demand(self, app):
+        ws, _ = app
+        ws.addblock(
+            """
+            demandModel[s, t] = m <- predict m = linear(v|f)
+                sales[s, t, w] = v, feature[s, t, w, n] = f.
+            """,
+            name="predict",
+        )
+        run_predict_rules(ws)
+        models = ws.rows("demandModel")
+        assert len(models) == 12
+        model = ModelStore.get(models[0][2])
+        assert len(model.coef_) == 2  # promo + season features
+
+    def test_optimize_fulfillment(self, app):
+        ws, _ = app
+        ws.addblock(
+            """
+            Product(p) -> .
+            unitProfit[p] = v -> Product(p), float(v).
+            unitSpace[p] = v -> Product(p), float(v).
+            order[p] = v -> Product(p), float(v).
+            capacity[] = v -> float(v).
+            usedSpace[] = u <- agg<<u = sum(z)>> order[p] = x,
+                unitSpace[p] = y, z = x * y.
+            plannedProfit[] = u <- agg<<u = sum(z)>> order[p] = x,
+                unitProfit[p] = y, z = x * y.
+            Product(p) -> order[p] >= 0.
+            Product(p) -> order[p] <= 100.
+            usedSpace[] = u, capacity[] = v -> u <= v.
+            lang:solve:variable(`order).
+            lang:solve:max(`plannedProfit).
+            """,
+            name="fulfillment",
+        )
+        skus = [s for (s,) in ws.rows("sku")]
+        prices = dict(ws.rows("price"))
+        costs = dict(ws.rows("cost"))
+        ws.load("Product", [(s,) for s in skus])
+        ws.load("unitProfit", [(s, prices[s] - costs[s]) for s in skus])
+        ws.load("unitSpace", dict(ws.rows("spacePerSku")).items())
+        ws.load("capacity", [(150.0,)])
+        result, _ = solve_workspace(ws)
+        assert result.ok
+        [(used,)] = ws.rows("usedSpace")
+        assert used <= 150.0 + 1e-6
+        orders = dict(ws.rows("order"))
+        # the highest profit-per-space sku is ordered
+        density = {s: (prices[s] - costs[s]) / dict(ws.rows("unitSpace"))[s]
+                   for s in skus}
+        best = max(density, key=density.get)
+        assert orders[best] > 0

@@ -1,0 +1,132 @@
+"""Language-level property tests: declarativity and order-independence.
+
+Paper T1: "The semantics of a LogiQL program is largely independent of
+the order in which elements of the program appear."  These tests check
+that clause order, body-atom order, and block partitioning do not
+change the materialized state.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Workspace
+
+SCHEMA = """
+e(x, y) -> int(x), int(y).
+v(x) -> int(x).
+"""
+
+RULES = [
+    "tri(a, b, c) <- e(a, b), e(b, c), e(a, c).",
+    "deg[x] = u <- agg<<u = count(y)>> e(x, y).",
+    "isolated(x) <- v(x), !e(x, w).",
+    "tc(x, y) <- e(x, y).",
+    "tc(x, z) <- tc(x, y), e(y, z).",
+]
+
+EDGES = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 1)]
+NODES = [(i,) for i in range(1, 7)]
+
+
+def materialize(rule_order, body_shuffle_seed=None):
+    rules = list(rule_order)
+    if body_shuffle_seed is not None:
+        rng = random.Random(body_shuffle_seed)
+
+        def shuffle_body(rule):
+            head, _, body = rule.partition("<-")
+            if "agg<<" in rule or not body.strip(" ."):
+                return rule
+            atoms = [a.strip() for a in body.strip(" .").split("),")]
+            atoms = [a if a.endswith(")") else a + ")" for a in atoms]
+            rng.shuffle(atoms)
+            return head + "<- " + ", ".join(atoms) + "."
+
+        rules = [shuffle_body(r) for r in rules]
+    ws = Workspace()
+    ws.addblock(SCHEMA, name="schema")
+    ws.addblock("\n".join(rules), name="rules")
+    ws.load("e", EDGES)
+    ws.load("v", NODES)
+    return {
+        pred: tuple(ws.rows(pred))
+        for pred in ("tri", "deg", "isolated", "tc")
+    }
+
+
+BASELINE = materialize(RULES)
+
+
+class TestOrderIndependence:
+    def test_clause_order_irrelevant(self):
+        for permutation in itertools.islice(
+            itertools.permutations(RULES), 0, 24, 5
+        ):
+            assert materialize(permutation) == BASELINE
+
+    def test_body_atom_order_irrelevant(self):
+        for seed in range(5):
+            assert materialize(RULES, body_shuffle_seed=seed) == BASELINE
+
+    def test_block_partitioning_irrelevant(self):
+        ws = Workspace()
+        ws.addblock(SCHEMA, name="schema")
+        for index, rule in enumerate(RULES):
+            # tc's two rules must land together (one block per predicate
+            # definition); everything else goes in its own block
+            if index == 3:
+                ws.addblock(RULES[3] + "\n" + RULES[4], name="tc")
+            elif index == 4:
+                continue
+            else:
+                ws.addblock(rule, name="rule-{}".format(index))
+        ws.load("e", EDGES)
+        ws.load("v", NODES)
+        state = {
+            pred: tuple(ws.rows(pred))
+            for pred in ("tri", "deg", "isolated", "tc")
+        }
+        assert state == BASELINE
+
+    def test_data_before_or_after_logic(self):
+        ws = Workspace()
+        ws.addblock(SCHEMA, name="schema")
+        ws.load("e", EDGES)
+        ws.load("v", NODES)
+        ws.addblock("\n".join(RULES), name="rules")  # logic after data
+        state = {
+            pred: tuple(ws.rows(pred))
+            for pred in ("tri", "deg", "isolated", "tc")
+        }
+        assert state == BASELINE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(RULES))
+def test_any_clause_permutation(permutation):
+    assert materialize(list(permutation)) == BASELINE
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12),
+)
+def test_exec_insert_order_irrelevant(edges):
+    edges = sorted(edges)
+    one_shot = Workspace()
+    one_shot.addblock(SCHEMA + RULES[0], name="p")
+    one_shot.load("e", edges)
+    stepwise = Workspace()
+    stepwise.addblock(SCHEMA + RULES[0], name="p")
+    shuffled = list(edges)
+    random.Random(1).shuffle(shuffled)
+    for a, b in shuffled:
+        stepwise.exec("+e({}, {}).".format(a, b))
+    assert one_shot.rows("tri") == stepwise.rows("tri")
+    assert one_shot.relation("e") == stepwise.relation("e")
+    # versions reached by different routes have equal structural hashes
+    assert (one_shot.relation("e").structural_hash()
+            == stepwise.relation("e").structural_hash())

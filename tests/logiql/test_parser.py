@@ -1,0 +1,207 @@
+"""Parser tests: every clause form of §2.2, including paper examples."""
+
+import pytest
+
+from repro.logiql import ast
+from repro.logiql.parser import ParseError, parse_clause, parse_program
+
+
+class TestRules:
+    def test_plain_rule(self):
+        clause = parse_clause("p(x, y) <- q(x, z), r(z, y).")
+        assert isinstance(clause, ast.RuleClause)
+        assert clause.head == ast.RelAtom("p", [ast.VarT("x"), ast.VarT("y")])
+        assert len(clause.body) == 2
+
+    def test_functional_heads(self):
+        clause = parse_clause("profit[sku] = z <- sellingPrice[sku] = x, "
+                              "buyingPrice[sku] = y, z = x - y.")
+        assert isinstance(clause.head, ast.FuncAtom)
+        assert clause.head.pred == "profit"
+        assert clause.head.keys == (ast.VarT("sku"),)
+
+    def test_abbreviated_functional_syntax(self):
+        clause = parse_clause(
+            "profit[sku] = sellingPrice[sku] - buyingPrice[sku] <- ."
+        )
+        value = clause.head.value
+        assert isinstance(value, ast.Arith) and value.op == "-"
+        assert isinstance(value.left, ast.FuncTerm)
+
+    def test_fact(self):
+        clause = parse_clause('city("Melbourne").')
+        assert isinstance(clause, ast.RuleClause)
+        assert clause.body == ()
+
+    def test_empty_body_rule(self):
+        clause = parse_clause("p(1) <- .")
+        assert clause.body == ()
+
+    def test_aggregation(self):
+        clause = parse_clause(
+            "totalShelf[] = u <- agg<<u = sum(z)>> Stock[p] = x, "
+            "spacePerProd[p] = y, z = x * y."
+        )
+        assert clause.agg == ast.AggClause("u", "sum", ast.VarT("z"))
+        assert len(clause.body) == 3
+
+    def test_plus_equals_sugar(self):
+        clause = parse_clause("totalShelf[] += Stock[p] * spacePerProd[p].")
+        assert clause.agg is not None and clause.agg.fn == "sum"
+        assert isinstance(clause.agg.value, ast.Arith)
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("x[] = u <- agg<<u = median(z)>> p(z).")
+
+    def test_predict_rule(self):
+        clause = parse_clause(
+            "SM[sku, store] = m <- predict m = logist(v|f) "
+            "Sales[sku, store, wk] = v, Feature[sku, store, n] = f."
+        )
+        assert clause.predict == ast.PredictClause(
+            "m", "logist", ast.VarT("v"), ast.VarT("f")
+        )
+
+    def test_flip_head(self):
+        clause = parse_clause("Promotion[p] = Flip[0.01] <- .")
+        assert isinstance(clause.head.value, ast.FlipT)
+        assert clause.head.value.param == ast.NumT(0.01)
+
+
+class TestReactiveRules:
+    def test_delta_fact(self):
+        clause = parse_clause('+sales["Popsicle", "2015-01"] = 122.')
+        assert clause.head.delta == "+"
+        assert clause.head.keys == (ast.StrT("Popsicle"), ast.StrT("2015-01"))
+
+    def test_paper_discount_rule(self):
+        clause = parse_clause(
+            '^price["Popsicle"] = 0.8 * x <- price@start["Popsicle"] = x, '
+            'sales@start["Popsicle", "2015-01"] < 50, '
+            '+promo("Popsicle", "2015-01").'
+        )
+        assert clause.head.delta == "^"
+        at_start = [a for a in clause.body
+                    if getattr(a, "at_start", False)]
+        assert len(at_start) >= 1
+        plus_atoms = [a for a in clause.body
+                      if getattr(a, "delta", None) == "+"]
+        assert len(plus_atoms) == 1
+
+    def test_minus_delta(self):
+        clause = parse_clause("-R(x) <- S(x).")
+        assert clause.head.delta == "-"
+
+
+class TestConstraints:
+    def test_type_declaration(self):
+        clause = parse_clause("spacePerProd[p] = v -> Product(p), float(v).")
+        assert isinstance(clause, ast.ConstraintClause)
+        assert isinstance(clause.rhs[1], ast.TypeAtom)
+
+    def test_sized_type(self):
+        clause = parse_clause("maxShelf[] = v -> float[64](v).")
+        assert isinstance(clause.rhs[0], ast.TypeAtom)
+        assert clause.rhs[0].type_name == "float"
+
+    def test_entity_declaration(self):
+        clause = parse_clause("Product(p) -> .")
+        assert isinstance(clause, ast.ConstraintClause)
+        assert clause.rhs == ()
+
+    def test_inclusion_dependency(self):
+        clause = parse_clause("Product(p) -> Stock[p] = _.")
+        assert isinstance(clause.rhs[0], ast.FuncAtom)
+        assert isinstance(clause.rhs[0].value, ast.Wildcard)
+
+    def test_comparison_constraint(self):
+        clause = parse_clause("totalShelf[] = u, maxShelf[] = v -> u <= v.")
+        assert len(clause.lhs) == 2
+        assert isinstance(clause.rhs[0], ast.Comparison)
+
+    def test_functional_terms_in_constraints(self):
+        clause = parse_clause("Product(p) -> Stock[p] >= minStock[p].")
+        comparison = clause.rhs[0]
+        assert isinstance(comparison.left, ast.FuncTerm)
+        assert isinstance(comparison.right, ast.FuncTerm)
+
+    def test_soft_constraint_weight(self):
+        clause = parse_clause("2.5 : Customer(c), Promoted(p) -> Purchase(c, p).")
+        assert clause.weight == 2.5
+
+    def test_weight_on_rule_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("1.0 : p(x) <- q(x).")
+
+
+class TestDirectivesAndMisc:
+    def test_solve_directives(self):
+        clause = parse_clause("lang:solve:variable(`Stock).")
+        assert isinstance(clause, ast.DirectiveClause)
+        assert clause.name == "lang:solve:variable"
+        assert clause.args == (ast.PredRef("Stock"),)
+
+    def test_negation(self):
+        clause = parse_clause("lang_edb(n) <- lang_predname(n), !lang_idb(n).")
+        assert clause.body[1].negated
+
+    def test_wildcards(self):
+        clause = parse_clause("p(x) <- q(x, _).")
+        assert isinstance(clause.body[0].terms[1], ast.Wildcard)
+
+    def test_unary_minus(self):
+        clause = parse_clause("p(x) <- q(x, y), y > -5.")
+        comparison = clause.body[1]
+        assert comparison.right == ast.NumT(-5)
+
+    def test_arith_precedence(self):
+        clause = parse_clause("f[x] = v <- g[x] = a, v = a + 2 * 3.")
+        # find the v = ... comparison
+        comparison = clause.body[1]
+        assert isinstance(comparison.right, ast.Arith)
+        assert comparison.right.op == "+"
+        assert comparison.right.right.op == "*"
+
+    def test_parenthesized(self):
+        clause = parse_clause("f[x] = v <- g[x] = a, v = (a + 2) * 3.")
+        comparison = clause.body[1]
+        assert comparison.right.op == "*"
+
+    def test_builtin_calls(self):
+        clause = parse_clause("f[x] = v <- g[x] = a, v = abs(a).")
+        comparison = clause.body[1]
+        assert isinstance(comparison.right, ast.CallT)
+
+    def test_program_parse(self):
+        program = parse_program("a(x) -> int(x). b(x) <- a(x). c(1).")
+        assert len(program.clauses) == 3
+
+    def test_errors_carry_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(x <- q(x).")
+        assert "line 1" in str(excinfo.value)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(x) <- q(x). extra")
+
+    def test_figure2_parses_fully(self):
+        program = parse_program("""
+        spacePerProd[p] = v -> Product(p), float(v).
+        profitPerProd[p] = v -> Product(p), float(v).
+        minStock[p] = v -> Product(p), float(v).
+        maxStock[p] = v -> Product(p), float(v).
+        maxShelf[] = v -> float[64](v).
+        Stock[p] = v -> Product(p), float(v).
+        totalShelf[] = v -> float(v).
+        totalProfit[] = v -> float(v).
+        totalShelf[] = u <- agg<<u = sum(z)>> Stock[p] = x,
+            spacePerProd[p] = y, z = x * y.
+        totalProfit[] = u <- agg<<u = sum(z)>> Stock[p] = x,
+            profitPerProd[p] = y, z = x * y.
+        Product(p) -> Stock[p] >= minStock[p].
+        Product(p) -> Stock[p] <= maxStock[p].
+        totalShelf[] = u, maxShelf[] = v -> u <= v.
+        """)
+        assert len(program.clauses) == 13

@@ -1,0 +1,88 @@
+"""LogiQL query-level feature coverage through the workspace API."""
+
+import pytest
+
+from repro import TransactionAborted, Workspace
+
+
+@pytest.fixture
+def graph():
+    ws = Workspace()
+    ws.addblock(
+        """
+        e(x, y) -> int(x), int(y).
+        label[x] = s -> int(x), string(s).
+        """,
+        name="g",
+    )
+    ws.load("e", [(1, 2), (2, 3), (3, 1), (1, 3), (4, 4)])
+    ws.load("label", [(1, "a"), (2, "b"), (3, "c"), (4, "d")])
+    return ws
+
+
+class TestQueryShapes:
+    def test_joins_and_filters(self, graph):
+        rows = graph.query("_(x, z) <- e(x, y), e(y, z), x < z.")
+        expected = {(x, z) for (x, y) in graph.rows("e")
+                    for (y2, z) in graph.rows("e") if y == y2 and x < z}
+        assert set(rows) == expected
+
+    def test_self_loops(self, graph):
+        assert graph.query("_(x) <- e(x, x).") == [(4,)]
+
+    def test_negation_in_query(self, graph):
+        rows = graph.query("_(x) <- label[x] = s, !e(x, w).")
+        assert rows == []  # every labelled node has an out-edge
+        graph.exec('+label[9] = "z".')
+        assert graph.query("_(x) <- label[x] = s, !e(x, w).") == [(9,)]
+
+    def test_arithmetic_and_builtins(self, graph):
+        rows = graph.query(
+            "_(x, d) <- e(x, y), d = abs(x - y), d > 1."
+        )
+        assert set(rows) == {(1, 2), (3, 2)}
+
+    def test_string_join(self, graph):
+        rows = graph.query(
+            '_(s1, s2) <- e(x, y), label[x] = s1, label[y] = s2, s1 < s2.'
+        )
+        assert ("a", "b") in set(rows)
+
+    def test_recursive_query(self, graph):
+        rows = graph.query(
+            """
+            reach(x, y) <- e(x, y).
+            reach(x, z) <- reach(x, y), e(y, z).
+            _(y) <- reach(1, y).
+            """
+        )
+        assert set(rows) == {(1,), (2,), (3,)}
+
+    def test_aggregate_query(self, graph):
+        rows = graph.query(
+            """
+            deg[x] = u <- agg<<u = count(y)>> e(x, y).
+            _(x, u) <- deg[x] = u, u >= 2.
+            """
+        )
+        assert set(rows) == {(1, 2)}
+
+    def test_constants_in_query(self, graph):
+        assert graph.query("_(y) <- e(1, y).") == [(2,), (3,)]
+        assert graph.query('_(x) <- label[x] = "c".') == [(3,)]
+
+    def test_answer_predicate_selection(self, graph):
+        rows = graph.query(
+            "hops(x, y) <- e(x, y).", answer="hops"
+        )
+        assert len(rows) == 5
+
+    def test_empty_result(self, graph):
+        assert graph.query("_(x) <- e(x, y), x > 100.") == []
+
+    def test_unknown_body_pred_defaults_empty(self, graph):
+        assert graph.query("_(x) <- never_written(x).") == []
+
+    def test_cartesian_query(self, graph):
+        rows = graph.query("_(x, y) <- e(x, x), label[y] = s.")
+        assert len(rows) == 4  # 1 self-loop × 4 labels

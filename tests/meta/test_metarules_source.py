@@ -1,0 +1,70 @@
+"""The meta-rules themselves: they are LogiQL, run on this engine."""
+
+from repro.engine.evaluator import RuleSet
+from repro.logiql.compiler import compile_program
+from repro.meta.metarules import META_BASE_PREDS, META_RULES_SOURCE
+
+
+class TestMetaRulesAreLogiQL:
+    def test_source_compiles(self):
+        block = compile_program(META_RULES_SOURCE)
+        assert len(block.rules) >= 20  # the representative subset
+        assert not block.reactive_rules
+        assert not block.constraints
+
+    def test_stratifies(self):
+        block = compile_program(META_RULES_SOURCE)
+        ruleset = RuleSet(block.rules)
+        assert ruleset.strata  # no StratificationError
+
+    def test_uses_negation_and_recursion(self):
+        """The paper's two signature features of the meta-rules."""
+        from repro.engine.ir import PredAtom
+
+        block = compile_program(META_RULES_SOURCE)
+        negated = [
+            atom
+            for rule in block.rules
+            for atom in rule.body
+            if isinstance(atom, PredAtom) and atom.negated
+        ]
+        assert negated  # lang_edb(p) <- lang_predname(p), !lang_idb(p).
+        ruleset = RuleSet(block.rules)
+        assert any(ruleset.recursive_flags)  # depends_tc / need_revision
+
+    def test_derives_expected_meta_predicates(self):
+        block = compile_program(META_RULES_SOURCE)
+        heads = {rule.head_pred for rule in block.rules}
+        expected = {
+            "lang_idb", "lang_edb", "need_frame_rule", "depends",
+            "depends_tc", "need_revision", "recursive_pred", "agg_pred",
+            "bad_agg_recursion", "bad_neg_recursion", "multi_block_pred",
+            "must_materialize", "may_unmaterialize", "sampling_site",
+            "undefined_pred",
+        }
+        assert expected <= heads
+
+    def test_base_preds_cover_rule_bodies(self):
+        """Every body predicate is either a base meta-predicate or a
+        derived one — the meta-program is closed."""
+        from repro.engine.ir import PredAtom
+
+        block = compile_program(META_RULES_SOURCE)
+        heads = {rule.head_pred for rule in block.rules}
+        for rule in block.rules:
+            for atom in rule.body:
+                if isinstance(atom, PredAtom):
+                    assert atom.pred in heads or atom.pred in META_BASE_PREDS, (
+                        atom.pred
+                    )
+
+    def test_edb_inference_matches_paper_example(self):
+        """The paper's exact meta-rule:
+        lang_edb(name) <- lang_predname(name), !lang_idb(name)."""
+        from repro.engine.ir import PredAtom
+
+        block = compile_program(META_RULES_SOURCE)
+        [rule] = [r for r in block.rules if r.head_pred == "lang_edb"]
+        preds = {(a.pred, a.negated) for a in rule.body
+                 if isinstance(a, PredAtom)}
+        assert preds == {("lang_predname", False), ("lang_idb", True)}

@@ -1,0 +1,139 @@
+"""Tests for the from-scratch ML library."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianKDE,
+    GaussianNaiveBayes,
+    KMeans,
+    LinearRegression,
+    LogisticRegression,
+    PCA,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [2, -1, 0.5], atol=1e-6)
+        assert abs(model.intercept_ - 3.0) < 1e-6
+        assert model.score(X, y) > 0.9999
+
+    def test_1d_input(self):
+        model = LinearRegression().fit([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert abs(model.coef_[0] - 2.0) < 1e-6
+        assert np.allclose(model.predict([4.0]), [8.0])
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1, 2], atol=1e-6)
+
+    def test_collinear_columns_stable(self, rng):
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x])  # perfectly collinear
+        y = 3 * x
+        model = LinearRegression(ridge=1e-6).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-3)
+
+
+class TestLogisticRegression:
+    def test_separable(self, rng):
+        X = rng.normal(size=(400, 2))
+        y = (X[:, 0] + 2 * X[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_probabilities_calibrated_direction(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = (X[:, 0] > 0).astype(float)
+        model = LogisticRegression().fit(X, y)
+        assert model.predict_proba([[3.0]])[0] > 0.9
+        assert model.predict_proba([[-3.0]])[0] < 0.1
+
+    def test_extreme_inputs_no_overflow(self):
+        model = LogisticRegression().fit([[0.0], [1.0]], [0.0, 1.0])
+        assert np.isfinite(model.predict_proba([[1e6], [-1e6]])).all()
+
+
+class TestKMeans:
+    def test_separated_clusters(self, rng):
+        a = rng.normal(loc=(0, 0), scale=0.2, size=(40, 2))
+        b = rng.normal(loc=(10, 10), scale=0.2, size=(40, 2))
+        model = KMeans(2, seed=1).fit(np.vstack([a, b]))
+        labels = model.predict(np.vstack([a, b]))
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_centers_near_truth(self, rng):
+        points = np.vstack([
+            rng.normal(loc=(0,), scale=0.1, size=(50, 1)),
+            rng.normal(loc=(5,), scale=0.1, size=(50, 1)),
+        ])
+        model = KMeans(2, seed=2).fit(points)
+        centers = sorted(model.centers_[:, 0])
+        assert abs(centers[0] - 0.0) < 0.3
+        assert abs(centers[1] - 5.0) < 0.3
+
+
+class TestKDE:
+    def test_peak_at_data(self, rng):
+        model = GaussianKDE().fit(rng.normal(size=1000))
+        densities = model.score_samples([0.0, 4.0])
+        assert densities[0] > densities[1]
+        assert abs(densities[0] - 0.3989) < 0.08  # N(0,1) mode density
+
+    def test_explicit_bandwidth(self):
+        model = GaussianKDE(bandwidth=0.5).fit([0.0, 1.0])
+        assert model.score_samples([0.5])[0] > 0
+
+    def test_multivariate(self, rng):
+        model = GaussianKDE().fit(rng.normal(size=(300, 2)))
+        inside, outside = model.score_samples([[0.0, 0.0], [5.0, 5.0]])
+        assert inside > outside
+
+
+class TestPCA:
+    def test_dominant_direction(self, rng):
+        t = np.linspace(0, 1, 200)
+        X = np.column_stack([t, 2 * t + rng.normal(scale=1e-3, size=200)])
+        model = PCA(1).fit(X)
+        assert model.explained_variance_ratio_[0] > 0.999
+        direction = model.components_[0]
+        assert abs(abs(direction[1] / direction[0]) - 2.0) < 0.01
+
+    def test_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        model = PCA(3).fit(X)
+        assert np.allclose(model.inverse_transform(model.transform(X)), X,
+                           atol=1e-8)
+
+
+class TestNaiveBayes:
+    def test_classification(self, rng):
+        a = rng.normal(loc=(0, 0), scale=0.5, size=(60, 2))
+        b = rng.normal(loc=(4, 4), scale=0.5, size=(60, 2))
+        X = np.vstack([a, b])
+        y = np.array(["a"] * 60 + ["b"] * 60)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.98
+        probabilities = model.predict_proba([[0, 0]])
+        assert probabilities[0][list(model.classes_).index("a")] > 0.95
+
+    def test_priors_reflected(self, rng):
+        X = np.vstack([rng.normal(size=(90, 1)), rng.normal(size=(10, 1))])
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        # identical likelihoods -> prior dominates
+        assert model.predict([[0.0]])[0] == 0

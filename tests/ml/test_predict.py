@@ -1,0 +1,127 @@
+"""predict P2P rules: learn and eval modes over workspaces."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import Workspace
+from repro.ml import ModelStore, run_predict_rules
+
+SCHEMA = """
+Sales[sku, store, wk] = v -> string(sku), string(store), int(wk), float(v).
+Feature[sku, store, wk, n] = v -> string(sku), string(store), int(wk),
+    string(n), float(v).
+"""
+
+
+def make_training_ws(coefs_by_sku, n_weeks=40, seed=1):
+    ws = Workspace()
+    ws.addblock(SCHEMA, name="schema")
+    rng = random.Random(seed)
+    sales, features = [], []
+    for sku, (c1, c2, bias) in coefs_by_sku.items():
+        for wk in range(n_weeks):
+            x1, x2 = rng.random(), rng.random()
+            sales.append((sku, "s1", wk, c1 * x1 + c2 * x2 + bias))
+            features.append((sku, "s1", wk, "x1", x1))
+            features.append((sku, "s1", wk, "x2", x2))
+    ws.load("Sales", sales)
+    ws.load("Feature", features)
+    return ws
+
+
+class TestLearning:
+    def test_per_group_linear_models(self):
+        ws = make_training_ws({"a": (2.0, 5.0, 1.0), "b": (-1.0, 3.0, 0.0)})
+        ws.addblock(
+            """
+            SM[sku, store] = m <- predict m = linear(v|f)
+                Sales[sku, store, wk] = v, Feature[sku, store, wk, n] = f.
+            """,
+            name="learn",
+        )
+        run_predict_rules(ws)
+        models = {(s, t): h for s, t, h in ws.rows("SM")}
+        assert set(models) == {("a", "s1"), ("b", "s1")}
+        model_a = ModelStore.get(models[("a", "s1")])
+        assert np.allclose(model_a.coef_, [2.0, 5.0], atol=1e-6)
+        assert abs(model_a.intercept_ - 1.0) < 1e-6
+        model_b = ModelStore.get(models[("b", "s1")])
+        assert np.allclose(model_b.coef_, [-1.0, 3.0], atol=1e-6)
+
+    def test_logistic_binarizes_continuous_targets(self):
+        ws = make_training_ws({"a": (10.0, 0.0, 0.0)})
+        ws.addblock(
+            """
+            SM[sku, store] = m <- predict m = logist(v|f)
+                Sales[sku, store, wk] = v, Feature[sku, store, wk, n] = f.
+            """,
+            name="learn",
+        )
+        run_predict_rules(ws)
+        handle = ws.rows("SM")[0][2]
+        model = ModelStore.get(handle)
+        # high x1 -> above-average sales
+        assert model.predict_proba([[0.95, 0.5]])[0] > 0.5
+        assert model.predict_proba([[0.05, 0.5]])[0] < 0.5
+
+    def test_relearning_replaces_models(self):
+        ws = make_training_ws({"a": (1.0, 0.0, 0.0)})
+        ws.addblock(
+            """
+            SM[sku, store] = m <- predict m = linear(v|f)
+                Sales[sku, store, wk] = v, Feature[sku, store, wk, n] = f.
+            """,
+            name="learn",
+        )
+        run_predict_rules(ws)
+        first = ws.rows("SM")
+        run_predict_rules(ws)
+        second = ws.rows("SM")
+        assert len(second) == 1
+        assert first != second  # fresh handle per learning run
+
+
+class TestEvaluation:
+    def test_paper_shape_learn_then_eval(self):
+        ws = make_training_ws({"a": (3.0, -2.0, 0.5)})
+        ws.addblock(
+            """
+            SM[sku, store] = m <- predict m = linear(v|f)
+                Sales[sku, store, wk] = v, Feature[sku, store, wk, n] = f.
+            """,
+            name="learn",
+        )
+        run_predict_rules(ws)
+        # eval against a per-(sku,store) feature summary (paper §2.3.2)
+        ws.addblock(
+            """
+            AvgFeature[sku, store, n] = v -> string(sku), string(store),
+                string(n), float(v).
+            SalesPred[sku, store] = v <- predict v = eval(m|f)
+                SM[sku, store] = m, AvgFeature[sku, store, n] = f.
+            """,
+            name="eval",
+        )
+        ws.load("AvgFeature", [("a", "s1", "x1", 0.5), ("a", "s1", "x2", 0.5)])
+        run_predict_rules(ws)
+        [(sku, store, prediction)] = ws.rows("SalesPred")
+        assert (sku, store) == ("a", "s1")
+        assert abs(prediction - (3.0 * 0.5 - 2.0 * 0.5 + 0.5)) < 1e-6
+
+
+class TestErrors:
+    def test_unknown_fn(self):
+        ws = make_training_ws({"a": (1.0, 0.0, 0.0)})
+        ws.addblock(
+            """
+            SM[sku, store] = m <- predict m = mystery(v|f)
+                Sales[sku, store, wk] = v, Feature[sku, store, wk, n] = f.
+            """,
+            name="learn",
+        )
+        from repro.ml.predict import PredictError
+
+        with pytest.raises(PredictError):
+            run_predict_rules(ws)

@@ -1,0 +1,124 @@
+"""MLN soft constraints and MAP inference (§2.3.3)."""
+
+import math
+
+import pytest
+
+from repro import Workspace
+from repro.prob import MLN
+from repro.prob.mln import MLNError
+
+
+def paper_workspace():
+    ws = Workspace()
+    ws.addblock(
+        """
+        Customer(c) -> .
+        Item(p) -> .
+        Promoted(p) -> Item(p).
+        Similar(p, q) -> Item(p), Item(q).
+        Friends(c, d) -> Customer(c), Customer(d).
+        Purchase(c, p) -> Customer(c), Item(p).
+        1.5 : Customer(c), Promoted(p) -> Purchase(c, p).
+        0.5 : Customer(c), Promoted(q), Similar(p, q) -> !Purchase(c, p).
+        1.0 : Purchase(d, p), Friends(c, d) -> Purchase(c, p).
+        0.8 : !Purchase(d, p), Friends(c, d) -> !Purchase(c, p).
+        """,
+        name="mln",
+    )
+    ws.load("Customer", [("ann",), ("bob",)])
+    ws.load("Item", [("tea",), ("coffee",)])
+    ws.load("Promoted", [("tea",)])
+    ws.load("Similar", [("coffee", "tea")])
+    ws.load("Friends", [("bob", "ann")])
+    return ws
+
+
+class TestMAPInference:
+    def test_promoted_items_purchased(self):
+        assignment, _ = MLN(paper_workspace(), ["Purchase"]).map_inference()
+        purchases = assignment["Purchase"]
+        assert ("ann", "tea") in purchases
+        assert ("bob", "tea") in purchases
+
+    def test_similar_item_discouraged(self):
+        assignment, _ = MLN(paper_workspace(), ["Purchase"]).map_inference()
+        assert ("ann", "coffee") not in assignment["Purchase"]
+        assert ("bob", "coffee") not in assignment["Purchase"]
+
+    def test_map_maximizes_weight_exactly(self):
+        """Brute-force over all worlds must agree with the MIP."""
+        ws = paper_workspace()
+        mln = MLN(ws, ["Purchase"])
+        candidates = mln.candidate_atoms()["Purchase"]
+        var_index = {"Purchase": {t: i for i, t in enumerate(candidates)}}
+        clauses = mln.ground_clauses(var_index)
+
+        def world_weight(world):
+            total = 0.0
+            for weight, literals in clauses:
+                if literals is None:
+                    total += weight
+                    continue
+                satisfied = any(
+                    (index in world) == positive for index, positive in literals
+                )
+                if satisfied:
+                    total += weight
+            return total
+
+        best = max(
+            (world_weight({i for i in range(len(candidates)) if mask >> i & 1})
+             for mask in range(1 << len(candidates))),
+        )
+        _, objective = mln.map_inference(atom_prior=0.0)
+        assert abs(objective - best) < 1e-6
+
+    def test_negative_weight_discourages(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            Item(p) -> .
+            Pick(p) -> Item(p).
+            -2.0 : Item(p) -> Pick(p).
+            """,
+            name="m",
+        )
+        ws.load("Item", [("x",)])
+        assignment, _ = MLN(ws, ["Pick"]).map_inference()
+        assert assignment["Pick"] == set()
+
+    def test_evidence_folded_into_constants(self):
+        ws = paper_workspace()
+        mln = MLN(ws, ["Purchase"])
+        candidates = mln.candidate_atoms()["Purchase"]
+        var_index = {"Purchase": {t: i for i, t in enumerate(candidates)}}
+        clauses = mln.ground_clauses(var_index)
+        # groundings with non-promoted items on the LHS must have been
+        # folded away (constant factors) or dropped, not kept symbolic
+        for _, literals in clauses:
+            if literals is None:
+                continue
+            assert all(isinstance(lit, tuple) for lit in literals)
+
+    def test_no_soft_constraints_rejected(self):
+        ws = Workspace()
+        ws.addblock("Item(p) -> .", name="m")
+        with pytest.raises(MLNError):
+            MLN(ws, ["Item"])
+
+    def test_tie_breaking_prior(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            Item(p) -> .
+            Pick(p) -> Item(p).
+            1.0 : Pick(p) -> Pick(p).
+            """,
+            name="m",
+        )
+        ws.load("Item", [("x",)])
+        assignment, _ = MLN(ws, ["Pick"]).map_inference()
+        # the tautology gives equal weight either way; the prior
+        # breaks the tie toward the minimal world
+        assert assignment["Pick"] == set()

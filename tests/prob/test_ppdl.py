@@ -1,0 +1,122 @@
+"""Probabilistic-programming Datalog: Flip rules, conditioning, inference."""
+
+import pytest
+
+from repro import Workspace
+from repro.prob import PPDLProgram
+from repro.prob.ppdl import PPDLError
+
+
+def promotion_ws(n_customers=3, bought=None, prior=0.2, rates=(0.1, 0.8)):
+    ws = Workspace()
+    ws.addblock(
+        """
+        Item(p) -> .
+        Customer(c) -> .
+        Promotion[p] = b -> Item(p), int(b).
+        BuyRate[p, b] = r -> Item(p), int(b), float(r).
+        Buys[c, p] = b -> Customer(c), Item(p), int(b).
+        Visited(c) -> Customer(c).
+        Bought[c, p] = b -> Customer(c), Item(p), int(b).
+        Promotion[p] = Flip[{prior}] <- .
+        Buys[c, p] = Flip[r] <- BuyRate[p, b] = r, Promotion[p] = b,
+            Customer(c).
+        Visited(c), Bought[c, p] = b -> Buys[c, p] = b.
+        """.format(prior=prior),
+        name="ppdl",
+    )
+    customers = [("c{}".format(i),) for i in range(n_customers)]
+    ws.load("Item", [("pop",)])
+    ws.load("Customer", customers)
+    ws.load("BuyRate", [("pop", 0, rates[0]), ("pop", 1, rates[1])])
+    if bought is not None:
+        ws.load("Visited", customers)
+        ws.load("Bought", [("c{}".format(i), "pop", b)
+                           for i, b in enumerate(bought)])
+    return ws
+
+
+def analytic_posterior(prior, rates, bought):
+    like1 = 1.0
+    like0 = 1.0
+    for b in bought:
+        like1 *= rates[1] if b else (1 - rates[1])
+        like0 *= rates[0] if b else (1 - rates[0])
+    numerator = prior * like1
+    return numerator / (numerator + (1 - prior) * like0)
+
+
+class TestExactInference:
+    def test_posterior_matches_bayes(self):
+        bought = [1, 1, 1]
+        program = PPDLProgram(promotion_ws(3, bought))
+        posterior = program.posterior("Promotion")
+        expected = analytic_posterior(0.2, (0.1, 0.8), bought)
+        assert abs(posterior[("pop", 1)] - expected) < 1e-12
+        assert abs(posterior[("pop", 0)] - (1 - expected)) < 1e-12
+
+    def test_counter_evidence(self):
+        bought = [0, 0, 0]
+        program = PPDLProgram(promotion_ws(3, bought))
+        posterior = program.posterior("Promotion")
+        expected = analytic_posterior(0.2, (0.1, 0.8), bought)
+        assert abs(posterior[("pop", 1)] - expected) < 1e-12
+        assert posterior[("pop", 1)] < 0.05
+
+    def test_prior_without_observations(self):
+        program = PPDLProgram(promotion_ws(2, bought=None))
+        posterior = program.posterior("Promotion")
+        assert abs(posterior[("pop", 1)] - 0.2) < 1e-12
+
+    def test_map_world(self):
+        program = PPDLProgram(promotion_ws(3, [1, 1, 1]))
+        probability, world = program.map_world()
+        assert ("pop", 1) in world["Promotion"]
+        assert 0 < probability <= 1
+
+    def test_impossible_observation(self):
+        ws = promotion_ws(1, [1], rates=(0.0, 0.0))
+        program = PPDLProgram(ws)
+        with pytest.raises(PPDLError):
+            program.posterior("Promotion")
+
+    def test_flip_limit(self):
+        ws = promotion_ws(30, bought=None)
+        program = PPDLProgram(ws, max_flips=5)
+        with pytest.raises(PPDLError):
+            program.posterior("Promotion")
+
+
+class TestSampling:
+    def test_sampler_approximates_exact(self):
+        bought = [1, 1, 0]
+        ws = promotion_ws(3, bought)
+        program = PPDLProgram(ws)
+        exact = program.posterior("Promotion")[("pop", 1)]
+        sampled = program.sample_posterior("Promotion", n_samples=800, seed=3)
+        assert abs(sampled.get(("pop", 1), 0.0) - exact) < 0.1
+
+
+class TestStructure:
+    def test_dependent_rules_ordered(self):
+        program = PPDLProgram(promotion_ws(2, [1, 1]))
+        ordered = [rule.head_pred for rule in program._ordered_rules]
+        assert ordered.index("Promotion") < ordered.index("Buys")
+
+    def test_no_prob_rules_rejected(self):
+        ws = Workspace()
+        ws.addblock("p(x) -> int(x).", name="d")
+        with pytest.raises(PPDLError):
+            PPDLProgram(ws)
+
+    def test_derived_views_over_prob_preds(self):
+        ws = promotion_ws(2, [1, 1])
+        ws.addblock(
+            "buyers(c) <- Buys[c, p] = b, b = 1.",
+            name="views",
+        )
+        program = PPDLProgram(ws)
+        posterior = program.posterior("buyers")
+        # both observed buyers appear with probability 1
+        assert abs(posterior[("c0",)] - 1.0) < 1e-9
+        assert abs(posterior[("c1",)] - 1.0) < 1e-9

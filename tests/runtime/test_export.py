@@ -1,0 +1,81 @@
+"""Export/import round-trips."""
+
+import pytest
+
+from repro import ConstraintViolation, Workspace
+from repro.runtime.export import export_data, export_logic, import_data
+
+
+@pytest.fixture
+def ws():
+    workspace = Workspace()
+    workspace.addblock(
+        """
+        sku(s) -> .
+        price[s] = p -> sku(s), float(p).
+        flagged(s, b) -> sku(s), boolean(b).
+        margin[s] = m <- price[s] = p, m = p * 0.3.
+        """,
+        name="m",
+    )
+    workspace.load("sku", [("a",), ("b",)])
+    workspace.load("price", [("a", 1.5), ("b", 2.5)])
+    workspace.load("flagged", [("a", True)])
+    return workspace
+
+
+class TestRoundTrip:
+    def test_data_roundtrip(self, ws):
+        text = export_data(ws)
+        fresh = Workspace()
+        fresh.addblock(
+            """
+            sku(s) -> .
+            price[s] = p -> sku(s), float(p).
+            flagged(s, b) -> sku(s), boolean(b).
+            margin[s] = m <- price[s] = p, m = p * 0.3.
+            """,
+            name="m",
+        )
+        written = import_data(fresh, text)
+        assert written == {"sku", "price", "flagged"}
+        assert fresh.rows("price") == ws.rows("price")
+        assert fresh.rows("flagged") == [("a", True)]
+        # derived views recomputed from imported data
+        assert fresh.rows("margin") == ws.rows("margin")
+
+    def test_booleans_preserved_exactly(self, ws):
+        text = export_data(ws, predicates={"flagged", "sku"})
+        fresh = Workspace()
+        fresh.addblock("sku(s) -> . flagged(s, b) -> sku(s), boolean(b).",
+                       name="m")
+        import_data(fresh, text)
+        [(_, flag)] = fresh.rows("flagged")
+        assert flag is True  # not 1
+
+    def test_replace_mode(self, ws):
+        text = export_data(ws)
+        ws.exec('+sku("c"). +price["c"] = 9.0.')
+        import_data(ws, text, replace=True)
+        assert [s for (s,) in ws.rows("sku")] == ["a", "b"]
+
+    def test_derived_not_exported(self, ws):
+        import json
+
+        payload = json.loads(export_data(ws))
+        assert "margin" not in payload["data"]
+
+    def test_import_is_constraint_checked(self, ws):
+        bad = '{"version": 1, "data": {"price": [["ghost", 1.0]]}}'
+        with pytest.raises(ConstraintViolation):
+            import_data(ws, bad)
+
+    def test_version_guard(self, ws):
+        with pytest.raises(ValueError):
+            import_data(ws, '{"version": 99, "data": {}}')
+
+    def test_logic_summary(self, ws):
+        summary = export_logic(ws)
+        assert summary["blocks"] == ["m"]
+        assert any("margin" in rule for rule in summary["rules"])
+        assert any("price" in p for p in summary["predicates"])

@@ -1,0 +1,102 @@
+"""Workbook (what-if branch) tests."""
+
+import pytest
+
+from repro import TransactionAborted, Workbook, Workspace
+
+
+@pytest.fixture
+def ws():
+    workspace = Workspace()
+    workspace.addblock(
+        """
+        inventory[s] = v -> string(s), int(v).
+        low(s) <- inventory[s] = v, v < 2.
+        """,
+        name="inv",
+    )
+    workspace.load("inventory", [("a", 5), ("b", 1)])
+    return workspace
+
+
+class TestWorkbookLifecycle:
+    def test_isolation(self, ws):
+        workbook = Workbook(ws, name="plan")
+        workbook.exec('^inventory["a"] = 100 <- .')
+        assert dict(workbook.rows("inventory"))["a"] == 100
+        assert dict(ws.rows("inventory"))["a"] == 5
+        workbook.discard()
+
+    def test_commit_merges(self, ws):
+        workbook = Workbook(ws)
+        workbook.exec('^inventory["a"] = 7 <- .')
+        deltas = workbook.commit()
+        assert dict(ws.rows("inventory"))["a"] == 7
+        assert "inventory" in deltas
+        assert workbook.name not in ws.branches()
+
+    def test_discard_drops_changes(self, ws):
+        workbook = Workbook(ws)
+        workbook.exec('^inventory["a"] = 9 <- .')
+        workbook.discard()
+        assert dict(ws.rows("inventory"))["a"] == 5
+        assert workbook.name not in ws.branches()
+
+    def test_changes_proportional(self, ws):
+        workbook = Workbook(ws)
+        workbook.exec('^inventory["b"] = 3 <- .')
+        changes = workbook.changes()
+        assert set(changes) == {"inventory"}
+        assert set(changes["inventory"].added) == {("b", 3)}
+        assert set(changes["inventory"].removed) == {("b", 1)}
+        workbook.discard()
+
+    def test_derived_views_inside_workbook(self, ws):
+        workbook = Workbook(ws)
+        assert workbook.rows("low") == [("b",)]
+        workbook.exec('^inventory["b"] = 10 <- .')
+        assert workbook.rows("low") == []
+        workbook.discard()
+        assert ws.rows("low") == [("b",)]
+
+    def test_context_manager_commits(self, ws):
+        with Workbook(ws) as workbook:
+            workbook.exec('^inventory["a"] = 42 <- .')
+        assert dict(ws.rows("inventory"))["a"] == 42
+
+    def test_context_manager_discards_on_error(self, ws):
+        with pytest.raises(RuntimeError):
+            with Workbook(ws) as workbook:
+                workbook.exec('^inventory["a"] = 42 <- .')
+                raise RuntimeError("boom")
+        assert dict(ws.rows("inventory"))["a"] == 5
+
+    def test_closed_workbook_rejects_use(self, ws):
+        workbook = Workbook(ws)
+        workbook.discard()
+        with pytest.raises(TransactionAborted):
+            workbook.exec('^inventory["a"] = 1 <- .')
+
+    def test_scope_enforced(self, ws):
+        ws.addblock("notes[s] = t -> string(s), string(t).", name="notes")
+        workbook = Workbook(ws, scope={"inventory"})
+        with pytest.raises(TransactionAborted):
+            workbook.load("notes", [("a", "hello")])
+        workbook.discard()
+
+    def test_query_inside_workbook(self, ws):
+        workbook = Workbook(ws)
+        workbook.exec('^inventory["a"] = 0 <- .')
+        rows = workbook.query("_(s) <- inventory[s] = v, v = 0.")
+        assert rows == [("a",)]
+        workbook.discard()
+
+    def test_concurrent_workbooks(self, ws):
+        first = Workbook(ws, name="w1")
+        second = Workbook(ws, name="w2")
+        first.exec('^inventory["a"] = 11 <- .')
+        second.exec('^inventory["b"] = 22 <- .')
+        first.commit()
+        second.commit()
+        inventory = dict(ws.rows("inventory"))
+        assert inventory == {"a": 11, "b": 22}

@@ -1,0 +1,137 @@
+"""Unit tests for symbolic linear expressions and grounder internals."""
+
+import pytest
+
+from repro import Workspace
+from repro.engine import ir
+from repro.solver.grounding import Grounder, GroundingError, LinExprS, _eval_sym
+
+
+class TestLinExprS:
+    def test_var_and_const(self):
+        x = LinExprS.var(("S", ("a",)))
+        assert not x.is_constant
+        assert LinExprS(3.0).is_constant
+
+    def test_addition_merges_coefficients(self):
+        x = LinExprS.var("x")
+        y = LinExprS.var("y")
+        expr = x + y + x + 2.0
+        assert expr.coeffs == {"x": 2.0, "y": 1.0}
+        assert expr.const == 2.0
+
+    def test_subtraction(self):
+        x = LinExprS.var("x")
+        expr = (x + 5.0) - (x * 0.5)
+        assert expr.coeffs == {"x": 0.5}
+        assert expr.const == 5.0
+
+    def test_scalar_multiplication(self):
+        x = LinExprS.var("x")
+        expr = (x + 1.0) * 3.0
+        assert expr.coeffs == {"x": 3.0} and expr.const == 3.0
+        expr = LinExprS(2.0) * x  # constant * symbolic
+        assert expr.coeffs == {"x": 2.0}
+
+    def test_nonlinear_product_rejected(self):
+        x = LinExprS.var("x")
+        with pytest.raises(GroundingError):
+            x * x
+
+    def test_division(self):
+        x = LinExprS.var("x")
+        expr = x / 2.0
+        assert expr.coeffs == {"x": 0.5}
+        with pytest.raises(GroundingError):
+            LinExprS(1.0) / x
+
+
+class TestSymbolicEvaluation:
+    def test_mixed_arithmetic(self):
+        expr = ir.BinOp("*", ir.Var("x"), ir.Var("y"))
+        result = _eval_sym(expr, {"y": 4.0}, {"x": LinExprS.var("v")})
+        assert result.coeffs == {"v": 4.0}
+
+    def test_plain_path(self):
+        expr = ir.BinOp("+", ir.Var("a"), ir.Const(1))
+        assert _eval_sym(expr, {"a": 2}, {}) == 3
+
+    def test_builtin_over_symbolic_rejected(self):
+        expr = ir.Call("abs", [ir.Var("x")])
+        with pytest.raises(GroundingError):
+            _eval_sym(expr, {}, {"x": LinExprS.var("v")})
+
+    def test_modulo_over_symbolic_rejected(self):
+        expr = ir.BinOp("%", ir.Var("x"), ir.Const(2))
+        with pytest.raises(GroundingError):
+            _eval_sym(expr, {}, {"x": LinExprS.var("v")})
+
+
+class TestGrounderInternals:
+    def build(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            Item(i) -> .
+            a[i] = v -> Item(i), float(v).
+            w[i] = v -> Item(i), float(v).
+            total[] = u <- agg<<u = sum(z)>> a[i] = x, w[i] = y, z = x * y.
+            scaled[i] = s <- a[i] = v, s = v * 2.0.
+            Item(i) -> a[i] >= 0.
+            lang:solve:variable(`a).
+            lang:solve:max(`total).
+            """,
+            name="m",
+        )
+        ws.load("Item", [("p",), ("q",)])
+        ws.load("w", [("p", 3.0), ("q", 4.0)])
+        return ws
+
+    def test_symbolic_closure(self):
+        ws = self.build()
+        grounder = Grounder(ws.state, ["a"], "total", "max")
+        assert grounder._symbolic == {"a", "total", "scaled"}
+
+    def test_domains_from_entity_population(self):
+        ws = self.build()
+        grounder = Grounder(ws.state, ["a"], "total", "max")
+        assert grounder.domains() == {"a": [("p",), ("q",)]}
+
+    def test_linearize_aggregate(self):
+        ws = self.build()
+        grounder = Grounder(ws.state, ["a"], "total", "max")
+        table = grounder._linearize("total")
+        [expr] = table.values()
+        assert expr.coeffs == {("a", ("p",)): 3.0, ("a", ("q",)): 4.0}
+
+    def test_linearize_basic_rule(self):
+        ws = self.build()
+        grounder = Grounder(ws.state, ["a"], "total", "max")
+        table = grounder._linearize("scaled")
+        assert table[("p",)].coeffs == {("a", ("p",)): 2.0}
+
+    def test_row_cache_invalidation(self):
+        ws = self.build()
+        grounder = Grounder(ws.state, ["a"], "total", "max")
+        grounder.build()
+        assert grounder._row_cache
+        grounder.refresh(ws.state, changed_preds={"unrelated"})
+        assert grounder._row_cache  # untouched rows survive
+        grounder.refresh(ws.state, changed_preds=None)
+        assert not grounder._row_cache
+
+    def test_non_entity_key_rejected(self):
+        ws = Workspace()
+        ws.addblock(
+            """
+            a[i] = v -> int(i), float(v).
+            t[] = u <- agg<<u = sum(v)>> a[i] = v.
+            lang:solve:variable(`a).
+            lang:solve:max(`t).
+            """,
+            name="m",
+        )
+        grounder = Grounder.__new__(Grounder)
+        from repro.solver.solve import SolveSession
+        with pytest.raises(GroundingError):
+            SolveSession(ws).solve()

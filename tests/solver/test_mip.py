@@ -1,0 +1,84 @@
+"""Branch & bound MIP tests."""
+
+import numpy as np
+from scipy.optimize import linprog, milp
+from scipy.optimize import Bounds, LinearConstraint
+
+from repro.solver.mip import solve_mip
+from repro.solver.simplex import LinearProgram
+
+
+class TestKnapsackStyle:
+    def test_integer_rounding_matters(self):
+        # max 5x + 7y s.t. 2x + 3y <= 50, 0<=x,y<=20 integer -> 123
+        lp = LinearProgram(2, minimize=False)
+        lp.set_objective([5.0, 7.0])
+        lp.add_ub([2.0, 3.0], 50)
+        lp.set_bounds(0, 0.0, 20.0)
+        lp.set_bounds(1, 0.0, 20.0)
+        result = solve_mip(lp, [0, 1])
+        assert result.ok
+        assert abs(result.objective - 123.0) < 1e-8
+        assert all(abs(v - round(v)) < 1e-9 for v in result.x)
+
+    def test_relaxation_already_integral(self):
+        lp = LinearProgram(1, minimize=False)
+        lp.set_objective([1.0])
+        lp.set_bounds(0, 0.0, 5.0)
+        result = solve_mip(lp, [0])
+        assert result.ok and result.x[0] == 5.0
+
+    def test_binary_knapsack(self):
+        values = [10.0, 13.0, 7.0, 8.0]
+        weights = [3.0, 4.0, 2.0, 3.0]
+        lp = LinearProgram(4, minimize=False)
+        lp.set_objective(values)
+        lp.add_ub(weights, 7.0)
+        for column in range(4):
+            lp.set_bounds(column, 0.0, 1.0)
+        result = solve_mip(lp, [0, 1, 2, 3])
+        assert result.ok
+        # best: items 0 + 1 (weight 7, value 23)
+        assert abs(result.objective - 23.0) < 1e-8
+
+    def test_infeasible_mip(self):
+        lp = LinearProgram(1)
+        lp.set_objective([1.0])
+        lp.add_lb([1.0], 0.4)
+        lp.add_ub([1.0], 0.6)
+        result = solve_mip(lp, [0])
+        assert result.status == "infeasible"
+
+    def test_mixed_integer_continuous(self):
+        # y continuous, x integer
+        lp = LinearProgram(2, minimize=False)
+        lp.set_objective([1.0, 1.0])
+        lp.add_ub([1.0, 1.0], 3.5)
+        lp.set_bounds(0, 0.0, 2.5)
+        lp.set_bounds(1, 0.0, None)
+        result = solve_mip(lp, [0])
+        assert result.ok
+        assert abs(result.x[0] - round(result.x[0])) < 1e-9
+        assert abs(result.objective - 3.5) < 1e-8
+
+    def test_randomized_vs_scipy_milp(self):
+        rng = np.random.default_rng(11)
+        for _ in range(6):
+            n = int(rng.integers(2, 5))
+            c = rng.integers(1, 10, size=n).astype(float)
+            w = rng.integers(1, 6, size=n).astype(float)
+            cap = float(rng.integers(5, 15))
+            lp = LinearProgram(n, minimize=False)
+            lp.set_objective(c)
+            lp.add_ub(w, cap)
+            for column in range(n):
+                lp.set_bounds(column, 0.0, 4.0)
+            mine = solve_mip(lp, list(range(n)))
+            reference = milp(
+                -c,
+                constraints=LinearConstraint(w.reshape(1, -1), -np.inf, cap),
+                bounds=Bounds(0, 4),
+                integrality=np.ones(n),
+            )
+            assert mine.ok and reference.status == 0
+            assert abs(mine.objective - (-reference.fun)) < 1e-6

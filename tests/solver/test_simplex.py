@@ -1,0 +1,104 @@
+"""Simplex tests, including a randomized cross-check against scipy."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.solver.simplex import LinearProgram, solve_lp
+
+
+class TestClassicProblems:
+    def test_textbook_maximization(self):
+        # max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2, 6)
+        lp = LinearProgram(2, minimize=False)
+        lp.set_objective([3.0, 5.0])
+        lp.add_ub([1.0, 0.0], 4)
+        lp.add_ub([0.0, 2.0], 12)
+        lp.add_ub([3.0, 2.0], 18)
+        result = solve_lp(lp)
+        assert result.ok
+        assert abs(result.objective - 36.0) < 1e-8
+        assert np.allclose(result.x, [2.0, 6.0])
+
+    def test_equality_constraints(self):
+        lp = LinearProgram(2)
+        lp.set_objective([1.0, 2.0])
+        lp.add_eq([1.0, 1.0], 10)
+        result = solve_lp(lp)
+        assert result.ok and abs(result.objective - 10.0) < 1e-8
+        assert abs(result.x[0] - 10.0) < 1e-8  # cheaper variable maxed
+
+    def test_infeasible(self):
+        lp = LinearProgram(1)
+        lp.set_objective([1.0])
+        lp.add_ub([1.0], 1)
+        lp.add_lb([1.0], 2)
+        assert solve_lp(lp).status == "infeasible"
+
+    def test_unbounded(self):
+        lp = LinearProgram(1, minimize=False)
+        lp.set_objective([1.0])
+        lp.add_lb([1.0], 0)
+        assert solve_lp(lp).status == "unbounded"
+
+    def test_free_variables(self):
+        lp = LinearProgram(1)
+        lp.set_objective([1.0])
+        lp.set_bounds(0, None, None)
+        lp.add_lb([1.0], -5)
+        result = solve_lp(lp)
+        assert result.ok and abs(result.objective + 5.0) < 1e-8
+
+    def test_upper_bounds(self):
+        lp = LinearProgram(1, minimize=False)
+        lp.set_objective([1.0])
+        lp.set_bounds(0, 0.0, 7.5)
+        result = solve_lp(lp)
+        assert result.ok and abs(result.objective - 7.5) < 1e-8
+
+    def test_shifted_lower_bounds(self):
+        lp = LinearProgram(2)
+        lp.set_objective([1.0, 1.0])
+        lp.set_bounds(0, 2.0, None)
+        lp.set_bounds(1, 3.0, None)
+        result = solve_lp(lp)
+        assert result.ok and abs(result.objective - 5.0) < 1e-8
+
+    def test_degenerate_no_cycling(self):
+        # classic degeneracy: multiple bases for the same vertex
+        lp = LinearProgram(2, minimize=False)
+        lp.set_objective([1.0, 1.0])
+        lp.add_ub([1.0, 0.0], 1)
+        lp.add_ub([1.0, 0.0], 1)  # duplicate row
+        lp.add_ub([0.0, 1.0], 1)
+        result = solve_lp(lp)
+        assert result.ok and abs(result.objective - 2.0) < 1e-8
+
+
+class TestRandomizedVsScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lp(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 7))
+        m = int(rng.integers(1, 7))
+        c = rng.standard_normal(n)
+        A = rng.standard_normal((m, n))
+        b = rng.random(m) * 5
+        bounds = []
+        lp = LinearProgram(n)
+        lp.set_objective(c)
+        for row in range(m):
+            lp.add_ub(A[row], b[row])
+        for column in range(n):
+            hi = 10.0 if rng.random() < 0.5 else None
+            lp.set_bounds(column, 0.0, hi)
+            bounds.append((0.0, hi))
+        mine = solve_lp(lp)
+        reference = linprog(c, A_ub=A, b_ub=b, bounds=bounds, method="highs")
+        if reference.status == 0:
+            assert mine.ok
+            assert abs(mine.objective - reference.fun) < 1e-6
+        elif reference.status == 3:
+            assert mine.status == "unbounded"
+        elif reference.status == 2:
+            assert mine.status == "infeasible"

@@ -1,0 +1,103 @@
+"""Tests for the value model and 6NF schema declarations."""
+
+import datetime
+from decimal import Decimal
+
+from repro.storage.datum import (
+    BOTTOM,
+    TOP,
+    PrimitiveType,
+    check_type,
+    infer_type,
+    type_from_name,
+)
+from repro.storage.schema import EntityType, PredicateDecl, PredicateKind, Schema
+
+
+class TestSentinels:
+    def test_bottom_below_everything(self):
+        for value in (0, -10**9, "", "a", 1.5, False, (), datetime.date(1, 1, 1)):
+            assert BOTTOM < value
+            assert value > BOTTOM
+            assert not value < BOTTOM
+        assert BOTTOM <= BOTTOM and not BOTTOM < BOTTOM
+
+    def test_top_above_everything(self):
+        for value in (10**9, "zzzz", 1e300, True, ("z",)):
+            assert value < TOP
+            assert TOP > value
+            assert not TOP < value
+        assert TOP >= TOP and not TOP > TOP
+
+    def test_tuple_comparison_with_sentinels(self):
+        assert (1, 5) < (1, TOP)
+        assert (1, TOP) < (2, BOTTOM)
+        assert (1, BOTTOM) < (1, 0)
+        assert ("a",) < ("a", TOP)  # shorter prefix sorts first
+
+
+class TestTypeInference:
+    def test_infer(self):
+        assert infer_type(3) is PrimitiveType.INT
+        assert infer_type(3.5) is PrimitiveType.FLOAT
+        assert infer_type(True) is PrimitiveType.BOOLEAN
+        assert infer_type("x") is PrimitiveType.STRING
+        assert infer_type(Decimal("1.5")) is PrimitiveType.DECIMAL
+        assert infer_type(datetime.date(2015, 1, 1)) is PrimitiveType.DATE
+        assert infer_type(object()) is None
+
+    def test_check_type_widening(self):
+        assert check_type(3, PrimitiveType.INT)
+        assert check_type(3, PrimitiveType.FLOAT)  # int widens to float
+        assert not check_type(3.5, PrimitiveType.INT)
+        assert not check_type(True, PrimitiveType.INT)  # bool is boolean
+        assert check_type(True, PrimitiveType.BOOLEAN)
+
+    def test_type_from_name(self):
+        assert type_from_name("int") is PrimitiveType.INT
+        assert type_from_name("float[64]") is PrimitiveType.FLOAT
+        assert type_from_name("nonsense") is None
+
+
+class TestSchema:
+    def test_declare_and_get(self):
+        decl = PredicateDecl(
+            "Stock",
+            [EntityType("Product"), PrimitiveType.FLOAT],
+            is_functional=True,
+        )
+        schema = Schema().declare(decl)
+        assert schema.get("Stock") is decl
+        assert "Stock" in schema and len(schema) == 1
+        assert decl.arity == 2 and decl.n_keys == 1
+
+    def test_entity_types(self):
+        schema = Schema().declare_entity(EntityType("Product"))
+        assert schema.is_entity("Product")
+        assert schema.entity("Product") == EntityType("Product")
+        assert not schema.is_entity("Nope")
+
+    def test_drop(self):
+        schema = Schema().declare(PredicateDecl("p", [PrimitiveType.INT]))
+        assert "p" in schema
+        assert "p" not in schema.drop("p")
+        assert "p" in schema  # original untouched
+
+    def test_with_kind(self):
+        decl = PredicateDecl("p", [PrimitiveType.INT])
+        assert decl.kind is None
+        derived = decl.with_kind(PredicateKind.DERIVED)
+        assert derived.kind is PredicateKind.DERIVED
+        assert decl.kind is None
+
+    def test_relational_n_keys(self):
+        decl = PredicateDecl("edge", [PrimitiveType.INT, PrimitiveType.INT])
+        assert decl.n_keys == 2 and not decl.is_functional
+
+    def test_predicates_sorted(self):
+        schema = (
+            Schema()
+            .declare(PredicateDecl("b", [PrimitiveType.INT]))
+            .declare(PredicateDecl("a", [PrimitiveType.INT]))
+        )
+        assert [d.name for d in schema.predicates()] == ["a", "b"]

@@ -1,0 +1,75 @@
+"""Correction composition and circuit semantics (paper Figure 7)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.relation import Delta, Relation
+from repro.txn.repair import compose_corrections
+
+
+def apply_all(base, corrections):
+    relation = base
+    for pred, delta in corrections.items():
+        assert pred == "r"
+        relation = relation.apply(delta)
+    return relation
+
+
+class TestComposeCorrections:
+    def test_disjoint_predicates_union(self):
+        a = {"p": Delta.from_iters([(1,)], ())}
+        b = {"q": Delta.from_iters([(2,)], ())}
+        composed = compose_corrections(a, b)
+        assert set(composed) == {"p", "q"}
+
+    def test_same_predicate_sequenced(self):
+        a = {"r": Delta.from_iters([(1,)], [(0,)])}
+        b = {"r": Delta.from_iters([(2,)], [(1,)])}
+        composed = compose_corrections(a, b)
+        base = Relation.from_iter(1, [(0,)])
+        sequential = base.apply(a["r"]).apply(b["r"])
+        assert set(base.apply(composed["r"])) == set(sequential)
+
+    def test_insert_then_delete_cancels(self):
+        a = {"r": Delta.from_iters([(5,)], ())}
+        b = {"r": Delta.from_iters((), [(5,)])}
+        composed = compose_corrections(a, b)
+        base = Relation.from_iter(1, [(1,)])
+        assert set(base.apply(composed["r"])) == {(1,)}
+
+    def test_delete_then_reinsert_survives(self):
+        a = {"r": Delta.from_iters((), [(5,)])}
+        b = {"r": Delta.from_iters([(5,)], ())}
+        composed = compose_corrections(a, b)
+        base = Relation.from_iter(1, [(5,)])
+        assert set(base.apply(composed["r"])) == {(5,)}
+
+    def test_associativity_on_application(self):
+        rng = random.Random(4)
+        base = Relation.from_iter(1, [(i,) for i in range(10)])
+        deltas = []
+        for _ in range(3):
+            added = {(rng.randrange(20),) for _ in range(3)}
+            removed = {(rng.randrange(20),) for _ in range(3)} - added
+            deltas.append({"r": Delta.from_iters(added, removed)})
+        left = compose_corrections(compose_corrections(deltas[0], deltas[1]),
+                                   deltas[2])
+        right = compose_corrections(deltas[0],
+                                    compose_corrections(deltas[1], deltas[2]))
+        assert set(base.apply(left["r"])) == set(base.apply(right["r"]))
+
+
+tuples = st.sets(st.tuples(st.integers(0, 8)), max_size=5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tuples, tuples, tuples, tuples, tuples)
+def test_property_composition_equals_sequential(base, a1, r1, a2, r2):
+    relation = Relation.from_iter(1, base)
+    d1 = {"r": Delta.from_iters(a1 - r1, r1)}
+    d2 = {"r": Delta.from_iters(a2 - r2, r2)}
+    sequential = relation.apply(d1["r"]).apply(d2["r"])
+    composed = compose_corrections(d1, d2)
+    assert set(relation.apply(composed["r"])) == set(sequential)

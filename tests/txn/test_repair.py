@@ -1,0 +1,154 @@
+"""Transaction repair: effects, sensitivities, serializability."""
+
+import random
+
+import pytest
+
+from repro import Workspace
+from repro.datasets.txnload import alpha_transactions, item_name, setup_inventory
+from repro.txn.locking import LockingScheduler, lock_rows_of
+from repro.txn.repair import PreparedTransaction, RepairScheduler, compose_corrections
+from repro.storage.relation import Delta
+
+
+def make_ws(n_items=20, initial=5):
+    ws = Workspace()
+    setup_inventory(ws, n_items, initial=initial)
+    return ws
+
+
+def decrement(item):
+    return ('^inventory["{0}"] = x <- inventory@start["{0}"] = y, '
+            "x = y - 1.".format(item))
+
+
+class TestPreparedTransaction:
+    def test_effects_recorded(self):
+        ws = make_ws()
+        txn = PreparedTransaction(decrement(item_name(0)))
+        effects = txn.execute(ws.state)
+        assert set(effects["inventory"].removed) == {(item_name(0), 5)}
+        assert set(effects["inventory"].added) == {(item_name(0), 4)}
+
+    def test_sensitivity_covers_read_row(self):
+        ws = make_ws()
+        txn = PreparedTransaction(decrement(item_name(3)))
+        txn.execute(ws.state)
+        index = txn.sensitivity()
+        assert index.tuple_affects("inventory", (item_name(3), 5))
+        assert not index.tuple_affects("inventory", (item_name(7), 5))
+
+    def test_conflict_detection(self):
+        ws = make_ws()
+        a = PreparedTransaction(decrement(item_name(0)))
+        b_same = PreparedTransaction(decrement(item_name(0)))
+        b_other = PreparedTransaction(decrement(item_name(1)))
+        a.execute(ws.state)
+        b_same.execute(ws.state)
+        b_other.execute(ws.state)
+        assert b_same.conflicts_with(a.effects)
+        assert not b_other.conflicts_with(a.effects)
+
+    def test_repair_updates_effects(self):
+        ws = make_ws()
+        a = PreparedTransaction(decrement(item_name(0)))
+        b = PreparedTransaction(decrement(item_name(0)))
+        a.execute(ws.state)
+        b.execute(ws.state)
+        # both computed 5 -> 4; after correction b must compute 4 -> 3
+        b.correct(a.effects)
+        assert set(b.effects["inventory"].added) == {(item_name(0), 3)}
+        assert b.repair_count == 1
+
+    def test_repeated_corrections(self):
+        ws = make_ws()
+        txns = [PreparedTransaction(decrement(item_name(0))) for _ in range(4)]
+        for txn in txns:
+            txn.execute(ws.state)
+        accumulated = {}
+        for txn in txns:
+            relevant = txn.relevant_corrections(accumulated)
+            if relevant:
+                txn.correct(relevant)
+            accumulated = compose_corrections(accumulated, txn.effects)
+        assert set(accumulated["inventory"].added) == {(item_name(0), 1)}
+
+    def test_non_reactive_source_rejected(self):
+        from repro.runtime.errors import TransactionAborted
+
+        with pytest.raises(TransactionAborted):
+            PreparedTransaction("view(x) <- base(x).")
+
+
+class TestRepairScheduler:
+    def test_serializable_equals_serial(self):
+        for alpha in (0.5, 2.0, 6.0):
+            batch = alpha_transactions(30, 8, alpha, seed=int(alpha * 10))
+            repair_ws = make_ws(30)
+            serial_ws = make_ws(30)
+            scheduler = RepairScheduler(repair_ws)
+            scheduler.run(batch)
+            for source in batch:
+                serial_ws.exec(source)
+            assert repair_ws.rows("inventory") == serial_ws.rows("inventory")
+            assert repair_ws.rows("place_order") == serial_ws.rows("place_order")
+
+    def test_derived_views_maintained_on_commit(self):
+        ws = make_ws(5, initial=1)
+        batch = [decrement(item_name(0))]
+        RepairScheduler(ws).run(batch)
+        # item0 hit zero and is in auto_order -> place_order fires
+        assert (item_name(0),) in ws.relation("place_order")
+
+    def test_stats_counted(self):
+        ws = make_ws(10)
+        batch = [decrement(item_name(0)), decrement(item_name(0)),
+                 decrement(item_name(5))]
+        scheduler = RepairScheduler(ws)
+        scheduler.run(batch)
+        assert scheduler.stats["transactions"] == 3
+        assert scheduler.stats["repairs"] == 1  # only the duplicate item
+
+    def test_disjoint_batch_no_repairs(self):
+        ws = make_ws(10)
+        batch = [decrement(item_name(i)) for i in range(5)]
+        scheduler = RepairScheduler(ws)
+        scheduler.run(batch)
+        assert scheduler.stats["repairs"] == 0
+        assert dict(ws.rows("inventory"))[item_name(2)] == 4
+
+    def test_no_commit_mode(self):
+        ws = make_ws(5)
+        scheduler = RepairScheduler(ws)
+        scheduler.run([decrement(item_name(0))], commit=False)
+        assert dict(ws.rows("inventory"))[item_name(0)] == 5
+
+
+class TestLockingBaseline:
+    def test_lock_rows(self):
+        effects = {"inventory": Delta.from_iters([("a", 4)], [("a", 5)])}
+        assert lock_rows_of(effects) == {("inventory", ("a",))}
+
+    def test_conflict_counting(self):
+        ws = make_ws(10)
+        batch = [decrement(item_name(0)), decrement(item_name(0)),
+                 decrement(item_name(1))]
+        scheduler = LockingScheduler(ws)
+        scheduler.run(batch)
+        assert scheduler.stats["lock_conflicts"] == 1
+        assert scheduler.stats["wait_edges"] == [(0, 1)]
+
+    def test_birthday_paradox_shape(self):
+        """Expected pairwise conflicts grow ~alpha^2 (paper §3.4)."""
+        n_items, n_txns = 400, 12
+        conflict_rates = []
+        for alpha in (0.5, 2.0, 6.0):
+            batch = alpha_transactions(n_items, n_txns, alpha, seed=7)
+            ws = make_ws(n_items, initial=100)
+            scheduler = LockingScheduler(ws)
+            scheduler.run(batch)
+            pairs = n_txns * (n_txns - 1) / 2
+            conflict_rates.append(scheduler.stats["lock_conflicts"] / pairs)
+        assert conflict_rates[0] < conflict_rates[1] < conflict_rates[2]
+        assert conflict_rates[0] < 0.4
+        assert conflict_rates[2] > 0.8

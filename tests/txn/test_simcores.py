@@ -1,0 +1,94 @@
+"""Multi-core scheduling simulator tests."""
+
+from repro.txn.simcores import (
+    makespan,
+    simulate_locking,
+    simulate_parallel,
+    speedup_curve,
+)
+
+
+class TestMakespan:
+    def test_single_core_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_cores_takes_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_lpt_greedy(self):
+        # greedy LPT: 3,3 to separate cores, then 2,2,2 alternate -> 7
+        # (the optimum is 6; LPT is within its usual 4/3 bound)
+        assert makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2) == 7.0
+        assert makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2) <= 6.0 * 4 / 3
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+
+class TestSimulateParallel:
+    def test_no_repairs_near_linear(self):
+        costs = [1.0] * 16
+        t1 = simulate_parallel(costs, [0.0] * 16, 1)
+        t8 = simulate_parallel(costs, [0.0] * 16, 8)
+        assert t1 / t8 == 8.0
+
+    def test_repairs_bound_span(self):
+        exec_costs = [1.0] * 8
+        repair_costs = [0.5] * 8
+        t_inf = simulate_parallel(exec_costs, repair_costs, 10**6)
+        # span = max exec + top ceil(log2 8)=3 repairs
+        assert abs(t_inf - (1.0 + 1.5)) < 1e-9
+
+    def test_work_bound_dominates_low_cores(self):
+        t2 = simulate_parallel([1.0] * 8, [1.0] * 8, 2)
+        assert t2 == 8.0  # 16 units of work over 2 cores
+
+    def test_empty(self):
+        assert simulate_parallel([], [], 4) == 0.0
+
+
+class TestSimulateLocking:
+    def test_independent_txns_parallelize(self):
+        t1 = simulate_locking([1.0] * 8, [], 1)
+        t8 = simulate_locking([1.0] * 8, [], 8)
+        assert t1 / t8 == 8.0
+
+    def test_chain_serializes(self):
+        edges = [(i, i + 1) for i in range(7)]
+        t8 = simulate_locking([1.0] * 8, edges, 8)
+        assert t8 == 8.0  # fully serialized regardless of cores
+
+    def test_partial_conflicts(self):
+        # two independent chains of 4: two cores suffice
+        edges = [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]
+        t = simulate_locking([1.0] * 8, edges, 8)
+        assert t == 4.0
+
+
+class TestSpeedupCurve:
+    def test_monotone_for_repair(self):
+        exec_costs = [1.0] * 12
+        repair_costs = [0.1] * 12
+        curve = speedup_curve(
+            lambda c: simulate_parallel(exec_costs, repair_costs, c),
+            [1, 2, 4, 8],
+        )
+        speeds = [s for _, s in curve]
+        assert speeds[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_repair_beats_locking_under_contention(self):
+        """The paper's headline: with most pairs conflicting, locking
+        stops scaling while repair keeps speeding up."""
+        n = 16
+        exec_costs = [1.0] * n
+        # locking: a dense wait graph (everyone waits for txn 0..i-1)
+        edges = [(i, j) for j in range(n) for i in range(j)]
+        lock_speedup = simulate_locking(exec_costs, edges, 1) / simulate_locking(
+            exec_costs, edges, 8
+        )
+        repair_speedup = simulate_parallel(exec_costs, [0.2] * n, 1) / (
+            simulate_parallel(exec_costs, [0.2] * n, 8)
+        )
+        assert lock_speedup < 1.2
+        assert repair_speedup > 4.0
