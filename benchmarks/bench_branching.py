@@ -15,7 +15,7 @@ import pytest
 from repro.datasets.retail import load_retail
 from repro.ds import PMap, Version
 from repro import Workspace
-from conftest import pedantic
+from conftest import SMOKE, pedantic, sizes
 
 
 def branch_many(version, count):
@@ -23,7 +23,7 @@ def branch_many(version, count):
         version.branch()
 
 
-@pytest.mark.parametrize("state_size", [100, 10000, 1000000])
+@pytest.mark.parametrize("state_size", sizes([100, 10000, 1000000], [100, 10000]))
 def test_branch_cost_independent_of_size(benchmark, state_size):
     state = PMap.from_sorted_items((i, i) for i in range(state_size))
     version = Version(state)
@@ -31,6 +31,7 @@ def test_branch_cost_independent_of_size(benchmark, state_size):
     benchmark.extra_info["state_size"] = state_size
 
 
+@pytest.mark.skipif(SMOKE, reason="smoke mode checks crashes, not throughput")
 def test_branch_throughput_vs_paper(benchmark):
     """Measure branches/second and compare against the paper's 80k."""
     state = PMap.from_sorted_items((i, i) for i in range(100000))
@@ -50,7 +51,7 @@ def test_branch_throughput_vs_paper(benchmark):
 def test_full_workspace_branch(benchmark):
     """Branching an entire loaded workspace (logic + data + views)."""
     ws = Workspace()
-    load_retail(ws, n_skus=8, n_stores=2, n_weeks=26, seed=0)
+    load_retail(ws, n_skus=8, n_stores=2, n_weeks=sizes(26, 6), seed=0)
     ws.addblock(
         "rev[s] = u <- agg<<u = sum(z)>> sales[s, t, w] = n, price[s] = p, "
         "z = n * p.",

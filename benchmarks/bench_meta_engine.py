@@ -17,9 +17,9 @@ import pytest
 
 from repro import Workspace
 from repro.datasets.retail import load_retail
-from conftest import pedantic
+from conftest import SMOKE, pedantic, sizes
 
-N_VIEWS = 40
+N_VIEWS = sizes(40, 6)
 
 
 def view_source(index):
@@ -31,7 +31,7 @@ def view_source(index):
 
 def build_app():
     ws = Workspace()
-    load_retail(ws, n_skus=6, n_stores=2, n_weeks=13, seed=1)
+    load_retail(ws, n_skus=6, n_stores=2, n_weeks=sizes(13, 4), seed=1)
     for index in range(N_VIEWS):
         ws.addblock(view_source(index), name="view-{}".format(index))
     return ws
@@ -65,6 +65,7 @@ def test_full_rebuild_baseline(benchmark):
     pedantic(benchmark, full_rebuild, rounds=2)
 
 
+@pytest.mark.skipif(SMOKE, reason="smoke mode checks crashes, not shape")
 def test_live_programming_shape(benchmark):
     """The claim, asserted: swapping one view in an app with dozens of
     views costs a small fraction of rebuilding the application."""

@@ -9,7 +9,7 @@ import pytest
 from repro import Workspace
 from repro.datasets.retail import load_retail
 from repro.ml import run_predict_rules
-from conftest import pedantic
+from conftest import SMOKE, pedantic, sizes
 
 LEARN = """
 SM[s, t] = m <- predict m = linear(v|f)
@@ -24,7 +24,7 @@ def build(n_skus, n_weeks):
     return ws
 
 
-@pytest.mark.parametrize("n_skus", [4, 8, 16])
+@pytest.mark.parametrize("n_skus", sizes([4, 8, 16], [2, 4]))
 def test_learn_models_per_group(benchmark, n_skus):
     ws = build(n_skus, n_weeks=26)
     pedantic(benchmark, run_predict_rules, ws, rounds=2)
@@ -33,10 +33,11 @@ def test_learn_models_per_group(benchmark, n_skus):
 
 
 def test_learn_scaling_in_history(benchmark):
-    ws = build(6, n_weeks=52)
+    ws = build(6, n_weeks=sizes(52, 8))
     pedantic(benchmark, run_predict_rules, ws, rounds=2)
 
 
+@pytest.mark.skipif(SMOKE, reason="smoke mode checks crashes, not accuracy")
 def test_models_predict_reasonably(benchmark):
     """Learned per-group models fit the synthetic demand structure
     (promo lift + seasonality) with decent in-sample accuracy."""

@@ -12,7 +12,7 @@ import pytest
 
 from repro import Workspace
 from repro.solver import SolveSession
-from conftest import pedantic
+from conftest import pedantic, sizes
 
 MODEL = """
 Product(p) -> .
@@ -45,7 +45,7 @@ def build(n_products):
     return ws
 
 
-@pytest.mark.parametrize("n_products", [10, 30, 60])
+@pytest.mark.parametrize("n_products", sizes([10, 30, 60], [5, 10]))
 def test_ground_and_solve(benchmark, n_products):
     ws = build(n_products)
 
@@ -63,7 +63,7 @@ def test_ground_and_solve(benchmark, n_products):
 def test_incremental_resolve_shape(benchmark):
     """Re-solving after one data edit reuses cached ground rows for
     untouched constraints."""
-    ws = build(40)
+    ws = build(sizes(40, 10))
     session = SolveSession(ws)
     session.solve(write_back=False)
     started = time.perf_counter()
@@ -89,7 +89,7 @@ def test_incremental_resolve_shape(benchmark):
 def test_write_back_roundtrip(benchmark):
     """Solve + populate the variable predicate through the full
     constraint-checked transaction path."""
-    ws = build(20)
+    ws = build(sizes(20, 8))
     session = SolveSession(ws)
 
     def solve_and_write():

@@ -25,10 +25,10 @@ from repro.txn import (
     simulate_locking,
     simulate_parallel,
 )
-from conftest import pedantic
+from conftest import SMOKE, pedantic, sizes
 
-N_ITEMS = 120
-N_TXNS = 12
+N_ITEMS = sizes(120, 40)
+N_TXNS = sizes(12, 4)
 CORES = [1, 2, 4, 8, 16]
 
 
@@ -72,6 +72,7 @@ def test_locking_batch(benchmark, alpha):
     )
 
 
+@pytest.mark.skipif(SMOKE, reason="smoke mode checks crashes, not shape")
 def test_speedup_curves(benchmark):
     """The paper's speedup-vs-cores contrast across α."""
     print("\nspeedup at 16 cores (repair vs locking), measured costs:")

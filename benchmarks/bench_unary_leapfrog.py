@@ -9,7 +9,7 @@ import pytest
 
 from repro.ds.pset import PSet
 from repro.engine.leapfrog import LeapfrogJoin
-from conftest import pedantic
+from conftest import pedantic, sizes
 
 
 def build_sets(n, k, stride):
@@ -33,7 +33,7 @@ def run_intersection(sets):
 
 @pytest.mark.parametrize("k", [2, 3, 5])
 def test_unary_leapfrog_width(benchmark, k):
-    sets = build_sets(3000, k, stride=7)
+    sets = build_sets(sizes(3000, 300), k, stride=7)
     count = pedantic(benchmark, run_intersection, sets)
     benchmark.extra_info.update(k=k, matches=count)
 
@@ -42,7 +42,7 @@ def test_unary_leapfrog_width(benchmark, k):
 def test_unary_leapfrog_selectivity(benchmark, stride):
     """Sparser intersections leapfrog further per step: work tracks the
     output + skip count, not the input size."""
-    sets = build_sets(2000, 3, stride)
+    sets = build_sets(sizes(2000, 300), 3, stride)
     count = pedantic(benchmark, run_intersection, sets)
     benchmark.extra_info.update(stride=stride, matches=count)
 
@@ -51,6 +51,6 @@ def test_unary_leapfrog_skewed_sizes(benchmark):
     """A tiny set intersected with a huge one: cost follows the tiny
     side (each probe is one O(log N) seek)."""
     small = PSet.from_sorted(range(0, 1000, 10))
-    big = PSet.from_sorted(range(1000000))
+    big = PSet.from_sorted(range(sizes(1000000, 20000)))
     count = pedantic(benchmark, run_intersection, [small, big])
     assert count == 100

@@ -8,6 +8,7 @@ even on instances engineered to blow up binary plans.
 """
 
 import math
+import os
 import time
 
 import pytest
@@ -15,9 +16,11 @@ import pytest
 from repro.datasets.graphs import hub_graph, powerlaw_graph
 from repro.engine.ir import PredAtom, Var
 from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.parallel import ParallelConfig, ParallelLeapfrogTrieJoin
 from repro.engine.planner import build_plan
+from repro.engine.pool import JoinWorkerPool
 from repro.storage.relation import Relation
-from conftest import pedantic
+from conftest import SMOKE, pedantic, sizes
 
 ATOMS = [
     PredAtom("E", [Var("a"), Var("b")]),
@@ -37,7 +40,7 @@ def steps_for(edges):
     return stats["steps"], count
 
 
-@pytest.mark.parametrize("n_nodes", [200, 400, 800])
+@pytest.mark.parametrize("n_nodes", sizes([200, 400, 800], [100, 200]))
 def test_wco_powerlaw(benchmark, n_nodes):
     edges = powerlaw_graph(n_nodes, edges_per_node=5, seed=1)
     steps, count = pedantic(benchmark, steps_for, edges)
@@ -47,7 +50,7 @@ def test_wco_powerlaw(benchmark, n_nodes):
                                 agm_bound=agm, triangles=count)
 
 
-@pytest.mark.parametrize("n_nodes", [500, 1000, 2000])
+@pytest.mark.parametrize("n_nodes", sizes([500, 1000, 2000], [200, 400]))
 def test_wco_hub(benchmark, n_nodes):
     """Hub instances have Θ(n²) wedges but few triangles: LFTJ's steps
     must track the output + |E|, far below the wedge count."""
@@ -59,6 +62,55 @@ def test_wco_hub(benchmark, n_nodes):
                                 triangles=count)
 
 
+def test_wco_parallel_vs_serial(benchmark):
+    """Sharded LFTJ preserves the worst-case-optimal step budget: the
+    merged shard step counters stay within the AGM bound and the output
+    is bit-identical; serial/parallel wall times land in the JSON."""
+    edges = powerlaw_graph(sizes(800, 200), edges_per_node=5, seed=1)
+    relation = Relation.from_iter(2, edges)
+    relation.flat((0, 1))
+    pool = JoinWorkerPool()
+    try:
+        cfg = ParallelConfig(force=True, pool=pool)
+
+        def run_parallel():
+            run_stats = {}
+            rows = list(
+                ParallelLeapfrogTrieJoin(
+                    PLAN, {"E": relation}, config=cfg, stats=run_stats
+                ).run()
+            )
+            return rows, run_stats
+
+        run_parallel()  # warm the pool and the marshalled env
+        started = time.perf_counter()
+        serial_rows = list(
+            LeapfrogTrieJoin(PLAN, {"E": relation}, prefer_array=True).run()
+        )
+        serial_time = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel_rows, run_stats = run_parallel()
+        parallel_time = time.perf_counter() - started
+        assert parallel_rows == serial_rows
+        agm = len(edges) ** 1.5
+        assert run_stats["steps"] <= 4 * agm + 10 * len(edges)
+        benchmark.extra_info.update(
+            edges=len(edges),
+            triangles=len(serial_rows),
+            steps=run_stats["steps"],
+            shards=run_stats.get("shards", 0),
+            serial_s=serial_time,
+            parallel_s=parallel_time,
+            speedup=serial_time / parallel_time,
+            workers=pool.max_workers,
+            cpu_count=os.cpu_count(),
+        )
+        pedantic(benchmark, lambda: run_parallel()[0], rounds=1)
+    finally:
+        pool.shutdown()
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke mode checks crashes, not shape")
 def test_wco_scaling_exponent(benchmark):
     """Fitted exponent of steps vs |E| stays <= 1.5 on power-law data."""
     points = []

@@ -13,6 +13,7 @@ All materialization state is persistent, so workspace versions carry
 their evaluation state with them at O(1) branch cost.
 """
 
+from repro import stats as global_stats
 from repro.ds.pmap import PMap
 from repro.engine.aggregates import AGGREGATES, agg_add
 from repro.engine.ir import Const, PredAtom, Var
@@ -119,17 +120,45 @@ class Evaluator:
     ``order_chooser(rule, relations)`` may supply LFTJ variable orders
     (the sampling optimizer plugs in here); by default the planner's
     first-appearance order is used.
+
+    ``plan_cache`` (a :class:`~repro.engine.plancache.PlanCache`) makes
+    compiled plans survive this evaluator — the workspace threads one
+    cache through every evaluator it creates.  ``parallel`` (a
+    :class:`~repro.engine.parallel.ParallelConfig`) routes large joins
+    through the domain-partitioned executor and, when its
+    ``dispatch_rules`` flag is set, fans independent rules of a
+    non-recursive stratum out to the same worker pool.
     """
 
-    def __init__(self, ruleset, order_chooser=None, prefer_array=True):
+    def __init__(
+        self,
+        ruleset,
+        order_chooser=None,
+        prefer_array=True,
+        plan_cache=None,
+        parallel=None,
+    ):
         self.ruleset = ruleset
         self.order_chooser = order_chooser
         self.prefer_array = prefer_array
+        self.plan_cache = plan_cache
+        self.parallel = parallel
 
     def _order_for(self, rule, relations):
         if self.order_chooser is None:
             return None
         return self.order_chooser(rule, relations)
+
+    def _plan_for(self, rule, var_order):
+        if self.plan_cache is not None:
+            return self.plan_cache.plan_for(rule, var_order)
+        return rule.plan(var_order)
+
+    def _cost_hint(self, rule, relations):
+        hint = getattr(self.order_chooser, "cost_hint", None)
+        if hint is None:
+            return None
+        return hint(rule, relations)
 
     def rule_bindings(self, rule, relations, recorder=None, prefer_array=None):
         """Iterate satisfying assignments of ``rule``'s body.
@@ -137,9 +166,21 @@ class Evaluator:
         Returns ``(var_order, iterator)``.
         """
         var_order = self._order_for(rule, relations)
-        plan = rule.plan(var_order)
+        plan = self._plan_for(rule, var_order)
         prefer = self.prefer_array if prefer_array is None else prefer_array
-        executor = LeapfrogTrieJoin(plan, relations, recorder, prefer)
+        if self.parallel is not None:
+            from repro.engine.parallel import ParallelLeapfrogTrieJoin
+
+            executor = ParallelLeapfrogTrieJoin(
+                plan,
+                relations,
+                config=self.parallel,
+                recorder=recorder,
+                prefer_array=prefer,
+                cost_hint=self._cost_hint(rule, relations),
+            )
+        else:
+            executor = LeapfrogTrieJoin(plan, relations, recorder, prefer)
         return plan.var_order, executor.run()
 
     # -- full evaluation ---------------------------------------------------
@@ -178,18 +219,50 @@ class Evaluator:
                         self._evaluate_nonrecursive(pred, relations, states, chooser)
         return relations, states
 
+    def _dispatch_rules(self, group, relations, chooser):
+        """Fan independent rules out to the worker pool as whole-join
+        tasks; returns merged head counts, or ``None`` when dispatch is
+        unavailable (no pool, sensitivity recording, missing inputs)."""
+        parallel = self.parallel
+        if parallel is None or not parallel.dispatch_rules or len(group) < 2:
+            return None
+        if any(chooser(rule) is not None for rule in group):
+            return None
+        jobs = []
+        for rule in group:
+            var_order = self._order_for(rule, relations)
+            plan = self._plan_for(rule, var_order)
+            if any(pred not in relations for pred in plan.body_preds()):
+                return None
+            projector = _HeadProjector(rule, plan.var_order)
+            jobs.append(
+                parallel.pool.submit_join(
+                    plan, relations, prefer_array=self.prefer_array,
+                    projector=projector,
+                )
+            )
+        global_stats.bump("join.rule_dispatches", len(jobs))
+        counts = {}
+        for job in jobs:
+            heads, _ = job.result()
+            for head in heads:
+                counts[head] = counts.get(head, 0) + 1
+        return counts
+
     def _evaluate_nonrecursive(self, pred, relations, states, chooser):
         group = self.ruleset.rules_by_head[pred]
         if group[0].agg is not None:
             self._evaluate_aggregate(pred, group[0], relations, states, chooser)
             return
-        counts = {}
-        for rule in group:
-            var_order, bindings = self.rule_bindings(rule, relations, chooser(rule))
-            project = _HeadProjector(rule, var_order)
-            for binding in bindings:
-                head = project(binding)
-                counts[head] = counts.get(head, 0) + 1
+        counts = self._dispatch_rules(group, relations, chooser)
+        if counts is None:
+            counts = {}
+            for rule in group:
+                var_order, bindings = self.rule_bindings(rule, relations, chooser(rule))
+                project = _HeadProjector(rule, var_order)
+                for binding in bindings:
+                    head = project(binding)
+                    counts[head] = counts.get(head, 0) + 1
         relation = Relation.from_iter(self.ruleset.head_arity(pred), counts)
         _check_functional(pred, group[0], relation)
         relations[pred] = relation

@@ -64,11 +64,15 @@ class Materialization:
 class IncrementalEngine:
     """Materializes a rule set and maintains it under base-data deltas."""
 
-    def __init__(self, ruleset, track_sensitivity=True):
+    def __init__(self, ruleset, track_sensitivity=True, plan_cache=None, parallel=None):
         self.ruleset = ruleset
         self.track_sensitivity = track_sensitivity
-        self.evaluator = Evaluator(ruleset, prefer_array=True)
-        self.delta_evaluator = Evaluator(ruleset, prefer_array=False)
+        self.evaluator = Evaluator(
+            ruleset, prefer_array=True, plan_cache=plan_cache, parallel=parallel
+        )
+        self.delta_evaluator = Evaluator(
+            ruleset, prefer_array=False, plan_cache=plan_cache
+        )
         self._delta_rules = {}  # (rule index, position, kind) -> delta Rule
         self._local_vars_cache = {}  # rule index -> {atom idx: local positions}
         self._rule_index = {id(rule): i for i, rule in enumerate(ruleset.rules)}

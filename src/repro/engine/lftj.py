@@ -26,12 +26,25 @@ class LeapfrogTrieJoin:
     enumerates satisfying assignments, which are already distinct).
     """
 
-    def __init__(self, plan, relations, recorder=None, prefer_array=False, stats=None):
+    def __init__(
+        self,
+        plan,
+        relations,
+        recorder=None,
+        prefer_array=False,
+        stats=None,
+        first_key_range=None,
+    ):
         self.plan = plan
         self.relations = relations
         self.recorder = recorder
         self.prefer_array = prefer_array
         self.stats = stats  # optional dict: counts search steps for the optimizer
+        # half-open [lo, hi) restriction on the first variable's values
+        # (None = unbounded); domain partitioning for parallel LFTJ —
+        # concatenating the outputs of contiguous ranges in range order
+        # reproduces the serial enumeration exactly
+        self.first_key_range = first_key_range
 
     # -- filters -----------------------------------------------------------
 
@@ -148,10 +161,17 @@ class LeapfrogTrieJoin:
             trackers.append(None)
 
         join = LeapfrogJoin(level_iters, trackers)
+        high = None
+        if level == 0 and self.first_key_range is not None:
+            low, high = self.first_key_range
+            if low is not None and not join.at_end() and join.key < low:
+                join.seek(low)
         filters = plan.filters[level]
         last = level == len(plan.var_order) - 1
         stats = self.stats
         while not join.at_end():
+            if high is not None and not join.key < high:
+                break
             if stats is not None:
                 stats["steps"] = stats.get("steps", 0) + 1
             bindings[var] = join.key

@@ -103,6 +103,7 @@ class SamplingOptimizer:
         self.seed = seed
         self._cache = {}
         self._sample_cache = {}
+        self._cost_cache = {}  # version key -> sampled steps of chosen order
 
     def _version_key(self, rule, relations):
         parts = [id(rule)]
@@ -152,4 +153,27 @@ class SamplingOptimizer:
                 best_cost = cost
                 best_order = order
         self._cache[key] = best_order
+        if best_cost is not None:
+            self._cost_cache[key] = self._scaled_steps(rule, relations, best_cost[0])
         return best_order
+
+    def _scaled_steps(self, rule, relations, sampled_steps):
+        """Extrapolate sampled steps to full-size inputs (linear in the
+        down-sampling ratio of the largest body relation)."""
+        ratio = 1.0
+        for pred in rule.body_preds():
+            relation = relations.get(pred)
+            if relation is None:
+                continue
+            size = len(relation)
+            if size > self.sample_size:
+                ratio = max(ratio, size / float(self.sample_size))
+        return int(sampled_steps * ratio)
+
+    def cost_hint(self, rule, relations):
+        """Estimated full-input LFTJ steps for ``rule`` (or ``None``).
+
+        The parallel executor compares this against its serial-fallback
+        threshold, so sharding only pays for joins the sampler already
+        measured as expensive."""
+        return self._cost_cache.get(self._version_key(rule, relations))

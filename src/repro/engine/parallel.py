@@ -1,0 +1,204 @@
+"""Domain-partitioned parallel leapfrog triejoin (paper §3.2).
+
+LFTJ's backtracking search branches on the first variable's key domain,
+so the join decomposes exactly: split that domain into K contiguous
+half-open ranges, run an ordinary LFTJ restricted to each range, and
+concatenate the shard outputs in range order.  The concatenation is
+**bit-identical** to the serial enumeration — every level iterates keys
+in ascending order, so the serial output is lexicographic in the
+variable order and the shards partition its leading coordinate.
+
+Shard boundaries are seeded from the outermost unary leapfrog's
+iterators: the smallest participating atom's first-level key list is
+split into even chunks (the join's level-0 keys are a subset of any
+participant's, so the shards cover everything).
+
+Small inputs fall back to the serial executor via a cost threshold —
+either a sampled-step hint from the optimizer or the participating
+relation sizes — because forking and marshalling dwarf sub-millisecond
+joins.  Runs that must record sensitivity intervals also stay serial:
+the recorder is a write-heavy in-process structure, and incremental
+passes are exactly the small-input regime.
+"""
+
+import os
+
+from repro import stats as global_stats
+from repro.engine.iterators import level_keys
+from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.pool import JoinWorkerPool
+
+
+def default_shards():
+    """Shard count matched to the hardware (clamped to [2, 8])."""
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+class ParallelConfig:
+    """Tuning knobs for parallel execution.
+
+    ``min_cost`` is the serial-fallback threshold: a join whose cost
+    estimate (sampled steps when available, else the largest
+    participating relation's cardinality) is below it runs serially.
+    ``force`` bypasses the threshold (tests, benchmarks on small
+    hosts).  ``dispatch_rules`` additionally sends independent
+    non-recursive rules of a stratum to the pool as whole-join tasks.
+    """
+
+    __slots__ = ("shards", "min_cost", "force", "dispatch_rules", "_pool")
+
+    def __init__(
+        self,
+        shards=None,
+        min_cost=4096,
+        force=False,
+        dispatch_rules=False,
+        pool=None,
+    ):
+        self.shards = shards if shards is not None else default_shards()
+        self.min_cost = min_cost
+        self.force = force
+        self.dispatch_rules = dispatch_rules
+        self._pool = pool
+
+    @property
+    def pool(self):
+        """The worker pool (the process-wide shared one by default)."""
+        if self._pool is None:
+            self._pool = JoinWorkerPool.shared()
+        return self._pool
+
+
+def shard_ranges(plan, relations, n_shards, prefer_array=True):
+    """Half-open ``[lo, hi)`` ranges partitioning the first variable's
+    key domain (``None`` bounds are infinite), or ``None`` when the plan
+    offers nothing to shard on."""
+    if not plan.var_order or not plan.participants[0]:
+        return None
+    seed = None
+    for atom_index, _ in plan.participants[0]:
+        atom_plan = plan.atom_plans[atom_index]
+        relation = relations.get(atom_plan.pred)
+        if relation is None:
+            return None
+        if seed is None or len(relation) < len(seed[1]):
+            seed = (atom_plan, relation)
+    atom_plan, relation = seed
+    keys = level_keys(relation, atom_plan.perm, atom_plan.const_prefix, prefer_array)
+    if len(keys) < 2:
+        return None
+    n_shards = min(n_shards, len(keys))
+    if n_shards < 2:
+        return None
+    cuts = []
+    for index in range(1, n_shards):
+        cut = keys[(index * len(keys)) // n_shards]
+        if not cuts or cuts[-1] < cut:
+            cuts.append(cut)
+    if not cuts:
+        return None
+    ranges = []
+    low = None
+    for cut in cuts:
+        ranges.append((low, cut))
+        low = cut
+    ranges.append((low, None))
+    return ranges
+
+
+def estimate_cost(plan, relations, cost_hint=None):
+    """Expected join work: a sampled-step hint when the optimizer has
+    one, else the largest participating relation's cardinality."""
+    if cost_hint is not None:
+        return cost_hint
+    sizes = [
+        len(relations[pred]) for pred in plan.body_preds() if pred in relations
+    ]
+    return max(sizes, default=0)
+
+
+class ParallelLeapfrogTrieJoin:
+    """Drop-in parallel variant of :class:`LeapfrogTrieJoin`.
+
+    ``run()`` yields exactly the serial executor's tuples in exactly the
+    serial order; whether the work actually fans out to the pool is an
+    internal decision recorded in ``stats``:
+
+    * ``parallel_joins`` / ``shards`` — sharded executions and their
+      fan-out;
+    * ``serial_fallbacks`` — joins below the cost threshold (or
+      unshardable / recorder-carrying) that ran inline.
+    """
+
+    def __init__(
+        self,
+        plan,
+        relations,
+        config=None,
+        recorder=None,
+        prefer_array=True,
+        stats=None,
+        cost_hint=None,
+    ):
+        self.plan = plan
+        self.relations = relations
+        self.config = config if config is not None else ParallelConfig()
+        self.recorder = recorder
+        self.prefer_array = prefer_array
+        self.stats = stats if stats is not None else {}
+        self.cost_hint = cost_hint
+
+    def _bump(self, key, amount=1):
+        self.stats[key] = self.stats.get(key, 0) + amount
+        global_stats.bump("join." + key, amount)
+
+    def _serial(self):
+        self._bump("serial_fallbacks")
+        return LeapfrogTrieJoin(
+            self.plan,
+            self.relations,
+            recorder=self.recorder,
+            prefer_array=self.prefer_array,
+            stats=self.stats,
+        ).run()
+
+    def _plan_shards(self):
+        """The shard ranges to use, or ``None`` for serial execution."""
+        config = self.config
+        if self.recorder is not None:
+            return None
+        if not config.force:
+            cost = estimate_cost(self.plan, self.relations, self.cost_hint)
+            if cost < config.min_cost:
+                return None
+        ranges = shard_ranges(
+            self.plan, self.relations, config.shards, self.prefer_array
+        )
+        if ranges is None or len(ranges) < 2:
+            return None
+        return ranges
+
+    def run(self):
+        """Yield all satisfying assignments, ``var_order``-aligned."""
+        ranges = self._plan_shards()
+        if ranges is None:
+            yield from self._serial()
+            return
+        self._bump("parallel_joins")
+        self._bump("shards", len(ranges))
+        futures = self.config.pool.map_shards(
+            self.plan, self.relations, ranges, self.prefer_array
+        )
+        for future in futures:
+            rows, shard_stats = future.result()
+            for key, value in shard_stats.items():
+                self._bump(key, value)
+            yield from rows
+
+
+def parallel_join_count(plan, relations, config=None, prefer_array=True):
+    """Number of satisfying assignments via the parallel executor."""
+    executor = ParallelLeapfrogTrieJoin(
+        plan, relations, config=config, prefer_array=prefer_array
+    )
+    return sum(1 for _ in executor.run())

@@ -1,0 +1,78 @@
+"""Workspace-level plan cache (paper §3.2 / §3.3).
+
+Each :class:`~repro.engine.rules.Rule` memoizes its own plans, but rule
+objects die with their :class:`ProgramArtifacts` — every ``addblock`` /
+``removeblock`` recompiles the program, and every recompile used to
+start plan-cold.  A :class:`PlanCache` outlives program artifacts: it
+is keyed by the rule's *structure* (its canonical text), the requested
+variable order, and the relation schema the body reads (predicate name
+and arity per atom), so a re-installed rule over unchanged schemas
+reuses the compiled :class:`~repro.engine.planner.Plan` across
+transactions, IVM passes, and program edits.
+
+Hits and misses are counted both locally (``cache.hits`` /
+``cache.misses``) and in the global engine counters
+(``plan_cache.hits`` / ``plan_cache.misses``) for workspace exports.
+"""
+
+from repro import stats as global_stats
+from repro.engine.ir import PredAtom
+
+
+def rule_schema_key(rule):
+    """The relation schema the rule body reads: ``(pred, arity)`` per
+    predicate atom, sorted and deduplicated."""
+    pairs = {
+        (atom.pred, len(atom.args))
+        for atom in rule.body
+        if isinstance(atom, PredAtom)
+    }
+    return tuple(sorted(pairs))
+
+
+class PlanCache:
+    """Cross-transaction cache of compiled LFTJ plans."""
+
+    def __init__(self, capacity=1024):
+        self.capacity = capacity
+        self._plans = {}  # (rule key, var order, schema key) -> Plan
+        # id(rule) -> (rule, structural key): the strong reference makes
+        # the id stable for the cached entry's lifetime
+        self._rule_keys = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _rule_key(self, rule):
+        entry = self._rule_keys.get(id(rule))
+        if entry is None or entry[0] is not rule:
+            entry = (rule, repr(rule))
+            self._rule_keys[id(rule)] = entry
+        return entry[1]
+
+    def plan_for(self, rule, var_order=None):
+        """The compiled plan for ``rule`` under ``var_order`` (cached)."""
+        key = (
+            self._rule_key(rule),
+            tuple(var_order) if var_order is not None else None,
+            rule_schema_key(rule),
+        )
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            global_stats.bump("plan_cache.hits")
+            return plan
+        self.misses += 1
+        global_stats.bump("plan_cache.misses")
+        plan = rule.plan(var_order)
+        if len(self._plans) >= self.capacity:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+        return plan
+
+    def stats_snapshot(self):
+        """Hit/miss/size counters for observability exports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._plans),
+        }

@@ -1,0 +1,176 @@
+"""Shared process pool for parallel LFTJ (paper §3.2).
+
+Veldhuizen notes LFTJ "parallelizes naturally by partitioning the
+domain of the first join variable"; this module supplies the worker
+side of that partitioning.  A :class:`JoinWorkerPool` wraps one
+process-based executor shared by every parallel join and rule dispatch
+in the process, so workers are forked once and reused.
+
+Relations are marshalled **once per environment**: the parent pickles
+the flat tuple sets of a join's relation environment a single time
+(keyed by the structural hashes of the participating versions) and
+ships the same blob with each task; each worker unpickles and
+re-indexes it once, caching the rebuilt :class:`Relation` objects by
+environment key.  Subsequent shards — and subsequent joins over the
+same relation versions — hit the worker-side cache and deserialize
+nothing.
+"""
+
+import concurrent.futures
+import multiprocessing
+import os
+import pickle
+
+from repro import stats
+from repro.engine.lftj import LeapfrogTrieJoin
+
+# -- worker side -----------------------------------------------------------
+
+_WORKER_ENV_CACHE = {}  # env key -> {pred: Relation}; bounded FIFO
+_WORKER_ENV_LIMIT = 8
+
+
+def _materialize_env(env_key, env_blob, flat_perms):
+    """Rebuild (or fetch cached) relations for one environment."""
+    env = _WORKER_ENV_CACHE.get(env_key)
+    if env is None:
+        from repro.storage.relation import Relation
+
+        payload = pickle.loads(env_blob)
+        env = {}
+        for pred, (arity, rows) in payload.items():
+            env[pred] = Relation.from_iter(arity, rows)
+        while len(_WORKER_ENV_CACHE) >= _WORKER_ENV_LIMIT:
+            _WORKER_ENV_CACHE.pop(next(iter(_WORKER_ENV_CACHE)))
+        _WORKER_ENV_CACHE[env_key] = env
+    for pred, perm in flat_perms:
+        relation = env.get(pred)
+        if relation is not None:
+            relation.flat(perm)
+    return env
+
+
+def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
+    """Execute one domain shard of a planned join; returns the shard's
+    result rows (projected when a head projector is given) plus its
+    engine counters."""
+    flat_perms = (
+        [(ap.pred, ap.perm) for ap in plan.atom_plans] if prefer_array else []
+    )
+    env = _materialize_env(env_key, env_blob, flat_perms)
+    shard_stats = {}
+    executor = LeapfrogTrieJoin(
+        plan,
+        env,
+        prefer_array=prefer_array,
+        stats=shard_stats,
+        first_key_range=key_range,
+    )
+    if projector is None:
+        rows = list(executor.run())
+    else:
+        rows = [projector(binding) for binding in executor.run()]
+    return rows, shard_stats
+
+
+# -- parent side -----------------------------------------------------------
+
+
+class JoinWorkerPool:
+    """A lazily started, process-wide pool of join workers.
+
+    The executor is created on first use (forked where the platform
+    allows, so parent state is inherited copy-on-write) and shared by
+    all parallel joins; ``max_workers`` defaults to the core count,
+    clamped to [2, 8].
+    """
+
+    _shared = None
+
+    def __init__(self, max_workers=None):
+        if max_workers is None:
+            max_workers = max(2, min(8, os.cpu_count() or 1))
+        self.max_workers = max_workers
+        self._executor = None
+        self._env_blobs = {}  # env key -> pickled environment; bounded FIFO
+        self._env_blob_limit = 16
+
+    @classmethod
+    def shared(cls):
+        """The process-wide default pool (created on first request)."""
+        if cls._shared is None:
+            cls._shared = cls()
+        return cls._shared
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+            stats.bump("pool.starts")
+        return self._executor
+
+    def env_for(self, relations, preds):
+        """Serialize the relation environment once per version set.
+
+        Returns ``(env_key, blob)``; the key is content-addressed by the
+        structural hashes of the participating relation versions, so an
+        unchanged environment is never re-pickled."""
+        key = tuple(
+            sorted((pred, relations[pred].structural_hash()) for pred in preds)
+        )
+        blob = self._env_blobs.get(key)
+        if blob is None:
+            payload = {
+                pred: (relations[pred].arity, list(relations[pred]))
+                for pred in preds
+            }
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            while len(self._env_blobs) >= self._env_blob_limit:
+                self._env_blobs.pop(next(iter(self._env_blobs)))
+            self._env_blobs[key] = blob
+            stats.bump("pool.envs_marshalled")
+        else:
+            stats.bump("pool.env_reuses")
+        return key, blob
+
+    def map_shards(self, plan, relations, ranges, prefer_array=True, projector=None):
+        """Submit one task per shard range; returns futures in range
+        order (the order that reproduces the serial enumeration)."""
+        executor = self._ensure_executor()
+        env_key, blob = self.env_for(relations, plan.body_preds())
+        futures = [
+            executor.submit(
+                _run_shard, env_key, blob, plan, key_range, prefer_array, projector
+            )
+            for key_range in ranges
+        ]
+        stats.bump("pool.tasks", len(futures))
+        return futures
+
+    def submit_join(self, plan, relations, prefer_array=True, projector=None):
+        """Submit one whole (unsharded) join — rule-level dispatch."""
+        executor = self._ensure_executor()
+        env_key, blob = self.env_for(relations, plan.body_preds())
+        stats.bump("pool.tasks")
+        return executor.submit(
+            _run_shard, env_key, blob, plan, None, prefer_array, projector
+        )
+
+    def shutdown(self):
+        """Stop the workers (tests; the shared pool normally lives on)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def stats_snapshot(self):
+        """Pool shape for observability exports."""
+        return {
+            "max_workers": self.max_workers,
+            "started": self._executor is not None,
+            "envs_cached": len(self._env_blobs),
+        }

@@ -36,9 +36,14 @@ def _base_name(name):
 
 
 class ProgramArtifacts:
-    """Compiled program: combined rules, engines, checkers, metadata."""
+    """Compiled program: combined rules, engines, checkers, metadata.
 
-    def __init__(self, blocks):
+    ``plan_cache`` / ``parallel`` are forwarded to the incremental
+    engine's evaluators; the workspace supplies one plan cache for all
+    artifact generations so compiled plans survive program edits.
+    """
+
+    def __init__(self, blocks, plan_cache=None, parallel=None):
         self.blocks = blocks  # PMap name -> CompiledBlock
         self.rules = []
         self.reactive_rules = []
@@ -78,7 +83,10 @@ class ProgramArtifacts:
         self.derivation_rules = derivation_rules
 
         self.ruleset = RuleSet(derivation_rules)
-        self.engine = IncrementalEngine(self.ruleset)
+        self.plan_cache = plan_cache
+        self.engine = IncrementalEngine(
+            self.ruleset, plan_cache=plan_cache, parallel=parallel
+        )
         self.reactive_ruleset = (
             RuleSet(self.reactive_rules) if self.reactive_rules else None
         )
@@ -172,11 +180,11 @@ class WorkspaceState:
         self.meta_state = meta_state
 
     @classmethod
-    def empty(cls):
+    def empty(cls, plan_cache=None, parallel=None):
         """The initial, empty workspace state."""
         from repro.meta.metaengine import MetaEngine
 
-        artifacts = ProgramArtifacts(PMap.EMPTY)
+        artifacts = ProgramArtifacts(PMap.EMPTY, plan_cache, parallel)
         mat = artifacts.engine.initialize({})
         return cls(artifacts, PMap.EMPTY, mat, MetaEngine().initial())
 

@@ -19,6 +19,7 @@ Aborting is simply not advancing the head: there is no undo log (T4).
 
 import itertools
 
+from repro import stats as _stats
 from repro.ds.versions import VersionGraph
 from repro.meta.metaengine import MetaEngine
 from repro.engine.evaluator import Evaluator, RuleSet
@@ -43,12 +44,26 @@ def _type_violation(pred, arg_type):
 
 
 class Workspace:
-    """A versioned LogiQL workspace with named branches."""
+    """A versioned LogiQL workspace with named branches.
 
-    def __init__(self):
-        self._graph = VersionGraph(WorkspaceState.empty())
+    ``parallel`` (a :class:`~repro.engine.parallel.ParallelConfig`)
+    routes large joins through the domain-partitioned executor.  One
+    :class:`~repro.engine.plancache.PlanCache` is owned per workspace
+    and threaded through every evaluator, so compiled plans survive
+    transactions, IVM passes, and program edits.
+    """
+
+    def __init__(self, parallel=None):
+        from repro.engine.plancache import PlanCache
+
+        self._plan_cache = PlanCache()
+        self._parallel = parallel
+        self._graph = VersionGraph(
+            WorkspaceState.empty(self._plan_cache, parallel)
+        )
         self.branch = "main"
         self._meta_engine = MetaEngine()
+        self._stats_baseline = _stats.snapshot()
 
     # -- state access ---------------------------------------------------------
 
@@ -129,8 +144,26 @@ class Workspace:
         self._check(new_state, changed_preds=None)
         self._commit(new_state)
 
+    # -- observability ----------------------------------------------------------
+
+    def engine_stats(self):
+        """Engine effectiveness counters accumulated by this process
+        since the workspace was created: plan-cache hits/misses, warm
+        vs. cold relation indexes and arrays, parallel-join fan-out,
+        and pool activity.  Benchmarks export these next to wall times
+        so speedups are attributable."""
+        counters = _stats.delta_since(self._stats_baseline)
+        counters["plan_cache"] = self._plan_cache.stats_snapshot()
+        if self._parallel is not None:
+            counters["pool"] = self._parallel.pool.stats_snapshot()
+        return counters
+
+    def reset_engine_stats(self):
+        """Start a fresh counting window for :meth:`engine_stats`."""
+        self._stats_baseline = _stats.snapshot()
+
     def _rebuild(self, state, new_blocks, block_name, block):
-        artifacts = ProgramArtifacts(new_blocks)
+        artifacts = ProgramArtifacts(new_blocks, self._plan_cache, self._parallel)
         old_artifacts = state.artifacts
 
         # base relations: carry over, then reconcile block facts
@@ -228,7 +261,9 @@ class Workspace:
                     if arity is None:
                         arity = len(atom.args)
                     env[atom.pred] = Relation.empty(arity)
-        relations, _ = Evaluator(ruleset, prefer_array=False).evaluate(env)
+        relations, _ = Evaluator(
+            ruleset, prefer_array=False, plan_cache=self._plan_cache
+        ).evaluate(env)
         deltas = {}
         preds = set()
         for head in ruleset.derived:
@@ -349,7 +384,12 @@ class Workspace:
                 if isinstance(atom, PredAtom) and atom.pred not in env:
                     if atom.pred not in ruleset.derived:
                         env[atom.pred] = Relation.empty(len(atom.args))
-        relations, _ = Evaluator(ruleset, prefer_array=False).evaluate(env)
+        relations, _ = Evaluator(
+            ruleset,
+            prefer_array=False,
+            plan_cache=self._plan_cache,
+            parallel=self._parallel,
+        ).evaluate(env)
         if answer is None:
             answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
         return sorted(relations[answer])

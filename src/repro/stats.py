@@ -1,0 +1,52 @@
+"""Process-wide engine counters (cache effectiveness, parallelism).
+
+The paper's performance claims (§3.2) are only reproducible if the
+engine can report *why* it is fast: how often plans and indexes were
+reused instead of rebuilt, how many joins ran sharded, how much work
+the pool absorbed.  This module is the single sink those layers bump —
+storage must not import the engine, so the counters live above both.
+
+Counters are plain monotonically increasing integers in one flat dict.
+Tests and benchmarks take a :func:`snapshot` before and after the
+region of interest and compare deltas, so concurrent suites never
+interfere through absolute values.
+"""
+
+import threading
+
+_lock = threading.Lock()
+_counters = {}
+
+
+def bump(key, amount=1):
+    """Increment counter ``key`` by ``amount``."""
+    with _lock:
+        _counters[key] = _counters.get(key, 0) + amount
+
+
+def get(key):
+    """Current value of one counter (0 if never bumped)."""
+    return _counters.get(key, 0)
+
+
+def snapshot():
+    """A copy of all counters at this instant."""
+    with _lock:
+        return dict(_counters)
+
+
+def delta_since(before):
+    """Counter increases since ``before`` (a prior :func:`snapshot`)."""
+    now = snapshot()
+    keys = set(now) | set(before)
+    return {
+        key: now.get(key, 0) - before.get(key, 0)
+        for key in keys
+        if now.get(key, 0) != before.get(key, 0)
+    }
+
+
+def reset():
+    """Zero every counter (test isolation only)."""
+    with _lock:
+        _counters.clear()

@@ -13,6 +13,7 @@ is applied, so a small write to a large indexed relation stays cheap.
 
 import random
 
+from repro import stats
 from repro.ds import treap
 from repro.ds.pset import PSet
 from repro.ds.treap import MISSING
@@ -86,18 +87,40 @@ def _invert_perm(perm):
     return tuple(inverse)
 
 
+def _merge_sorted(rows, added, removed):
+    """``rows`` minus ``removed`` merged with sorted ``added`` (one linear
+    pass; removal wins first, re-insertion via ``added`` wins last, which
+    matches ``(tuples - removed) | added``)."""
+    out = []
+    position = 0
+    count = len(added)
+    for row in rows:
+        while position < count and added[position] < row:
+            out.append(added[position])
+            position += 1
+        if position < count and added[position] == row:
+            out.append(row)
+            position += 1
+            continue
+        if row in removed:
+            continue
+        out.append(row)
+    out.extend(added[position:])
+    return out
+
+
 class Relation:
     """One immutable version of a predicate's extension."""
 
     __slots__ = ("arity", "_tuples", "_indexes", "_flat")
 
-    def __init__(self, arity, tuples=None, indexes=None):
+    def __init__(self, arity, tuples=None, indexes=None, flats=None):
         self.arity = arity
         self._tuples = tuples if tuples is not None else PSet.EMPTY
         # perm (tuple) -> PSet of permuted tuples; identity perm excluded
         self._indexes = indexes if indexes is not None else {}
         # perm (tuple) -> list of permuted tuples, sorted; lazy cache
-        self._flat = {}
+        self._flat = flats if flats is not None else {}
 
     @classmethod
     def empty(cls, arity):
@@ -200,17 +223,35 @@ class Relation:
 
     def apply(self, delta):
         """Apply a :class:`Delta`, maintaining cached secondary indexes
-        incrementally (cost O(|delta| log n), never O(n))."""
+        incrementally (treap indexes at O(|delta| log n); flat arrays by
+        a linear merge, never a re-sort), so the new version starts with
+        every cache of its parent already warm."""
         if not delta:
             return self
         tuples = (self._tuples - delta.removed) | delta.added
         if tuples == self._tuples:
             return self
+        identity = tuple(range(self.arity))
         indexes = {}
+        flats = {}
         for perm, index in self._indexes.items():
             permuted = delta.map_tuples(lambda t, p=perm: _permute(t, p))
             indexes[perm] = (index - permuted.removed) | permuted.added
-        return Relation(self.arity, tuples, indexes)
+            stats.bump("relation.index_promotions")
+        for perm, rows in self._flat.items():
+            # promoting a huge edit through a linear merge would cost
+            # more than a lazy rebuild; drop the cache instead
+            if len(delta) * 4 > len(rows) + 16:
+                continue
+            if perm == identity:
+                added = sorted(delta.added)
+                removed = set(delta.removed)
+            else:
+                added = sorted(_permute(t, perm) for t in delta.added)
+                removed = {_permute(t, perm) for t in delta.removed}
+            flats[perm] = _merge_sorted(rows, added, removed)
+            stats.bump("relation.flat_promotions")
+        return Relation(self.arity, tuples, indexes, flats)
 
     def diff(self, new):
         """The :class:`Delta` turning this version into ``new``.
@@ -227,16 +268,26 @@ class Relation:
         return Delta.from_iters(added, removed)
 
     def union(self, other):
-        """Set union of two same-arity relations."""
-        return Relation(self.arity, self._tuples | other._tuples)
+        """Set union of two same-arity relations.
+
+        Routed through :meth:`apply` so the receiver's warm indexes and
+        arrays are promoted into the result instead of starting cold;
+        a no-op union returns ``self`` unchanged."""
+        if not other:
+            return self
+        if not self:
+            return other
+        return self.apply(Delta(added=other._tuples))
 
     def intersect(self, other):
         """Set intersection."""
         return Relation(self.arity, self._tuples & other._tuples)
 
     def subtract(self, other):
-        """Set difference."""
-        return Relation(self.arity, self._tuples - other._tuples)
+        """Set difference (cache-promoting, like :meth:`union`)."""
+        if not other or not self:
+            return self
+        return self.apply(Delta(removed=other._tuples))
 
     def project(self, columns):
         """Projection onto the given column positions (set semantics)."""
@@ -258,8 +309,11 @@ class Relation:
             return self._tuples._root
         index = self._indexes.get(perm)
         if index is None:
+            stats.bump("relation.index_misses")
             index = PSet.from_sorted(sorted(_permute(t, perm) for t in self._tuples))
             self._indexes[perm] = index
+        else:
+            stats.bump("relation.index_hits")
         return index._root
 
     def flat(self, perm):
@@ -273,11 +327,14 @@ class Relation:
         perm = tuple(perm)
         cached = self._flat.get(perm)
         if cached is None:
+            stats.bump("relation.flat_misses")
             if perm == tuple(range(self.arity)):
                 cached = list(self._tuples)
             else:
                 cached = sorted(_permute(t, perm) for t in self._tuples)
             self._flat[perm] = cached
+        else:
+            stats.bump("relation.flat_hits")
         return cached
 
     def has_flat(self, perm):

@@ -5,7 +5,11 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine.ir import Const, PredAtom, Var
 from repro.engine.iterators import ArrayTrieIterator, TreapTrieIterator
+from repro.engine.lftj import LeapfrogTrieJoin
+from repro.engine.planner import build_plan
+from repro.engine.sensitivity import SensitivityRecorder
 from repro.storage.relation import Relation
 
 tuples3 = st.sets(
@@ -102,3 +106,65 @@ def test_deep_enumeration_equivalence():
         return out
 
     assert enumerate_all(treap_it) == enumerate_all(array_it) == sorted(tuples)
+
+
+# -- whole-join equivalence, sensitivity intervals included ----------------
+
+edges_strategy = st.sets(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=40
+)
+marks_strategy = st.sets(st.tuples(st.integers(0, 7)), max_size=8)
+order_strategy = st.permutations(["a", "b", "c"])
+
+
+def run_join(atoms, env, var_order, prefer_array):
+    """One LFTJ run on fresh relations: (rows, raw sensitivity data).
+
+    Relations are rebuilt per run so neither backend sees caches the
+    other one warmed up.
+    """
+    relations = {
+        name: Relation.from_iter(rel.arity, rel) for name, rel in env.items()
+    }
+    plan = build_plan(list(atoms), var_order=list(var_order))
+    recorder = SensitivityRecorder()
+    rows = list(
+        LeapfrogTrieJoin(
+            plan, relations, recorder=recorder, prefer_array=prefer_array
+        ).run()
+    )
+    return rows, recorder._data
+
+
+@settings(max_examples=80, deadline=None)
+@given(edges_strategy, order_strategy)
+def test_lftj_results_and_sensitivities_match_across_backends(edges, order):
+    atoms = [
+        PredAtom("E", [Var("a"), Var("b")]),
+        PredAtom("E", [Var("b"), Var("c")]),
+        PredAtom("E", [Var("a"), Var("c")]),
+    ]
+    env = {"E": Relation.from_iter(2, edges)}
+    treap_rows, treap_sens = run_join(atoms, env, order, prefer_array=False)
+    array_rows, array_sens = run_join(atoms, env, order, prefer_array=True)
+    assert treap_rows == array_rows
+    assert treap_sens == array_sens
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges_strategy, marks_strategy, order_strategy, st.integers(0, 7))
+def test_lftj_equivalence_with_negation_and_constants(edges, marks, order, pin):
+    atoms = [
+        PredAtom("E", [Var("a"), Var("b")]),
+        PredAtom("E", [Var("b"), Var("c")]),
+        PredAtom("M", [Var("a")], negated=True),
+        PredAtom("E", [Var("c"), Const(pin)], negated=True),
+    ]
+    env = {
+        "E": Relation.from_iter(2, edges),
+        "M": Relation.from_iter(1, marks),
+    }
+    treap_rows, treap_sens = run_join(atoms, env, order, prefer_array=False)
+    array_rows, array_sens = run_join(atoms, env, order, prefer_array=True)
+    assert treap_rows == array_rows
+    assert treap_sens == array_sens
