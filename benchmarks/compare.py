@@ -1,0 +1,97 @@
+"""Diff two ``BENCH_<name>.json`` result files.
+
+Usage::
+
+    python benchmarks/compare.py benchmarks/results/BENCH_wco.json /tmp/BENCH_wco.json
+
+Prints, per benchmark test, the old/new mean wall time and the relative
+change, followed by the engine counter deltas — so a perf PR can show
+in one screen both *how much* a workload moved and *why* (plan-cache
+hits gained, seeks avoided, joins sharded).
+
+Exit status is 0 unless ``--fail-above PCT`` is given and some test's
+mean wall time regressed by more than ``PCT`` percent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _mean_by_test(payload):
+    means = {}
+    for entry in payload.get("results", ()):
+        mean = (entry.get("wall_time_s") or {}).get("mean")
+        if mean is not None:
+            means[entry["test"]] = mean
+    return means
+
+
+def _flat_counters(payload):
+    """The scalar engine counters (nested snapshots like ``plan_cache``
+    and per-key histogram dicts are skipped — they are not deltas)."""
+    flat = {}
+    for key, value in (payload.get("engine_stats") or {}).items():
+        if isinstance(value, (int, float)):
+            flat[key] = value
+    return flat
+
+
+def compare(old_payload, new_payload, out=sys.stdout):
+    """Render the diff; returns the worst wall-time regression in %."""
+    old_means = _mean_by_test(old_payload)
+    new_means = _mean_by_test(new_payload)
+    worst = 0.0
+    print("== wall time (mean per round) ==", file=out)
+    for test in sorted(set(old_means) | set(new_means)):
+        old = old_means.get(test)
+        new = new_means.get(test)
+        if old is None or new is None:
+            status = "added" if old is None else "removed"
+            known = new if old is None else old
+            print("  {:<60} {:>10.4f}s  ({})".format(test, known, status),
+                  file=out)
+            continue
+        change = (new - old) / old * 100.0 if old else 0.0
+        worst = max(worst, change)
+        print("  {:<60} {:>10.4f}s -> {:>10.4f}s  {:>+7.1f}%".format(
+            test, old, new, change), file=out)
+    old_counters = _flat_counters(old_payload)
+    new_counters = _flat_counters(new_payload)
+    keys = sorted(set(old_counters) | set(new_counters))
+    if keys:
+        print("== engine counters ==", file=out)
+        for key in keys:
+            old = old_counters.get(key, 0)
+            new = new_counters.get(key, 0)
+            if old == new:
+                continue
+            print("  {:<40} {:>14} -> {:>14}  ({:+})".format(
+                key, old, new, new - old), file=out)
+    return worst
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_<name>.json")
+    parser.add_argument("new", help="candidate BENCH_<name>.json")
+    parser.add_argument(
+        "--fail-above", type=float, default=None, metavar="PCT",
+        help="exit 1 if any test's mean wall time regressed more than PCT%%",
+    )
+    args = parser.parse_args(argv)
+    worst = compare(_load(args.old), _load(args.new))
+    if args.fail_above is not None and worst > args.fail_above:
+        print("FAIL: worst regression {:+.1f}% exceeds {:.1f}%".format(
+            worst, args.fail_above), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ import os
 import platform
 from pathlib import Path
 
+from repro import obs
 from repro import stats as engine_stats
 
 #: Smoke mode: tiny inputs, one round — crash detection, not measurement.
@@ -67,6 +68,7 @@ def _bench_entry(bench):
 
 def pytest_sessionstart(session):
     engine_stats.reset()
+    obs.reset_span_totals()
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -79,6 +81,8 @@ def pytest_sessionfinish(session, exitstatus):
         by_module.setdefault(module, []).append(_bench_entry(bench))
     RESULTS_DIR.mkdir(exist_ok=True)
     counters = engine_stats.snapshot()
+    histograms = engine_stats.histograms()
+    trace = obs.span_totals()
     for module, entries in sorted(by_module.items()):
         name = module[len("bench_"):] if module.startswith("bench_") else module
         payload = {
@@ -87,6 +91,8 @@ def pytest_sessionfinish(session, exitstatus):
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
             "engine_stats": counters,
+            "histograms": histograms,
+            "trace": trace,
             "results": entries,
         }
         path = RESULTS_DIR / "BENCH_{}.json".format(name)

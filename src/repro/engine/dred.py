@@ -16,6 +16,8 @@ have an alternative derivation; (3) insert — semi-naive propagation of
 additions over the new state.
 """
 
+from repro import obs
+from repro import stats as global_stats
 from repro.engine.evaluator import Evaluator, _HeadProjector
 from repro.engine.ir import Const, PredAtom, Var
 from repro.engine.lftj import LeapfrogTrieJoin
@@ -99,7 +101,19 @@ def maintain_recursive_stratum(ruleset, stratum, old_relations, new_relations, d
     the stratum's own entries are still the old versions.  ``deltas``
     holds the lower-level deltas.  Returns per-predicate deltas for the
     stratum (not yet applied).
+
+    Each run is traced as an ``ivm.dred`` span whose attributes and the
+    ``dred.*`` counters record the three phases' work: fixpoint rounds,
+    over-deleted, rederived, and inserted tuple counts.
     """
+    with obs.span("ivm.dred", preds=len(stratum)):
+        global_stats.bump("dred.runs")
+        return _dred_stratum(
+            ruleset, stratum, old_relations, new_relations, deltas
+        )
+
+
+def _dred_stratum(ruleset, stratum, old_relations, new_relations, deltas):
     evaluator = Evaluator(ruleset, prefer_array=False)
     stratum_preds = set(stratum)
     rules = [rule for pred in stratum for rule in ruleset.rules_by_head[pred]]
@@ -115,9 +129,11 @@ def maintain_recursive_stratum(ruleset, stratum, old_relations, new_relations, d
         }
     env_old = dict(old_relations)
 
+    rounds = 0
     pending = True
     while pending:
         pending = False
+        rounds += 1
         new_frontier = {}
         for rule in rules:
             for position, atom in enumerate(rule.body):
@@ -185,6 +201,7 @@ def maintain_recursive_stratum(ruleset, stratum, old_relations, new_relations, d
         }
     inserted = {pred: set() for pred in stratum}
     while insert_frontier:
+        rounds += 1
         new_frontier = {}
         for rule in rules:
             for position, atom in enumerate(rule.body):
@@ -231,6 +248,22 @@ def maintain_recursive_stratum(ruleset, stratum, old_relations, new_relations, d
     result = {}
     for pred in stratum:
         result[pred] = old_relations[pred].diff(env[pred])
+    overdeleted_total = sum(len(tuples) for tuples in overdeleted.values())
+    rederived_total = sum(len(tuples) for tuples in rederived.values())
+    inserted_total = sum(len(tuples) for tuples in inserted.values())
+    global_stats.bump("dred.rounds", rounds)
+    if overdeleted_total:
+        global_stats.bump("dred.overdeleted", overdeleted_total)
+    if rederived_total:
+        global_stats.bump("dred.rederived", rederived_total)
+    if inserted_total:
+        global_stats.bump("dred.inserted", inserted_total)
+    obs.annotate(
+        rounds=rounds,
+        overdeleted=overdeleted_total,
+        rederived=rederived_total,
+        inserted=inserted_total,
+    )
     return result
 
 

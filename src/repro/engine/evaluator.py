@@ -13,6 +13,7 @@ All materialization state is persistent, so workspace versions carry
 their evaluation state with them at O(1) branch cost.
 """
 
+from repro import obs
 from repro import stats as global_stats
 from repro.ds.pmap import PMap
 from repro.engine.aggregates import AGGREGATES, agg_add
@@ -163,11 +164,16 @@ class Evaluator:
     def rule_bindings(self, rule, relations, recorder=None, prefer_array=None):
         """Iterate satisfying assignments of ``rule``'s body.
 
-        Returns ``(var_order, iterator)``.
+        Returns ``(var_order, iterator)``.  When tracing is active the
+        iterator is wrapped in a ``join`` span carrying the execution's
+        seek/next/open counts and shard fan-out; with tracing off the
+        executor runs with ``stats=None`` and counts nothing.
         """
         var_order = self._order_for(rule, relations)
         plan = self._plan_for(rule, var_order)
         prefer = self.prefer_array if prefer_array is None else prefer_array
+        traced = obs.tracing()
+        exec_stats = {} if traced else None
         if self.parallel is not None:
             from repro.engine.parallel import ParallelLeapfrogTrieJoin
 
@@ -177,11 +183,25 @@ class Evaluator:
                 config=self.parallel,
                 recorder=recorder,
                 prefer_array=prefer,
+                stats=exec_stats,
                 cost_hint=self._cost_hint(rule, relations),
             )
+            bump_prefix = None  # the parallel executor bumps join.* itself
+            exec_stats = executor.stats
         else:
-            executor = LeapfrogTrieJoin(plan, relations, recorder, prefer)
-        return plan.var_order, executor.run()
+            executor = LeapfrogTrieJoin(plan, relations, recorder, prefer,
+                                        stats=exec_stats)
+            bump_prefix = "join."
+        run = executor.run()
+        if traced:
+            run = obs.traced_bindings(
+                "join",
+                {"rule": rule.name or rule.head_pred, "vars": len(plan.var_order)},
+                run,
+                exec_stats,
+                bump_prefix,
+            )
+        return plan.var_order, run
 
     # -- full evaluation ---------------------------------------------------
 
@@ -242,11 +262,13 @@ class Evaluator:
                 )
             )
         global_stats.bump("join.rule_dispatches", len(jobs))
-        counts = {}
-        for job in jobs:
-            heads, _ = job.result()
-            for head in heads:
-                counts[head] = counts.get(head, 0) + 1
+        with obs.span("join.dispatch", rules=len(jobs), pred=group[0].head_pred):
+            counts = {}
+            for job in jobs:
+                heads, _, worker_counters = job.result()
+                global_stats.merge(worker_counters)
+                for head in heads:
+                    counts[head] = counts.get(head, 0) + 1
         return counts
 
     def _evaluate_nonrecursive(self, pred, relations, states, chooser):

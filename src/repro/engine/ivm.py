@@ -21,6 +21,8 @@ therefore over-approximates the ideal trace sensitivities (a stale
 interval only costs a wasted pass, never a missed update).
 """
 
+from repro import obs
+from repro import stats as global_stats
 from repro.ds.pmap import PMap
 from repro.engine.aggregates import AGGREGATES, agg_add, agg_remove
 from repro.engine.evaluator import (
@@ -113,40 +115,48 @@ class IncrementalEngine:
         derived predicate (the paper's ``T^Δ`` "propagated forward to
         other rules").
         """
-        old_relations = mat.relations
-        new_relations = dict(old_relations)
-        new_states = dict(mat.states)
-        recorders = dict(mat.rule_recorders)
-        deltas = {}
-        for pred, delta in base_deltas.items():
-            base = old_relations.get(pred)
-            if base is None:
-                raise KeyError("unknown base predicate {}".format(pred))
-            normalized = delta.normalized(base)
-            if normalized:
-                deltas[pred] = normalized
-                new_relations[pred] = base.apply(normalized)
+        with obs.span("ivm.apply", base_preds=len(base_deltas)) as span_:
+            global_stats.bump("ivm.applies")
+            old_relations = mat.relations
+            new_relations = dict(old_relations)
+            new_states = dict(mat.states)
+            recorders = dict(mat.rule_recorders)
+            deltas = {}
+            base_tuples = 0
+            for pred, delta in base_deltas.items():
+                base = old_relations.get(pred)
+                if base is None:
+                    raise KeyError("unknown base predicate {}".format(pred))
+                normalized = delta.normalized(base)
+                if normalized:
+                    deltas[pred] = normalized
+                    new_relations[pred] = base.apply(normalized)
+                    base_tuples += len(normalized.added) + len(normalized.removed)
+            global_stats.bump("ivm.delta_tuples", base_tuples)
 
-        for stratum, recursive in zip(
-            self.ruleset.strata, self.ruleset.recursive_flags
-        ):
-            if recursive:
-                self._maintain_recursive(
-                    stratum, old_relations, new_relations, new_states, deltas
-                )
-            else:
-                for pred in stratum:
-                    self._maintain_nonrecursive(
-                        pred,
-                        old_relations,
-                        new_relations,
-                        new_states,
-                        deltas,
-                        recorders,
-                        mat,
+            for stratum, recursive in zip(
+                self.ruleset.strata, self.ruleset.recursive_flags
+            ):
+                if recursive:
+                    self._maintain_recursive(
+                        stratum, old_relations, new_relations, new_states, deltas
                     )
-        new_mat = Materialization(new_relations, new_states, recorders)
-        return new_mat, deltas
+                else:
+                    for pred in stratum:
+                        self._maintain_nonrecursive(
+                            pred,
+                            old_relations,
+                            new_relations,
+                            new_states,
+                            deltas,
+                            recorders,
+                            mat,
+                        )
+            new_mat = Materialization(new_relations, new_states, recorders)
+            if span_ is not None:
+                span_.attrs["base_tuples"] = base_tuples
+                span_.attrs["changed_preds"] = len(deltas)
+            return new_mat, deltas
 
     def _rule_affected(self, mat, rule_index, rule, deltas):
         """Sensitivity short-circuit: may these deltas change this rule?"""
@@ -338,126 +348,147 @@ class IncrementalEngine:
                 mat,
             )
             return
-        count_changes = {}
-        touched = False
-        for rule in group:
-            rule_index = self._rule_index[id(rule)]
-            affected, relevant = self._rule_affected(mat, rule_index, rule, deltas)
-            if not relevant:
-                continue
-            touched = True
-            if not affected:
-                continue
-            recorder = recorders.get(rule_index)
-            if recorder is None and self.track_sensitivity:
-                recorder = recorders[rule_index] = SensitivityRecorder()
-            projectors = {}
-            for sign, var_order, binding in self._signed_bindings(
-                rule_index, rule, old_relations, new_relations, deltas, recorder
-            ):
-                projector = projectors.get(var_order)
-                if projector is None:
-                    projector = projectors[var_order] = _HeadProjector(rule, var_order)
-                head = projector(binding)
-                count_changes[head] = count_changes.get(head, 0) + sign
-        if not touched:
+        # a predicate none of whose rule bodies read a changed predicate
+        # cannot change; skipping before opening a span keeps traces to
+        # the predicates actually visited (matches the old ``touched``
+        # early return exactly — ``relevant`` is this same intersection)
+        if not any(p in deltas for rule in group for p in rule.body_preds()):
             return
-        state = new_states[pred]
-        counts = state.counts
-        added, removed = [], []
-        for head, change in count_changes.items():
-            if change == 0:
-                continue
-            old_count = counts.get(head, 0)
-            new_count = old_count + change
-            if new_count < 0:
-                raise AssertionError(
-                    "negative support count for {} {}".format(pred, head)
-                )
-            if new_count == 0:
-                counts = counts.remove(head)
-                removed.append(head)
-            else:
-                counts = counts.set(head, new_count)
-                if old_count == 0:
-                    added.append(head)
-        if not added and not removed:
-            if count_changes:
-                new_states[pred] = state.replace(counts=counts)
-            return
-        delta = Delta.from_iters(added, removed)
-        new_relations[pred] = new_relations[pred].apply(delta)
-        _check_functional(pred, group[0], new_relations[pred])
-        new_states[pred] = state.replace(counts=counts)
-        deltas[pred] = delta
+        with obs.span("ivm.maintain", pred=pred, rules=len(group)) as span_:
+            count_changes = {}
+            for rule in group:
+                rule_index = self._rule_index[id(rule)]
+                affected, relevant = self._rule_affected(mat, rule_index, rule, deltas)
+                if not relevant:
+                    continue
+                if not affected:
+                    global_stats.bump("ivm.sensitivity_skips")
+                    continue
+                recorder = recorders.get(rule_index)
+                if recorder is None and self.track_sensitivity:
+                    recorder = recorders[rule_index] = SensitivityRecorder()
+                projectors = {}
+                for sign, var_order, binding in self._signed_bindings(
+                    rule_index, rule, old_relations, new_relations, deltas, recorder
+                ):
+                    projector = projectors.get(var_order)
+                    if projector is None:
+                        projector = projectors[var_order] = _HeadProjector(rule, var_order)
+                    head = projector(binding)
+                    count_changes[head] = count_changes.get(head, 0) + sign
+            state = new_states[pred]
+            counts = state.counts
+            added, removed = [], []
+            support_updates = 0
+            for head, change in count_changes.items():
+                if change == 0:
+                    continue
+                support_updates += 1
+                old_count = counts.get(head, 0)
+                new_count = old_count + change
+                if new_count < 0:
+                    raise AssertionError(
+                        "negative support count for {} {}".format(pred, head)
+                    )
+                if new_count == 0:
+                    counts = counts.remove(head)
+                    removed.append(head)
+                else:
+                    counts = counts.set(head, new_count)
+                    if old_count == 0:
+                        added.append(head)
+            if support_updates:
+                global_stats.bump("ivm.support_updates", support_updates)
+            if span_ is not None:
+                span_.attrs["support_updates"] = support_updates
+                span_.attrs["added"] = len(added)
+                span_.attrs["removed"] = len(removed)
+            if not added and not removed:
+                if count_changes:
+                    new_states[pred] = state.replace(counts=counts)
+                return
+            delta = Delta.from_iters(added, removed)
+            global_stats.bump("ivm.delta_tuples", len(added) + len(removed))
+            new_relations[pred] = new_relations[pred].apply(delta)
+            _check_functional(pred, group[0], new_relations[pred])
+            new_states[pred] = state.replace(counts=counts)
+            deltas[pred] = delta
 
     def _maintain_aggregate(
         self, pred, rule, old_relations, new_relations, new_states, deltas, recorders, mat
     ):
         rule_index = self._rule_index[id(rule)]
         affected, relevant = self._rule_affected(mat, rule_index, rule, deltas)
-        if not relevant or not affected:
+        if not relevant:
             return
-        recorder = recorders.get(rule_index)
-        if recorder is None and self.track_sensitivity:
-            recorder = recorders[rule_index] = SensitivityRecorder()
-        aggregate = AGGREGATES[rule.agg.fn]
-        state = new_states[pred]
-        groups = state.groups
-        touched_groups = {}
-        projectors = {}
-        for sign, var_order, binding in self._signed_bindings(
-            rule_index, rule, old_relations, new_relations, deltas, recorder
-        ):
-            spec = projectors.get(var_order)
-            if spec is None:
-                spec = projectors[var_order] = (
-                    _HeadProjector(rule, var_order, drop_last=True),
-                    list(var_order).index(rule.agg.value_var),
-                )
-            projector, value_position = spec
-            group_key = projector(binding)
-            value = binding[value_position]
-            if group_key not in touched_groups:
-                touched_groups[group_key] = groups.get(group_key)
-            current = groups.get(group_key)
-            if current is None:
-                current = aggregate.empty()
-            if sign > 0:
-                groups = groups.set(group_key, agg_add(rule.agg.fn, current, value))
-            else:
-                updated = agg_remove(rule.agg.fn, current, value)
-                if updated.is_empty():
-                    groups = groups.remove(group_key)
+        if not affected:
+            global_stats.bump("ivm.sensitivity_skips")
+            return
+        with obs.span("ivm.maintain", pred=pred, agg=rule.agg.fn) as span_:
+            recorder = recorders.get(rule_index)
+            if recorder is None and self.track_sensitivity:
+                recorder = recorders[rule_index] = SensitivityRecorder()
+            aggregate = AGGREGATES[rule.agg.fn]
+            state = new_states[pred]
+            groups = state.groups
+            touched_groups = {}
+            projectors = {}
+            for sign, var_order, binding in self._signed_bindings(
+                rule_index, rule, old_relations, new_relations, deltas, recorder
+            ):
+                spec = projectors.get(var_order)
+                if spec is None:
+                    spec = projectors[var_order] = (
+                        _HeadProjector(rule, var_order, drop_last=True),
+                        list(var_order).index(rule.agg.value_var),
+                    )
+                projector, value_position = spec
+                group_key = projector(binding)
+                value = binding[value_position]
+                if group_key not in touched_groups:
+                    touched_groups[group_key] = groups.get(group_key)
+                current = groups.get(group_key)
+                if current is None:
+                    current = aggregate.empty()
+                if sign > 0:
+                    groups = groups.set(group_key, agg_add(rule.agg.fn, current, value))
                 else:
-                    groups = groups.set(group_key, updated)
-        if not touched_groups:
-            return
-        added, removed = [], []
-        for group_key, old_state in touched_groups.items():
-            old_tuple = (
-                group_key + (aggregate.result(old_state),)
-                if old_state is not None and not old_state.is_empty()
-                else None
-            )
-            new_state = groups.get(group_key)
-            new_tuple = (
-                group_key + (aggregate.result(new_state),)
-                if new_state is not None and not new_state.is_empty()
-                else None
-            )
-            if old_tuple == new_tuple:
-                continue
-            if old_tuple is not None:
-                removed.append(old_tuple)
-            if new_tuple is not None:
-                added.append(new_tuple)
-        new_states[pred] = state.replace(groups=groups)
-        if not added and not removed:
-            return
-        delta = Delta.from_iters(added, removed)
-        new_relations[pred] = new_relations[pred].apply(delta)
-        deltas[pred] = delta
+                    updated = agg_remove(rule.agg.fn, current, value)
+                    if updated.is_empty():
+                        groups = groups.remove(group_key)
+                    else:
+                        groups = groups.set(group_key, updated)
+            if span_ is not None:
+                span_.attrs["groups_touched"] = len(touched_groups)
+            if not touched_groups:
+                return
+            global_stats.bump("ivm.support_updates", len(touched_groups))
+            added, removed = [], []
+            for group_key, old_state in touched_groups.items():
+                old_tuple = (
+                    group_key + (aggregate.result(old_state),)
+                    if old_state is not None and not old_state.is_empty()
+                    else None
+                )
+                new_state = groups.get(group_key)
+                new_tuple = (
+                    group_key + (aggregate.result(new_state),)
+                    if new_state is not None and not new_state.is_empty()
+                    else None
+                )
+                if old_tuple == new_tuple:
+                    continue
+                if old_tuple is not None:
+                    removed.append(old_tuple)
+                if new_tuple is not None:
+                    added.append(new_tuple)
+            new_states[pred] = state.replace(groups=groups)
+            if not added and not removed:
+                return
+            delta = Delta.from_iters(added, removed)
+            global_stats.bump("ivm.delta_tuples", len(added) + len(removed))
+            new_relations[pred] = new_relations[pred].apply(delta)
+            deltas[pred] = delta
 
     def _maintain_recursive(
         self, stratum, old_relations, new_relations, new_states, deltas

@@ -11,6 +11,11 @@ Every movement optionally reports to a recorder, producing the
 ``[v, u]``, ``next()`` from ``a`` landing at ``b`` records ``[a, b]``,
 initial positioning records ``[-inf, first]``, and running off the end
 closes with ``+inf`` — exactly the intervals listed for Figure 3.
+
+When given a ``stats`` dict the join counts its iterator movements
+(``seeks`` / ``nexts``) — the per-iterator cost accounting Veldhuizen's
+LFTJ paper frames its complexity analysis in.  With ``stats=None`` (the
+default) no counting work happens at all.
 """
 
 from repro.storage.datum import BOTTOM, TOP
@@ -25,11 +30,12 @@ class LeapfrogJoin:
     iterators).
     """
 
-    __slots__ = ("_iters", "_trackers", "_p", "_at_end", "key")
+    __slots__ = ("_iters", "_trackers", "_stats", "_p", "_at_end", "key")
 
-    def __init__(self, iters, trackers=None):
+    def __init__(self, iters, trackers=None, stats=None):
         self._iters = iters
         self._trackers = trackers if trackers is not None else [None] * len(iters)
+        self._stats = stats  # optional dict counting seeks/nexts
         self._p = 0
         self._at_end = False
         self.key = None
@@ -58,6 +64,7 @@ class LeapfrogJoin:
     def _search(self):
         iters = self._iters
         count = len(iters)
+        stats = self._stats
         p = self._p
         max_key = iters[p - 1].key() if count > 1 else iters[0].key()
         while True:
@@ -67,6 +74,8 @@ class LeapfrogJoin:
                 self.key = key
                 self._p = p
                 return
+            if stats is not None:
+                stats["seeks"] = stats.get("seeks", 0) + 1
             it.seek(max_key)
             if it.at_end():
                 self._record(p, max_key, TOP)
@@ -87,6 +96,9 @@ class LeapfrogJoin:
         """Advance to the next common key."""
         it = self._iters[self._p]
         previous = it.key()
+        stats = self._stats
+        if stats is not None:
+            stats["nexts"] = stats.get("nexts", 0) + 1
         it.next()
         if it.at_end():
             self._record(self._p, previous, TOP)
@@ -100,6 +112,9 @@ class LeapfrogJoin:
     def seek(self, value):
         """Position at the least common key >= ``value``."""
         it = self._iters[self._p]
+        stats = self._stats
+        if stats is not None:
+            stats["seeks"] = stats.get("seeks", 0) + 1
         it.seek(value)
         if it.at_end():
             self._record(self._p, value, TOP)

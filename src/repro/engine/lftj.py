@@ -39,7 +39,9 @@ class LeapfrogTrieJoin:
         self.relations = relations
         self.recorder = recorder
         self.prefer_array = prefer_array
-        self.stats = stats  # optional dict: counts search steps for the optimizer
+        # optional dict: counts search steps for the optimizer plus
+        # seek/next/open movements for the tracing layer (None = free)
+        self.stats = stats
         # half-open [lo, hi) restriction on the first variable's values
         # (None = unbounded); domain partitioning for parallel LFTJ —
         # concatenating the outputs of contiguous ranges in range order
@@ -139,6 +141,9 @@ class LeapfrogTrieJoin:
         plan = self.plan
         var = plan.var_order[level]
         participants = plan.participants[level]
+        stats = self.stats
+        if stats is not None and participants:
+            stats["opens"] = stats.get("opens", 0) + len(participants)
         level_iters = []
         trackers = []
         for atom_index, own_level in participants:
@@ -160,7 +165,7 @@ class LeapfrogTrieJoin:
             level_iters.append(SingletonIterator(assign.compute(bindings)))
             trackers.append(None)
 
-        join = LeapfrogJoin(level_iters, trackers)
+        join = LeapfrogJoin(level_iters, trackers, stats)
         high = None
         if level == 0 and self.first_key_range is not None:
             low, high = self.first_key_range
@@ -168,7 +173,6 @@ class LeapfrogTrieJoin:
                 join.seek(low)
         filters = plan.filters[level]
         last = level == len(plan.var_order) - 1
-        stats = self.stats
         while not join.at_end():
             if high is not None and not join.key < high:
                 break

@@ -154,13 +154,22 @@ class ParallelLeapfrogTrieJoin:
 
     def _serial(self):
         self._bump("serial_fallbacks")
-        return LeapfrogTrieJoin(
+        local = {}
+        run = LeapfrogTrieJoin(
             self.plan,
             self.relations,
             recorder=self.recorder,
             prefer_array=self.prefer_array,
-            stats=self.stats,
+            stats=local,
         ).run()
+        try:
+            yield from run
+        finally:
+            # fold the executor's movement counters into this join's
+            # stats and the global join.* counters, mirroring what the
+            # sharded path does when it merges worker results
+            for key, value in local.items():
+                self._bump(key, value)
 
     def _plan_shards(self):
         """The shard ranges to use, or ``None`` for serial execution."""
@@ -190,9 +199,10 @@ class ParallelLeapfrogTrieJoin:
             self.plan, self.relations, ranges, self.prefer_array
         )
         for future in futures:
-            rows, shard_stats = future.result()
+            rows, shard_stats, worker_counters = future.result()
             for key, value in shard_stats.items():
                 self._bump(key, value)
+            global_stats.merge(worker_counters)
             yield from rows
 
 

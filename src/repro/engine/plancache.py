@@ -15,6 +15,7 @@ Hits and misses are counted both locally (``cache.hits`` /
 (``plan_cache.hits`` / ``plan_cache.misses``) for workspace exports.
 """
 
+from repro import obs
 from repro import stats as global_stats
 from repro.engine.ir import PredAtom
 
@@ -60,14 +61,16 @@ class PlanCache:
         if plan is not None:
             self.hits += 1
             global_stats.bump("plan_cache.hits")
+            with obs.span("plan", rule=rule.head_pred, cache="hit"):
+                return plan
+        with obs.span("plan", rule=rule.head_pred, cache="miss"):
+            self.misses += 1
+            global_stats.bump("plan_cache.misses")
+            plan = rule.plan(var_order)
+            if len(self._plans) >= self.capacity:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
             return plan
-        self.misses += 1
-        global_stats.bump("plan_cache.misses")
-        plan = rule.plan(var_order)
-        if len(self._plans) >= self.capacity:
-            self._plans.pop(next(iter(self._plans)))
-        self._plans[key] = plan
-        return plan
 
     def stats_snapshot(self):
         """Hit/miss/size counters for observability exports."""

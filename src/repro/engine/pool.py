@@ -52,8 +52,17 @@ def _materialize_env(env_key, env_blob, flat_perms):
 
 def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
     """Execute one domain shard of a planned join; returns the shard's
-    result rows (projected when a head projector is given) plus its
-    engine counters."""
+    result rows (projected when a head projector is given), its
+    executor counters, and an envelope of the global engine counters the
+    task bumped in this worker process.
+
+    Without the envelope, counters bumped worker-side (relation index
+    and array builds during environment materialization, for instance)
+    would be silently lost: the worker's ``repro.stats`` dict is a copy
+    of the parent's, invisible to the parent's exports.  The parent
+    merges the envelope back on result consumption.
+    """
+    before = stats.snapshot()
     flat_perms = (
         [(ap.pred, ap.perm) for ap in plan.atom_plans] if prefer_array else []
     )
@@ -70,7 +79,7 @@ def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
         rows = list(executor.run())
     else:
         rows = [projector(binding) for binding in executor.run()]
-    return rows, shard_stats
+    return rows, shard_stats, stats.delta_since(before)
 
 
 # -- parent side -----------------------------------------------------------

@@ -15,6 +15,8 @@ the same incremental view maintenance that serves user data maintains
 the meta-level state.
 """
 
+from repro import obs
+from repro import stats as global_stats
 from repro.ds.hashing import stable_hash
 from repro.engine.evaluator import RuleSet
 from repro.engine.ir import PredAtom
@@ -128,6 +130,16 @@ class MetaEngine:
         which derived predicates have to be maintained as result of the
         program change".
         """
+        with obs.span(
+            "meta.update", block=block_name, removed=block is None
+        ) as span_:
+            result = self._update(meta_state, block_name, block, changed_bases)
+            if span_ is not None:
+                span_.attrs["need_revision"] = len(result[1])
+            return result
+
+    def _update(self, meta_state, block_name, block, changed_bases):
+        global_stats.bump("meta.updates")
         old_facts = meta_state.block_facts.get(block_name, {})
         new_facts = block_meta_facts(block_name, block) if block is not None else {}
         deltas = self._facts_delta(old_facts, new_facts)

@@ -1,0 +1,467 @@
+"""Transaction-scoped tracing: hierarchical spans and engine profiles.
+
+The paper's performance story — LFTJ cost measured in seeks/nexts per
+iterator (Veldhuizen 2012), IVM work "proportional to the trace edit
+distance" (§3.2), transaction repair proportional to the conflict
+(§3.4) — is only verifiable if the engine can explain *where time and
+work went*.  This module adds that explanation layer on top of the flat
+counters of :mod:`repro.stats`:
+
+* **Spans** — named, nested regions with wall time, key/value
+  attributes, and the exact counter deltas bumped inside their window
+  (via the scope stack of :mod:`repro.stats`).  The transaction
+  lifecycle is instrumented end to end: ``txn.*`` → ``compile`` /
+  ``plan`` / ``join`` (with per-execution seek/next/open counts and
+  shard fan-out) / ``ivm.apply`` / ``ivm.dred`` / ``meta.update`` /
+  ``constraints.check`` / ``repair.*``.
+* **Profiles** — :class:`Profile` collects the root spans produced on
+  its thread; :meth:`~repro.runtime.workspace.Workspace.profile` is the
+  user-facing entry point.
+* **Exporters** — a JSON-lines trace dump (one span per line, parent
+  links included) and a Prometheus-style text rendering of the global
+  counters and histograms.
+
+Overhead contract: with tracing disabled (the default), every
+instrumentation site costs one function call and one flag test —
+:func:`span` returns a shared no-op context manager and the hot
+seek/next counting in the executors stays off (their ``stats`` dicts
+are simply not requested).  ``REPRO_TRACE=1`` force-enables tracing
+process-wide; finished root spans then land in a bounded per-thread
+ring buffer (:func:`last_roots`) so long test runs cannot accumulate
+unbounded trace state.
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+from repro import stats
+
+_TRACE_ENV = "REPRO_TRACE"
+_AMBIENT_LIMIT = 256
+
+_forced = os.environ.get(_TRACE_ENV, "") not in ("", "0")
+_local = threading.local()
+_totals_lock = threading.Lock()
+_span_totals = {}  # span name -> [count, total wall seconds]
+
+
+class Span:
+    """One named region of a trace: wall time, attributes, counter
+    deltas, children.  Attribute values should be JSON-safe."""
+
+    __slots__ = ("name", "attrs", "children", "counters", "wall_s",
+                 "_started", "_sink")
+
+    def __init__(self, name, attrs):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.children = []
+        self.counters = {}
+        self.wall_s = 0.0
+        self._started = time.perf_counter()
+        self._sink = stats.push_scope()
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """First span named ``name`` in this subtree, or ``None``."""
+        for span_ in self.walk():
+            if span_.name == name:
+                return span_
+        return None
+
+    def find_all(self, name):
+        """Every span named ``name`` in this subtree."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self):
+        """JSON-safe nested representation."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def format(self, indent=0):
+        """Human-readable tree rendering."""
+        extras = " ".join(
+            "{}={}".format(key, value) for key, value in sorted(self.attrs.items())
+        )
+        line = "{}{:<28} {:>9.3f}ms{}".format(
+            "  " * indent,
+            self.name,
+            self.wall_s * 1000.0,
+            "  " + extras if extras else "",
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+
+# -- enablement --------------------------------------------------------------
+
+
+def enable():
+    """Force-enable tracing process-wide (the ``REPRO_TRACE=1`` path)."""
+    global _forced
+    _forced = True
+
+
+def disable():
+    """Undo :func:`enable` (collectors installed by :func:`Profile`
+    keep tracing their own thread regardless)."""
+    global _forced
+    _forced = False
+
+
+def tracing():
+    """True when spans are currently being recorded on this thread."""
+    return _forced or getattr(_local, "collector", None) is not None
+
+
+# -- the span stack ----------------------------------------------------------
+
+
+def _stack():
+    stack = getattr(_local, "spans", None)
+    if stack is None:
+        stack = _local.spans = []
+    return stack
+
+
+def _finish_one(span_):
+    span_.wall_s = time.perf_counter() - span_._started
+    span_.counters = span_._sink
+    stats.pop_scope(span_._sink)
+    with _totals_lock:
+        entry = _span_totals.get(span_.name)
+        if entry is None:
+            _span_totals[span_.name] = [1, span_.wall_s]
+        else:
+            entry[0] += 1
+            entry[1] += span_.wall_s
+
+
+def _emit_root(span_):
+    collector = getattr(_local, "collector", None)
+    if collector is not None:
+        collector.roots.append(span_)
+        return
+    ring = getattr(_local, "ambient", None)
+    if ring is None:
+        ring = _local.ambient = []
+    ring.append(span_)
+    if len(ring) > _AMBIENT_LIMIT:
+        del ring[: len(ring) - _AMBIENT_LIMIT]
+
+
+def _finish(span_):
+    """Close ``span_`` (and, defensively, any abandoned descendants
+    still open above it) and attach it to its parent or emit it."""
+    stack = _stack()
+    while stack:
+        top = stack.pop()
+        _finish_one(top)
+        if top is span_:
+            break
+        # an inner span leaked (e.g. a generator that was never fully
+        # consumed); fold it into its parent rather than losing it
+        if stack:
+            stack[-1].children.append(top)
+        else:
+            _emit_root(top)
+    parent = stack[-1] if stack else None
+    if parent is not None:
+        parent.children.append(span_)
+    else:
+        _emit_root(span_)
+
+
+class _SpanHandle:
+    """Context manager for one live span."""
+
+    __slots__ = ("_span", "_name", "_attrs")
+
+    def __init__(self, name, attrs):
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self):
+        self._span = Span(self._name, self._attrs)
+        _stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *exc):
+        _finish(self._span)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager: the tracing-disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name, **attrs):
+    """Open a span named ``name`` (a no-op when tracing is off).
+
+    Yields the live :class:`Span` — or ``None`` when disabled, so call
+    sites annotate with ``if sp is not None: sp.attrs[...] = ...``.
+    """
+    if not tracing():
+        return _NOOP
+    return _SpanHandle(name, attrs)
+
+
+def current():
+    """The innermost open span on this thread, or ``None``."""
+    stack = getattr(_local, "spans", None)
+    return stack[-1] if stack else None
+
+
+def annotate(**attrs):
+    """Attach attributes to the innermost open span (no-op when none)."""
+    span_ = current()
+    if span_ is not None:
+        span_.attrs.update(attrs)
+
+
+def last_roots():
+    """Finished root spans captured outside any collector on this
+    thread (the ``REPRO_TRACE=1`` ambient ring, newest last)."""
+    return list(getattr(_local, "ambient", ()) or ())
+
+
+def traced_bindings(name, attrs, run, exec_stats, bump_prefix=None):
+    """Wrap a bindings iterator in a span covering its consumption.
+
+    ``exec_stats`` is the executor's live counter dict (seeks, nexts,
+    opens, steps, shard fan-out); on close it is folded into the span's
+    attributes and — when ``bump_prefix`` is given — into the global
+    counters (the parallel executor bumps its own, so only the serial
+    path passes a prefix).
+    """
+    with span(name, **attrs) as span_:
+        rows = 0
+        try:
+            for item in run:
+                rows += 1
+                yield item
+        finally:
+            if bump_prefix and exec_stats:
+                for key, value in exec_stats.items():
+                    stats.bump(bump_prefix + key, value)
+            if span_ is not None:
+                span_.attrs["rows"] = rows
+                if exec_stats:
+                    span_.attrs.update(exec_stats)
+
+
+# -- collectors --------------------------------------------------------------
+
+
+class Profile:
+    """Collects the root spans finished on this thread while active.
+
+    Usage::
+
+        with workspace.profile() as prof:
+            workspace.query(...)
+        print(prof.format())
+    """
+
+    def __init__(self):
+        self.roots = []
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = getattr(_local, "collector", None)
+        _local.collector = self
+        return self
+
+    def __exit__(self, *exc):
+        _local.collector = self._previous
+        self._previous = None
+        return False
+
+    def walk(self):
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name):
+        """First recorded span named ``name``, or ``None``."""
+        for span_ in self.walk():
+            if span_.name == name:
+                return span_
+        return None
+
+    def find_all(self, name):
+        """Every recorded span named ``name``."""
+        return [s for s in self.walk() if s.name == name]
+
+    def counters(self):
+        """Counter deltas summed over the root spans (children's bumps
+        are already included in their ancestors' windows)."""
+        totals = {}
+        for root in self.roots:
+            for key, value in root.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def format(self):
+        """Human-readable rendering of every root span tree."""
+        if not self.roots:
+            return "(no spans recorded)"
+        return "\n".join(root.format() for root in self.roots)
+
+    def to_dicts(self):
+        """JSON-safe nested representation of all roots."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_jsonl(self, path):
+        """Write one JSON line per span (``id``/``parent`` links flatten
+        the tree) — the trace-exchange format CI uploads."""
+        with open(path, "w") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line + "\n")
+
+    def jsonl_lines(self):
+        """The JSONL export as a list of strings."""
+        lines = []
+        next_id = [0]
+
+        def emit(span_, parent_id):
+            span_id = next_id[0]
+            next_id[0] += 1
+            lines.append(json.dumps({
+                "id": span_id,
+                "parent": parent_id,
+                "name": span_.name,
+                "wall_s": span_.wall_s,
+                "attrs": span_.attrs,
+                "counters": span_.counters,
+            }, sort_keys=True, default=repr))
+            for child in span_.children:
+                emit(child, span_id)
+
+        for root in self.roots:
+            emit(root, None)
+        return lines
+
+
+def span_totals():
+    """Process-wide per-name span aggregates (count, total seconds) —
+    the cheap summary benchmarks embed next to wall times."""
+    with _totals_lock:
+        return {
+            name: {"count": entry[0], "wall_s": entry[1]}
+            for name, entry in _span_totals.items()
+        }
+
+
+def reset_span_totals():
+    """Clear the per-name aggregates (test isolation only)."""
+    with _totals_lock:
+        _span_totals.clear()
+
+
+# -- prometheus-style text dump ---------------------------------------------
+
+
+def _metric_name(key):
+    out = []
+    for ch in key:
+        out.append(ch if ch.isalnum() else "_")
+    return "repro_" + "".join(out)
+
+
+def prometheus_text():
+    """Counters and histograms as Prometheus text exposition lines."""
+    lines = []
+    for key, value in sorted(stats.snapshot().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} counter".format(name))
+        lines.append("{} {}".format(name, value))
+    for key, hist in sorted(stats.histograms().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} summary".format(name))
+        lines.append("{}_count {}".format(name, hist["count"]))
+        lines.append("{}_sum {}".format(name, hist["sum"]))
+        lines.append("{}_min {}".format(name, hist["min"]))
+        lines.append("{}_max {}".format(name, hist["max"]))
+    return "\n".join(lines) + "\n"
+
+
+# -- demo / sample-trace CLI -------------------------------------------------
+
+
+def _demo(jsonl_path=None, out=None):
+    """Run one traced triangle-query transaction and render its trace.
+
+    ``python -m repro.obs [--jsonl PATH]`` — CI uses this to produce
+    the sample trace artifact.
+    """
+    out = out if out is not None else sys.stdout
+    enable()
+    from repro import Workspace
+
+    workspace = Workspace()
+    with Profile() as prof:
+        workspace.addblock(
+            "edge(x, y) -> int(x), int(y).\n"
+            "tri(a, b, c) <- edge(a, b), edge(b, c), edge(a, c).\n"
+        )
+        workspace.load(
+            "edge",
+            [(a, b) for a in range(12) for b in range(12) if a < b and (a + b) % 3],
+        )
+        workspace.query("_(a, b, c) <- edge(a, b), edge(b, c), edge(a, c).")
+    print(prof.format(), file=out)
+    print(file=out)
+    print(prometheus_text(), file=out)
+    if jsonl_path:
+        prof.to_jsonl(jsonl_path)
+        print("wrote {} spans to {}".format(
+            sum(1 for _ in prof.walk()), jsonl_path), file=out)
+    return prof
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    jsonl_path = None
+    if "--jsonl" in argv:
+        index = argv.index("--jsonl")
+        jsonl_path = argv[index + 1]
+    _demo(jsonl_path=jsonl_path)
+    return 0
+
+
+if __name__ == "__main__":
+    # ``python -m repro.obs`` executes this file as ``__main__`` while
+    # the engine imports it as ``repro.obs`` — two module instances with
+    # separate thread-locals.  Delegate to the canonical one so the
+    # demo's collector sees the engine's spans.
+    from repro import obs as _canonical
+
+    sys.exit(_canonical.main())

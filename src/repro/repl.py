@@ -15,12 +15,16 @@ Commands::
     switch <name>           switch branches
     solve                   run lang:solve directives
     meta <pred>             show a meta-engine relation (lang_edb, ...)
+    :stats [prom]           engine counters (JSON; 'prom' = Prometheus text)
+    :profile <command>      run any command traced, print its span tree
     help | quit
 """
 
+import json
 import sys
 
 from repro import ConstraintViolation, TransactionAborted, Workspace
+from repro import obs
 
 PROMPT = "logiql> "
 
@@ -89,6 +93,22 @@ class Repl:
             elif command == "removeblock":
                 self.workspace.removeblock(rest.strip())
                 self.emit("  removed")
+            elif command == ":stats":
+                if rest.strip() == "prom":
+                    self.emit(obs.prometheus_text().rstrip())
+                else:
+                    self.emit(json.dumps(
+                        self.workspace.engine_stats(), indent=2, sort_keys=True,
+                        default=repr,
+                    ))
+            elif command == ":profile":
+                if not rest.strip():
+                    self.emit("  usage: :profile <command>")
+                else:
+                    with self.workspace.profile() as prof:
+                        keep_going = self.handle(rest)
+                    self.emit(prof.format())
+                    return keep_going
             else:
                 name = self.workspace.addblock(stripped)
                 self.emit("  added block {}".format(name))
@@ -120,9 +140,13 @@ class Repl:
 
 def _complete(text):
     stripped = text.strip()
-    command = stripped.split(" ", 1)[0]
+    command, _, rest = stripped.partition(" ")
+    if command == ":profile":
+        # completeness is decided by the command being profiled
+        return bool(rest.strip()) and _complete(rest)
     if command in ("help", "quit", "exit", "print", "blocks", "branches",
-                   "branch", "switch", "solve", "meta", "removeblock"):
+                   "branch", "switch", "solve", "meta", "removeblock",
+                   ":stats"):
         return True
     return stripped.endswith(".") or stripped.endswith("}")
 

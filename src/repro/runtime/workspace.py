@@ -17,8 +17,10 @@ The transaction types of the paper:
 Aborting is simply not advancing the head: there is no undo log (T4).
 """
 
+import contextlib
 import itertools
 
+from repro import obs as _obs
 from repro import stats as _stats
 from repro.ds.versions import VersionGraph
 from repro.meta.metaengine import MetaEngine
@@ -63,7 +65,11 @@ class Workspace:
         )
         self.branch = "main"
         self._meta_engine = MetaEngine()
-        self._stats_baseline = _stats.snapshot()
+        # per-workspace counter sink: every transaction runs under a
+        # stats scope targeting this dict, so two workspaces working on
+        # different threads never contaminate each other's deltas
+        self._counters = {}
+        self._stats_baseline = {}
 
     # -- state access ---------------------------------------------------------
 
@@ -123,36 +129,61 @@ class Workspace:
         else — relations, support counts, sensitivity indices — is
         carried over.
         """
-        state = self.state
-        block = compile_program(source)
-        if name is None:
-            name = "block-{}".format(next(_block_counter))
-        new_blocks = state.artifacts.blocks.set(name, block)
-        new_state = self._rebuild(state, new_blocks, name, block)
-        self._check(new_state, changed_preds=None)
-        self._commit(new_state)
-        return name
+        with self._txn("addblock") as span_:
+            state = self.state
+            with _obs.span("compile", chars=len(source)):
+                block = compile_program(source)
+            if name is None:
+                name = "block-{}".format(next(_block_counter))
+            if span_ is not None:
+                span_.attrs["block"] = name
+            new_blocks = state.artifacts.blocks.set(name, block)
+            new_state = self._rebuild(state, new_blocks, name, block)
+            self._check(new_state, changed_preds=None)
+            self._commit(new_state)
+            return name
 
     def removeblock(self, name):
         """Remove a block, restoring the workspace program without it."""
-        state = self.state
-        old_block = state.artifacts.blocks.get(name)
-        if old_block is None:
-            raise KeyError("no such block: {}".format(name))
-        new_blocks = state.artifacts.blocks.remove(name)
-        new_state = self._rebuild(state, new_blocks, name, None)
-        self._check(new_state, changed_preds=None)
-        self._commit(new_state)
+        with self._txn("removeblock", block=name):
+            state = self.state
+            old_block = state.artifacts.blocks.get(name)
+            if old_block is None:
+                raise KeyError("no such block: {}".format(name))
+            new_blocks = state.artifacts.blocks.remove(name)
+            new_state = self._rebuild(state, new_blocks, name, None)
+            self._check(new_state, changed_preds=None)
+            self._commit(new_state)
 
     # -- observability ----------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _txn(self, kind, **attrs):
+        """One transaction window: a ``txn.<kind>`` span, a duration
+        histogram observation, and a stats scope capturing every counter
+        the transaction bumps into this workspace's private sink."""
+        with _stats.scope(self._counters):
+            with _stats.timer("txn." + kind + ".seconds"):
+                with _obs.span("txn." + kind, **attrs) as span_:
+                    yield span_
+
     def engine_stats(self):
-        """Engine effectiveness counters accumulated by this process
-        since the workspace was created: plan-cache hits/misses, warm
-        vs. cold relation indexes and arrays, parallel-join fan-out,
-        and pool activity.  Benchmarks export these next to wall times
-        so speedups are attributable."""
-        counters = _stats.delta_since(self._stats_baseline)
+        """Engine effectiveness counters accumulated *by this
+        workspace's transactions* since creation (or the last
+        :meth:`reset_engine_stats`): plan-cache hits/misses, warm vs.
+        cold relation indexes and arrays, join seek/next movement,
+        parallel fan-out, IVM work, and pool activity.  Benchmarks
+        export these next to wall times so speedups are attributable.
+
+        Counters bumped by other workspaces — even concurrently on
+        other threads — do not appear here; each workspace's
+        transactions run under a scope targeting its own sink."""
+        baseline = self._stats_baseline
+        counters = {
+            key: value - baseline.get(key, 0)
+            for key, value in self._counters.items()
+            if value - baseline.get(key, 0)
+        }
         counters["plan_cache"] = self._plan_cache.stats_snapshot()
         if self._parallel is not None:
             counters["pool"] = self._parallel.pool.stats_snapshot()
@@ -160,7 +191,26 @@ class Workspace:
 
     def reset_engine_stats(self):
         """Start a fresh counting window for :meth:`engine_stats`."""
-        self._stats_baseline = _stats.snapshot()
+        self._stats_baseline = dict(self._counters)
+
+    def stats_scope(self):
+        """Context manager routing counter bumps on the calling thread
+        into this workspace's sink — for engine work driven outside the
+        transaction methods (e.g. a repair scheduler)."""
+        return _stats.scope(self._counters)
+
+    def profile(self):
+        """A :class:`repro.obs.Profile` collector: every transaction
+        executed on the calling thread while it is active records a
+        full span tree (plan, join, IVM, constraint phases).
+
+        Usage::
+
+            with workspace.profile() as prof:
+                workspace.query(...)
+            print(prof.format())
+        """
+        return _obs.Profile()
 
     def _rebuild(self, state, new_blocks, block_name, block):
         artifacts = ProgramArtifacts(new_blocks, self._plan_cache, self._parallel)
@@ -216,11 +266,16 @@ class Workspace:
                 if recorder is not None:
                     reuse_recorders[new_index] = recorder
 
-        mat = artifacts.engine.initialize(
-            base_env,
-            reuse=(reuse_relations, reuse_states),
-            reuse_recorders=reuse_recorders,
-        )
+        with _obs.span(
+            "materialize",
+            affected=len(affected),
+            reused=len(reuse_relations),
+        ):
+            mat = artifacts.engine.initialize(
+                base_env,
+                reuse=(reuse_relations, reuse_states),
+                reuse_recorders=reuse_recorders,
+            )
         from repro.ds.pmap import PMap
 
         return WorkspaceState(
@@ -235,15 +290,17 @@ class Workspace:
         Raises :class:`TransactionAborted` (leaving the head untouched)
         on writes to derived predicates or constraint violations.
         """
-        state = self.state
-        block = compile_program(source)
-        if block.rules and any(r.body for r in block.rules):
-            raise TransactionAborted(
-                "exec transactions may only contain reactive logic; "
-                "use addblock for derivation rules"
-            )
-        deltas = self._reactive_deltas(state, block.reactive_rules)
-        return self._apply_deltas(state, deltas)
+        with self._txn("exec"):
+            state = self.state
+            with _obs.span("compile", chars=len(source)):
+                block = compile_program(source)
+            if block.rules and any(r.body for r in block.rules):
+                raise TransactionAborted(
+                    "exec transactions may only contain reactive logic; "
+                    "use addblock for derivation rules"
+                )
+            deltas = self._reactive_deltas(state, block.reactive_rules)
+            return self._apply_deltas(state, deltas)
 
     def _reactive_deltas(self, state, reactive_rules):
         if not reactive_rules:
@@ -285,29 +342,32 @@ class Workspace:
         return deltas
 
     def _apply_deltas(self, state, deltas):
-        artifacts = state.artifacts
-        mat = state.materialization
-        known = set(mat.relations)
-        filtered = {}
-        for pred, delta in deltas.items():
-            if pred not in known:
-                arity = artifacts.arity_of(pred)
-                if arity is None:
-                    raise TransactionAborted("unknown predicate {}".format(pred))
-                mat.relations[pred] = Relation.empty(arity)
-            self._validate_types(artifacts, pred, delta.added)
-            if delta:
-                filtered[pred] = delta
-        new_mat, all_deltas = artifacts.engine.apply(mat, filtered)
-        new_bases = state.base_relations
-        for pred in filtered:
-            new_bases = new_bases.set(pred, new_mat.relations[pred])
-        new_state = WorkspaceState(
-            artifacts, new_bases, new_mat, state.meta_state
-        )
-        self._check(new_state, changed_preds=set(all_deltas))
-        self._commit(new_state)
-        return all_deltas
+        with _obs.span("commit", preds=len(deltas)) as span_:
+            artifacts = state.artifacts
+            mat = state.materialization
+            known = set(mat.relations)
+            filtered = {}
+            for pred, delta in deltas.items():
+                if pred not in known:
+                    arity = artifacts.arity_of(pred)
+                    if arity is None:
+                        raise TransactionAborted("unknown predicate {}".format(pred))
+                    mat.relations[pred] = Relation.empty(arity)
+                self._validate_types(artifacts, pred, delta.added)
+                if delta:
+                    filtered[pred] = delta
+            new_mat, all_deltas = artifacts.engine.apply(mat, filtered)
+            new_bases = state.base_relations
+            for pred in filtered:
+                new_bases = new_bases.set(pred, new_mat.relations[pred])
+            new_state = WorkspaceState(
+                artifacts, new_bases, new_mat, state.meta_state
+            )
+            self._check(new_state, changed_preds=set(all_deltas))
+            self._commit(new_state)
+            if span_ is not None:
+                span_.attrs["changed_preds"] = len(all_deltas)
+            return all_deltas
 
     @staticmethod
     def _validate_types(artifacts, pred, tuples):
@@ -343,9 +403,14 @@ class Workspace:
         # constraints over probabilistic heads are observations: they
         # condition PPDL inference, they do not gate transactions
         exempt |= state.artifacts.prob_head_preds
-        violations = state.artifacts.checker.check(
-            state.env_with_defaults(), changed_preds, exempt
-        )
+        with _obs.span(
+            "constraints.check",
+            scope="all" if changed_preds is None else len(changed_preds),
+        ):
+            _stats.bump("constraints.checks")
+            violations = state.artifacts.checker.check(
+                state.env_with_defaults(), changed_preds, exempt
+            )
         if violations:
             raise ConstraintViolation(violations)
 
@@ -358,12 +423,24 @@ class Workspace:
         per tuple; goes through the same maintenance and constraint
         checking.
         """
-        state = self.state
-        if pred in state.artifacts.ruleset.derived:
-            raise TransactionAborted("cannot write to derived predicate {}".format(pred))
-        tuples = [tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in tuples]
-        removals = [tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in remove]
-        return self._apply_deltas(state, {pred: Delta.from_iters(tuples, removals)})
+        with self._txn("load", pred=pred) as span_:
+            state = self.state
+            if pred in state.artifacts.ruleset.derived:
+                raise TransactionAborted(
+                    "cannot write to derived predicate {}".format(pred)
+                )
+            tuples = [
+                tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in tuples
+            ]
+            removals = [
+                tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in remove
+            ]
+            if span_ is not None:
+                span_.attrs["added"] = len(tuples)
+                span_.attrs["removed"] = len(removals)
+            return self._apply_deltas(
+                state, {pred: Delta.from_iters(tuples, removals)}
+            )
 
     # -- query ---------------------------------------------------------------------
 
@@ -373,23 +450,28 @@ class Workspace:
         The designated answer predicate is ``_`` (or ``answer``); all
         other rule heads act as auxiliary views local to the query.
         """
-        state = self.state
-        block = compile_program(source)
-        if block.reactive_rules:
-            raise TransactionAborted("queries cannot contain reactive rules")
-        ruleset = RuleSet(block.rules)
-        env = state.env_with_defaults()
-        for rule in block.rules:
-            for atom in rule.body:
-                if isinstance(atom, PredAtom) and atom.pred not in env:
-                    if atom.pred not in ruleset.derived:
-                        env[atom.pred] = Relation.empty(len(atom.args))
-        relations, _ = Evaluator(
-            ruleset,
-            prefer_array=False,
-            plan_cache=self._plan_cache,
-            parallel=self._parallel,
-        ).evaluate(env)
-        if answer is None:
-            answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
-        return sorted(relations[answer])
+        with self._txn("query") as span_:
+            state = self.state
+            with _obs.span("compile", chars=len(source)):
+                block = compile_program(source)
+            if block.reactive_rules:
+                raise TransactionAborted("queries cannot contain reactive rules")
+            ruleset = RuleSet(block.rules)
+            env = state.env_with_defaults()
+            for rule in block.rules:
+                for atom in rule.body:
+                    if isinstance(atom, PredAtom) and atom.pred not in env:
+                        if atom.pred not in ruleset.derived:
+                            env[atom.pred] = Relation.empty(len(atom.args))
+            relations, _ = Evaluator(
+                ruleset,
+                prefer_array=False,
+                plan_cache=self._plan_cache,
+                parallel=self._parallel,
+            ).evaluate(env)
+            if answer is None:
+                answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
+            rows = sorted(relations[answer])
+            if span_ is not None:
+                span_.attrs["rows"] = len(rows)
+            return rows

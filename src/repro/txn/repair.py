@@ -21,6 +21,8 @@ order.
 
 import time
 
+from repro import obs
+from repro import stats as global_stats
 from repro.engine.evaluator import RuleSet
 from repro.engine.ir import PredAtom
 from repro.engine.ivm import IncrementalEngine
@@ -100,13 +102,18 @@ class PreparedTransaction:
 
     def execute(self, state):
         """Run against ``state``; records effects and sensitivities."""
-        started = time.perf_counter()
-        env = self._build_env(state)
-        self._mat = self.engine.initialize(env)
-        self._sens_cache = None
-        self._extract_effects()
-        self.execute_seconds = time.perf_counter() - started
-        return self.effects
+        with obs.span("repair.execute", txn=self.name) as span_:
+            global_stats.bump("repair.executes")
+            started = time.perf_counter()
+            env = self._build_env(state)
+            self._mat = self.engine.initialize(env)
+            self._sens_cache = None
+            self._extract_effects()
+            self.execute_seconds = time.perf_counter() - started
+            global_stats.observe("repair.execute.seconds", self.execute_seconds)
+            if span_ is not None:
+                span_.attrs["effects"] = len(self.effects)
+            return self.effects
 
     def sensitivity(self):
         """The merged, frozen sensitivity index of this transaction."""
@@ -140,19 +147,25 @@ class PreparedTransaction:
         deltas); updates effects.  This is the Figure 7(a) corrections
         input: the transaction's reactive materialization is maintained,
         not re-executed."""
-        started = time.perf_counter()
-        start_deltas = {}
-        for pred, delta in corrections.items():
-            name = start_pred(pred)
-            if name in self._mat.relations:
-                start_deltas[name] = delta
-        if start_deltas:
-            self._mat, _ = self.engine.apply(self._mat, start_deltas)
-            self._sens_cache = None
-            self._extract_effects()
-        self.repair_count += 1
-        self.repair_seconds += time.perf_counter() - started
-        return self.effects
+        with obs.span("repair.correct", txn=self.name) as span_:
+            global_stats.bump("repair.corrects")
+            started = time.perf_counter()
+            start_deltas = {}
+            for pred, delta in corrections.items():
+                name = start_pred(pred)
+                if name in self._mat.relations:
+                    start_deltas[name] = delta
+            if start_deltas:
+                self._mat, _ = self.engine.apply(self._mat, start_deltas)
+                self._sens_cache = None
+                self._extract_effects()
+            self.repair_count += 1
+            elapsed = time.perf_counter() - started
+            self.repair_seconds += elapsed
+            global_stats.observe("repair.correct.seconds", elapsed)
+            if span_ is not None:
+                span_.attrs["corrected_preds"] = len(start_deltas)
+            return self.effects
 
 
 def compose_corrections(first, second):
@@ -195,27 +208,38 @@ class RepairScheduler:
         :class:`PreparedTransaction` objects.  Returns the list of
         prepared transactions (with per-txn stats filled in).
         """
-        state = self.workspace.state
-        prepared = [
-            txn if isinstance(txn, PreparedTransaction) else PreparedTransaction(txn)
-            for txn in transactions
-        ]
-        # Phase 1: run all transactions against the same branch point.
-        for txn in prepared:
-            txn.execute(state)
-            self.stats["transactions"] += 1
-            self.stats["execute_seconds"] += txn.execute_seconds
-        # Phase 2: compose left-to-right, repairing on conflict.
-        accumulated = {}
-        for txn in prepared:
-            relevant = txn.relevant_corrections(accumulated) if accumulated else {}
-            if relevant:
-                self.stats["conflicts"] += 1
-                txn.correct(relevant)
-                self.stats["repairs"] += 1
-                self.stats["repair_seconds"] += txn.repair_seconds
-            accumulated = compose_corrections(accumulated, txn.effects)
-        # Phase 3: commit the composite effects as one group.
-        if commit and accumulated:
-            self.workspace._apply_deltas(state, accumulated)
-        return prepared
+        # the scheduler drives engine work outside the workspace's own
+        # transaction methods, so route counters into its sink explicitly
+        with self.workspace.stats_scope():
+            with obs.span("txn.repair_batch", batch=len(transactions)) as span_:
+                state = self.workspace.state
+                prepared = [
+                    txn
+                    if isinstance(txn, PreparedTransaction)
+                    else PreparedTransaction(txn)
+                    for txn in transactions
+                ]
+                # Phase 1: run all transactions against the same branch point.
+                for txn in prepared:
+                    txn.execute(state)
+                    self.stats["transactions"] += 1
+                    self.stats["execute_seconds"] += txn.execute_seconds
+                # Phase 2: compose left-to-right, repairing on conflict.
+                accumulated = {}
+                for txn in prepared:
+                    relevant = (
+                        txn.relevant_corrections(accumulated) if accumulated else {}
+                    )
+                    if relevant:
+                        self.stats["conflicts"] += 1
+                        global_stats.bump("repair.conflicts")
+                        txn.correct(relevant)
+                        self.stats["repairs"] += 1
+                        self.stats["repair_seconds"] += txn.repair_seconds
+                    accumulated = compose_corrections(accumulated, txn.effects)
+                if span_ is not None:
+                    span_.attrs["conflicts"] = self.stats["conflicts"]
+                # Phase 3: commit the composite effects as one group.
+                if commit and accumulated:
+                    self.workspace._apply_deltas(state, accumulated)
+                return prepared

@@ -1,0 +1,203 @@
+"""The tracing layer itself: spans, scopes, exporters, overhead."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro import stats as global_stats
+
+
+@pytest.fixture
+def untraced():
+    """Force tracing fully off (the suite may run under REPRO_TRACE=1)."""
+    was_forced = obs._forced
+    obs.disable()
+    yield
+    obs._forced = was_forced
+
+
+class TestSpansDisabled:
+    def test_span_is_noop_without_collector(self, untraced):
+        assert not obs.tracing()
+        with obs.span("anything", foo=1) as span_:
+            assert span_ is None
+        assert obs.current() is None
+
+    def test_annotate_without_span_is_noop(self, untraced):
+        obs.annotate(x=1)  # must not raise
+
+
+class TestSpanTree:
+    def test_nesting_and_counters(self):
+        with obs.Profile() as prof:
+            with obs.span("outer", kind="test"):
+                global_stats.bump("obs_test.outer_only")
+                with obs.span("inner"):
+                    global_stats.bump("obs_test.both", 3)
+        assert len(prof.roots) == 1
+        outer = prof.roots[0]
+        assert outer.name == "outer"
+        assert outer.attrs == {"kind": "test"}
+        assert [c.name for c in outer.children] == ["inner"]
+        # the child's bumps land in every enclosing window
+        assert outer.counters["obs_test.both"] == 3
+        assert outer.counters["obs_test.outer_only"] == 1
+        assert outer.children[0].counters == {"obs_test.both": 3}
+        assert outer.wall_s >= outer.children[0].wall_s >= 0.0
+
+    def test_find_and_walk(self):
+        with obs.Profile() as prof:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+                with obs.span("b"):
+                    pass
+        assert prof.find("b") is not None
+        assert len(prof.find_all("b")) == 2
+        assert [s.name for s in prof.walk()] == ["a", "b", "b"]
+
+    def test_profile_counters_sum_roots(self):
+        with obs.Profile() as prof:
+            with obs.span("first"):
+                global_stats.bump("obs_test.sum", 2)
+            with obs.span("second"):
+                global_stats.bump("obs_test.sum", 5)
+        assert prof.counters()["obs_test.sum"] == 7
+
+    def test_abandoned_generator_span_is_folded_in(self):
+        def gen():
+            with obs.span("leaky"):
+                yield 1
+                yield 2
+
+        with obs.Profile() as prof:
+            with obs.span("parent"):
+                iterator = gen()
+                assert next(iterator) == 1
+                # drop the generator without exhausting it; closing the
+                # parent must not lose or orphan the open child span
+                del iterator
+        parent = prof.roots[0]
+        assert parent.name == "parent"
+        names = {s.name for s in parent.walk()}
+        assert "leaky" in names or prof.find("leaky") is not None
+
+
+class TestForcedMode:
+    def test_enable_records_into_ambient_ring(self):
+        was_forced = obs._forced
+        obs.enable()
+        try:
+            assert obs.tracing()
+            with obs.span("ambient-root"):
+                pass
+            roots = obs.last_roots()
+            assert roots and roots[-1].name == "ambient-root"
+        finally:
+            obs._forced = was_forced
+
+    def test_ring_is_bounded(self):
+        was_forced = obs._forced
+        obs.enable()
+        try:
+            for _ in range(obs._AMBIENT_LIMIT + 50):
+                with obs.span("flood"):
+                    pass
+            assert len(obs.last_roots()) <= obs._AMBIENT_LIMIT
+        finally:
+            obs._forced = was_forced
+
+
+class TestThreadIsolation:
+    def test_collector_only_sees_own_thread(self):
+        seen = {}
+
+        def other_thread():
+            with obs.span("other"):
+                pass
+
+        with obs.Profile() as prof:
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+            with obs.span("mine"):
+                pass
+            seen["names"] = [s.name for s in prof.walk()]
+        assert seen["names"] == ["mine"]
+
+
+class TestExporters:
+    def _sample_profile(self):
+        with obs.Profile() as prof:
+            with obs.span("root", kind="sample"):
+                global_stats.bump("obs_test.export")
+                with obs.span("child"):
+                    pass
+        return prof
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        prof = self._sample_profile()
+        path = tmp_path / "trace.jsonl"
+        prof.to_jsonl(str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        by_name = {r["name"]: r for r in records}
+        assert by_name["root"]["parent"] is None
+        assert by_name["child"]["parent"] == by_name["root"]["id"]
+        assert by_name["root"]["counters"]["obs_test.export"] == 1
+
+    def test_format_renders_tree(self):
+        prof = self._sample_profile()
+        text = prof.format()
+        assert "root" in text and "child" in text
+        assert "kind=sample" in text
+
+    def test_prometheus_text(self):
+        global_stats.bump("obs_test.prom", 2)
+        with global_stats.timer("obs_test.prom.seconds"):
+            pass
+        text = obs.prometheus_text()
+        assert "# TYPE repro_obs_test_prom counter" in text
+        assert "# TYPE repro_obs_test_prom_seconds summary" in text
+        assert "repro_obs_test_prom_seconds_count" in text
+
+    def test_span_totals_aggregate(self):
+        before = obs.span_totals().get("totals-probe", {"count": 0})["count"]
+        with obs.Profile():
+            with obs.span("totals-probe"):
+                pass
+        after = obs.span_totals()["totals-probe"]
+        assert after["count"] == before + 1
+        assert after["wall_s"] >= 0.0
+
+
+class TestTimers:
+    def test_timer_observes_duration(self):
+        with global_stats.timer("obs_test.timer.seconds"):
+            pass
+        with global_stats.timer("obs_test.timer.seconds"):
+            pass
+        hist = global_stats.histograms()["obs_test.timer.seconds"]
+        assert hist["count"] >= 2
+        assert hist["sum"] >= hist["min"] >= 0.0
+        assert hist["max"] >= hist["min"]
+
+
+class TestDemo:
+    def test_demo_cli_writes_trace(self, tmp_path):
+        path = tmp_path / "demo.jsonl"
+        out = io.StringIO()
+        was_forced = obs._forced
+        try:
+            prof = obs._demo(jsonl_path=str(path), out=out)
+        finally:
+            obs._forced = was_forced
+        assert path.exists() and path.read_text().strip()
+        # the demo runs addblock + load + query transactions
+        names = {s.name for s in prof.walk()}
+        assert "txn.addblock" in names
+        assert "txn.query" in names
+        assert "join" in names

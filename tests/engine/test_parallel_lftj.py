@@ -167,6 +167,69 @@ def test_evaluator_parallel_matches_serial_materialization(pool):
     assert sorted(serial_rel["P"]) == sorted(parallel_rel["P"])
 
 
+def test_worker_counters_propagate_to_parent(pool):
+    """Counters bumped inside pool workers (satellite of the tracing
+    work): each shard result carries an envelope of the global counter
+    deltas its task produced worker-side, and the parent merges them —
+    so ``join.*`` movement totals match a serial run instead of
+    silently losing the workers' share."""
+    relation = random_graph(60, 500, seed=21)
+    plan = build_plan(TRIANGLE, var_order=["a", "b", "c"])
+
+    serial_stats = {}
+    serial = list(
+        LeapfrogTrieJoin(
+            plan, {"E": relation}, prefer_array=True, stats=serial_stats
+        ).run()
+    )
+    assert serial and serial_stats["steps"] > 0
+
+    before = global_stats.snapshot()
+    stats = {}
+    parallel = list(
+        ParallelLeapfrogTrieJoin(
+            plan, {"E": relation}, config=config(pool), stats=stats
+        ).run()
+    )
+    bumped = global_stats.delta_since(before)
+    assert parallel == serial
+    assert stats["parallel_joins"] == 1
+    # level-0 visits partition exactly across shards, so merged steps
+    # equal the serial count; seeks/opens include per-shard boundary
+    # work, so they can only be >= the serial figures — the regression
+    # guarded here is them coming back 0 (the lost-counter bug)
+    assert stats.get("steps") == serial_stats["steps"]
+    assert bumped.get("join.steps") == serial_stats["steps"]
+    for key in ("seeks", "nexts", "opens"):
+        if key in serial_stats:
+            assert stats.get(key, 0) >= serial_stats[key], key
+            assert bumped.get("join." + key, 0) == stats.get(key, 0), key
+    # worker-side global counters (relation index/array builds during
+    # environment materialization) arrive through the envelope
+    assert any(key.startswith("relation.") for key in bumped), bumped
+    assert bumped.get("pool.tasks", 0) >= 2
+
+
+def test_serial_fallback_reports_movement_counters(pool):
+    relation = Relation.from_iter(2, [(1, 2), (2, 3), (1, 3)])
+    plan = build_plan(TRIANGLE, var_order=["a", "b", "c"])
+    before = global_stats.snapshot()
+    stats = {}
+    rows = list(
+        ParallelLeapfrogTrieJoin(
+            plan,
+            {"E": relation},
+            config=ParallelConfig(shards=3, pool=pool, min_cost=4096),
+            stats=stats,
+        ).run()
+    )
+    bumped = global_stats.delta_since(before)
+    assert rows == [(1, 2, 3)]
+    assert stats["serial_fallbacks"] == 1
+    assert stats["steps"] > 0
+    assert bumped.get("join.steps") == stats["steps"]
+
+
 def test_evaluator_rule_dispatch_to_pool(pool):
     edges = random_graph(35, 200, seed=13)
     other = random_graph(35, 200, seed=14)

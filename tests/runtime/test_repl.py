@@ -99,6 +99,50 @@ class TestRepl:
         assert "optimal" in output
 
 
+class TestObservabilityCommands:
+    def test_stats_emits_json(self):
+        output, _ = session(
+            "edge(x, y) -> int(x), int(y).",
+            "exec +edge(1, 2).",
+            ":stats",
+        )
+        import json
+
+        blob = output[output.index("{"):]
+        stats = json.loads(blob[: blob.rindex("}") + 1])
+        assert "plan_cache" in stats
+
+    def test_stats_prom_emits_exposition_text(self):
+        output, _ = session(
+            "edge(x, y) -> int(x), int(y).",
+            "exec +edge(1, 2).",
+            ":stats prom",
+        )
+        assert "# TYPE" in output
+        assert "repro_" in output
+
+    def test_profile_wraps_any_command(self):
+        output, _ = session(
+            "edge(x, y) -> int(x), int(y). tri(a, b, c) <- "
+            "edge(a, b), edge(b, c), edge(a, c).",
+            "exec +edge(1, 2). +edge(2, 3). +edge(1, 3).",
+            ":profile query _(a, b, c) <- edge(a, b), edge(b, c), edge(a, c).",
+        )
+        assert "txn.query" in output
+        assert "join" in output
+        assert "1, 2, 3" in output  # the profiled command still ran
+
+    def test_profile_without_argument_prints_usage(self):
+        output, _ = session(":profile")
+        assert "usage" in output
+
+    def test_profile_quit_propagates(self):
+        import io
+
+        repl = Repl(out=io.StringIO())
+        assert repl.handle(":profile quit") is False
+
+
 class TestLineCompletion:
     def test_clause_needs_dot(self):
         assert not _complete("p(x) <- q(x)")
@@ -107,3 +151,11 @@ class TestLineCompletion:
     def test_commands_complete_immediately(self):
         assert _complete("print foo")
         assert _complete("quit")
+
+    def test_observability_commands_complete(self):
+        assert _complete(":stats")
+        assert _complete(":stats prom")
+        assert not _complete(":profile")
+        assert _complete(":profile print edge")
+        assert not _complete(":profile query _(x) <- edge(1, x)")
+        assert _complete(":profile query _(x) <- edge(1, x).")
