@@ -27,6 +27,9 @@ SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: result-file aliases: module stem (minus ``bench_``) -> BENCH_<name>
+RESULT_ALIASES = {"service_throughput": "service"}
+
 
 def sizes(full, smoke):
     """Pick the workload size list for the current mode."""
@@ -85,6 +88,7 @@ def pytest_sessionfinish(session, exitstatus):
     trace = obs.span_totals()
     for module, entries in sorted(by_module.items()):
         name = module[len("bench_"):] if module.startswith("bench_") else module
+        name = RESULT_ALIASES.get(name, name)
         payload = {
             "benchmark": module,
             "smoke": SMOKE,

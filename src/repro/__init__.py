@@ -17,23 +17,45 @@ Quickstart::
     ''')
     ws.load('parent', [('adam', 'seth'), ('seth', 'enos')])
     print(ws.rows('ancestor'))
+
+Concurrent sessions (the service layer)::
+
+    import repro
+
+    session = repro.connect()
+    session.addblock('counter[s] = v -> string(s), int(v).')
+    session.load('counter', [('hits', 0)])
+    session.exec('^counter["hits"] = x <- counter@start["hits"] = y, x = y + 1.')
+    session.close()
 """
 
 from repro.runtime import (
+    ConflictError,
     ConstraintViolation,
+    Overloaded,
+    ReproError,
     TransactionAborted,
+    TxnResult,
+    TxnTimeout,
     UnknownPredicate,
     Workspace,
 )
 from repro.runtime.workbook import Workbook
+from repro.service.session import connect
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Workspace",
     "Workbook",
-    "ConstraintViolation",
+    "connect",
+    "TxnResult",
+    "ReproError",
     "TransactionAborted",
+    "ConstraintViolation",
+    "ConflictError",
+    "TxnTimeout",
+    "Overloaded",
     "UnknownPredicate",
     "__version__",
 ]

@@ -134,6 +134,7 @@ class Evaluator:
     def __init__(
         self,
         ruleset,
+        *,
         order_chooser=None,
         prefer_array=True,
         plan_cache=None,

@@ -66,7 +66,7 @@ class Materialization:
 class IncrementalEngine:
     """Materializes a rule set and maintains it under base-data deltas."""
 
-    def __init__(self, ruleset, track_sensitivity=True, plan_cache=None, parallel=None):
+    def __init__(self, ruleset, *, track_sensitivity=True, plan_cache=None, parallel=None):
         self.ruleset = ruleset
         self.track_sensitivity = track_sensitivity
         self.evaluator = Evaluator(

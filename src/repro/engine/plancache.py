@@ -15,6 +15,8 @@ Hits and misses are counted both locally (``cache.hits`` /
 (``plan_cache.hits`` / ``plan_cache.misses``) for workspace exports.
 """
 
+import threading
+
 from repro import obs
 from repro import stats as global_stats
 from repro.engine.ir import PredAtom
@@ -40,6 +42,9 @@ class PlanCache:
         # id(rule) -> (rule, structural key): the strong reference makes
         # the id stable for the cached entry's lifetime
         self._rule_keys = {}
+        # the service shares one cache across concurrent transaction
+        # engines, so lookups/evictions must not race
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -52,12 +57,13 @@ class PlanCache:
 
     def plan_for(self, rule, var_order=None):
         """The compiled plan for ``rule`` under ``var_order`` (cached)."""
-        key = (
-            self._rule_key(rule),
-            tuple(var_order) if var_order is not None else None,
-            rule_schema_key(rule),
-        )
-        plan = self._plans.get(key)
+        with self._lock:
+            key = (
+                self._rule_key(rule),
+                tuple(var_order) if var_order is not None else None,
+                rule_schema_key(rule),
+            )
+            plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
             global_stats.bump("plan_cache.hits")
@@ -67,9 +73,10 @@ class PlanCache:
             self.misses += 1
             global_stats.bump("plan_cache.misses")
             plan = rule.plan(var_order)
-            if len(self._plans) >= self.capacity:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
+            with self._lock:
+                if len(self._plans) >= self.capacity:
+                    self._plans.pop(next(iter(self._plans)))
+                self._plans[key] = plan
             return plan
 
     def stats_snapshot(self):

@@ -31,6 +31,7 @@ ring buffer (:func:`last_roots`) so long test runs cannot accumulate
 unbounded trace state.
 """
 
+import itertools
 import json
 import os
 import sys
@@ -48,14 +49,22 @@ _totals_lock = threading.Lock()
 _span_totals = {}  # span name -> [count, total wall seconds]
 
 
+_span_ids = itertools.count(1)
+
+
 class Span:
     """One named region of a trace: wall time, attributes, counter
-    deltas, children.  Attribute values should be JSON-safe."""
+    deltas, children.  Attribute values should be JSON-safe.
 
-    __slots__ = ("name", "attrs", "children", "counters", "wall_s",
+    ``sid`` is a process-unique span id; transaction results carry the
+    root span's sid so a :class:`~repro.runtime.result.TxnResult` can
+    be joined back to its trace."""
+
+    __slots__ = ("sid", "name", "attrs", "children", "counters", "wall_s",
                  "_started", "_sink")
 
     def __init__(self, name, attrs):
+        self.sid = next(_span_ids)
         self.name = name
         self.attrs = dict(attrs) if attrs else {}
         self.children = []
@@ -402,6 +411,10 @@ def prometheus_text():
     for key, value in sorted(stats.snapshot().items()):
         name = _metric_name(key)
         lines.append("# TYPE {} counter".format(name))
+        lines.append("{} {}".format(name, value))
+    for key, value in sorted(stats.gauges().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} gauge".format(name))
         lines.append("{} {}".format(name, value))
     for key, hist in sorted(stats.histograms().items()):
         name = _metric_name(key)

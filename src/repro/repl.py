@@ -17,6 +17,7 @@ Commands::
     meta <pred>             show a meta-engine relation (lang_edb, ...)
     :stats [prom]           engine counters (JSON; 'prom' = Prometheus text)
     :profile <command>      run any command traced, print its span tree
+    :serve [W [N]]          demo the concurrent service (W writers x N txns)
     help | quit
 """
 
@@ -77,8 +78,9 @@ class Repl:
                 self.workspace.switch(rest.strip())
                 self.emit("  on branch {}".format(rest.strip()))
             elif command == "exec":
-                deltas = self.workspace.exec(rest)
-                self.emit("  ok ({} predicates changed)".format(len(deltas)))
+                result = self.workspace.exec(rest)
+                self.emit("  ok ({} predicates changed)".format(
+                    len(result.deltas)))
             elif command == "query":
                 self.show_rows(self.workspace.query(rest))
             elif command == "solve":
@@ -109,14 +111,28 @@ class Repl:
                         keep_going = self.handle(rest)
                     self.emit(prof.format())
                     return keep_going
+            elif command == ":serve":
+                self.serve(rest)
             else:
-                name = self.workspace.addblock(stripped)
-                self.emit("  added block {}".format(name))
+                result = self.workspace.addblock(stripped)
+                self.emit("  added block {}".format(result.block))
         except (ConstraintViolation, TransactionAborted) as error:
             self.emit("  ABORTED: {}".format(error))
         except Exception as error:  # surface, keep the session alive
             self.emit("  ERROR: {}".format(error))
         return True
+
+    def serve(self, rest):
+        """The ``:serve`` command: run the multi-writer service soak
+        (a fresh workspace behind a :class:`TransactionService`) and
+        print its counters — the quickest way to see group commit,
+        repair, and the admission queue in action."""
+        from repro.service.__main__ import soak
+
+        parts = rest.split()
+        writers = int(parts[0]) if parts else 4
+        txns = int(parts[1]) if len(parts) > 1 else 20
+        soak(writers=writers, txns=txns, out=self.out)
 
     def run(self, stdin=sys.stdin):
         """Interactive loop."""
@@ -146,7 +162,7 @@ def _complete(text):
         return bool(rest.strip()) and _complete(rest)
     if command in ("help", "quit", "exit", "print", "blocks", "branches",
                    "branch", "switch", "solve", "meta", "removeblock",
-                   ":stats"):
+                   ":stats", ":serve"):
         return True
     return stripped.endswith(".") or stripped.endswith("}")
 

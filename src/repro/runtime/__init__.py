@@ -1,15 +1,25 @@
 """Runtime: workspaces, transactions, constraints, and workbooks."""
 
 from repro.runtime.workspace import Workspace
+from repro.runtime.result import TxnResult
 from repro.runtime.errors import (
+    ConflictError,
     ConstraintViolation,
+    Overloaded,
+    ReproError,
     TransactionAborted,
+    TxnTimeout,
     UnknownPredicate,
 )
 
 __all__ = [
     "Workspace",
-    "ConstraintViolation",
+    "TxnResult",
+    "ReproError",
     "TransactionAborted",
+    "ConstraintViolation",
+    "ConflictError",
+    "TxnTimeout",
+    "Overloaded",
     "UnknownPredicate",
 ]

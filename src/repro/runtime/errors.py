@@ -1,7 +1,31 @@
-"""Runtime error types."""
+"""Runtime error taxonomy.
+
+One root — :class:`ReproError` — so callers can catch "anything this
+system raises" with a single except clause, with the transaction
+failure modes grouped under :class:`TransactionAborted`:
+
+.. code-block:: text
+
+    ReproError
+    ├── TransactionAborted        (also RuntimeError, for back compat)
+    │   ├── ConstraintViolation   (integrity constraint failed)
+    │   ├── ConflictError         (commit-time conflict repair could not absorb)
+    │   └── TxnTimeout            (deadline elapsed before commit)
+    ├── Overloaded                (admission control shed the request)
+    └── UnknownPredicate          (also KeyError, for back compat)
+
+The ``RuntimeError`` / ``KeyError`` mixins preserve the pre-service
+contract: code written against the original surface (``except
+RuntimeError`` around ``exec``, ``except KeyError`` around predicate
+lookup) keeps working unchanged.
+"""
 
 
-class TransactionAborted(RuntimeError):
+class ReproError(Exception):
+    """Base class of every error raised by the repro runtime."""
+
+
+class TransactionAborted(ReproError, RuntimeError):
     """A transaction failed and its branch was dropped (no state change)."""
 
 
@@ -18,5 +42,36 @@ class ConstraintViolation(TransactionAborted):
         super().__init__("; ".join(lines))
 
 
-class UnknownPredicate(KeyError):
+class ConflictError(TransactionAborted):
+    """A commit-time conflict that transaction repair could not (or was
+    configured not to) reconcile.  Retryable: re-executing on a fresh
+    snapshot may succeed — the service layer does so automatically up
+    to its retry budget before surfacing this error."""
+
+    def __init__(self, message, preds=()):
+        self.preds = sorted(preds)
+        if self.preds:
+            message = "{} (predicates: {})".format(message, ", ".join(self.preds))
+        super().__init__(message)
+
+
+class TxnTimeout(TransactionAborted):
+    """The transaction's deadline elapsed before it could commit."""
+
+    def __init__(self, message, deadline_s=None):
+        self.deadline_s = deadline_s
+        super().__init__(message)
+
+
+class Overloaded(ReproError, RuntimeError):
+    """Admission control rejected the request instead of queuing it
+    unboundedly; carries the observed depth so clients can back off."""
+
+    def __init__(self, message, depth=None, limit=None):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(message)
+
+
+class UnknownPredicate(ReproError, KeyError):
     """Reference to a predicate that is neither declared nor derivable."""

@@ -1,0 +1,157 @@
+"""The uniform transaction result (the redesigned verb surface).
+
+Every transaction verb — ``Workspace.exec`` / ``load`` / ``addblock`` /
+``removeblock`` / ``query_result``, and the service commit path — now
+returns one :class:`TxnResult` carrying:
+
+* ``status`` — ``"committed"`` (the only status a Workspace verb can
+  return; aborts raise) or, through the service, the terminal status of
+  a scheduled transaction;
+* ``kind`` — which verb produced it;
+* ``deltas`` — the applied base-predicate deltas (``{pred: Delta}``);
+* ``rows`` — the answer rows for query-shaped verbs, else ``None``;
+* ``stats`` — the engine counters bumped inside this transaction's
+  window (plan-cache hits, join movement, IVM work, ...);
+* ``span_id`` — the id of the transaction's root tracing span when
+  tracing was on, else ``None``;
+* ``block`` — the block name for ``addblock``/``removeblock``;
+* ``attempts`` / ``repairs`` — service-path scheduling metadata (how
+  many executions were needed, how many repair merges were absorbed).
+
+Deprecation shims (one release): before this redesign each verb had an
+ad-hoc shape — ``exec``/``load`` returned the raw delta dict and
+``addblock`` returned the block-name string.  A :class:`TxnResult`
+still *behaves* like those shapes (mapping protocol over ``deltas``,
+string equality against ``block``) but each legacy use emits a
+:class:`DeprecationWarning` pointing at the structured field.
+"""
+
+import warnings
+from dataclasses import dataclass, field
+
+
+def _warn_legacy(what, instead):
+    warnings.warn(
+        "{} is deprecated; use {} instead".format(what, instead),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(eq=False)
+class TxnResult:
+    """Structured outcome of one committed transaction."""
+
+    status: str = "committed"
+    kind: str = "exec"
+    deltas: dict = field(default_factory=dict)
+    rows: list = None
+    stats: dict = field(default_factory=dict)
+    span_id: int = None
+    block: str = None
+    attempts: int = 1
+    repairs: int = 0
+    latency_s: float = None
+
+    @property
+    def committed(self):
+        """True when the transaction reached the head."""
+        return self.status == "committed"
+
+    def changed_predicates(self):
+        """Sorted names of the base predicates this transaction moved."""
+        return sorted(self.deltas)
+
+    def to_dict(self):
+        """JSON-safe summary (deltas reduced to per-predicate counts)."""
+        return {
+            "status": self.status,
+            "kind": self.kind,
+            "deltas": {
+                pred: {"added": len(d.added), "removed": len(d.removed)}
+                for pred, d in self.deltas.items()
+            },
+            "rows": len(self.rows) if self.rows is not None else None,
+            "span_id": self.span_id,
+            "block": self.block,
+            "attempts": self.attempts,
+            "repairs": self.repairs,
+            "latency_s": self.latency_s,
+        }
+
+    # -- legacy delta-dict shape (exec/load used to return {pred: Delta}) -----
+
+    def __getitem__(self, key):
+        _warn_legacy("indexing a TxnResult like the old delta dict",
+                     "result.deltas[pred]")
+        return self.deltas[key]
+
+    def __iter__(self):
+        _warn_legacy("iterating a TxnResult like the old delta dict",
+                     "result.deltas")
+        return iter(self.deltas)
+
+    def __len__(self):
+        _warn_legacy("len() on a TxnResult (old delta-dict shape)",
+                     "len(result.deltas)")
+        return len(self.deltas)
+
+    def __contains__(self, key):
+        _warn_legacy("'in' on a TxnResult (old delta-dict shape)",
+                     "key in result.deltas")
+        return key in self.deltas
+
+    def keys(self):
+        _warn_legacy("TxnResult.keys() (old delta-dict shape)",
+                     "result.deltas.keys()")
+        return self.deltas.keys()
+
+    def values(self):
+        _warn_legacy("TxnResult.values() (old delta-dict shape)",
+                     "result.deltas.values()")
+        return self.deltas.values()
+
+    def items(self):
+        _warn_legacy("TxnResult.items() (old delta-dict shape)",
+                     "result.deltas.items()")
+        return self.deltas.items()
+
+    def get(self, key, default=None):
+        _warn_legacy("TxnResult.get() (old delta-dict shape)",
+                     "result.deltas.get(key)")
+        return self.deltas.get(key, default)
+
+    # -- legacy block-name shape (addblock used to return the name str) -------
+
+    def __eq__(self, other):
+        if isinstance(other, str) and self.block is not None:
+            _warn_legacy("comparing a TxnResult to the block-name string",
+                         "result.block")
+            return self.block == other
+        if isinstance(other, TxnResult):
+            return self is other
+        return NotImplemented
+
+    def __hash__(self):
+        return object.__hash__(self)
+
+    def __str__(self):
+        # removeblock(ws.addblock(...)) and "block {}".format(...) both
+        # stringify; give them the name rather than the repr
+        if self.block is not None and self.kind in ("addblock", "removeblock"):
+            return self.block
+        return repr(self)
+
+    def __repr__(self):
+        bits = ["status={!r}".format(self.status), "kind={!r}".format(self.kind)]
+        if self.block is not None:
+            bits.append("block={!r}".format(self.block))
+        if self.deltas:
+            bits.append("deltas=[{}]".format(", ".join(sorted(self.deltas))))
+        if self.rows is not None:
+            bits.append("rows={}".format(len(self.rows)))
+        if self.attempts != 1:
+            bits.append("attempts={}".format(self.attempts))
+        if self.repairs:
+            bits.append("repairs={}".format(self.repairs))
+        return "TxnResult({})".format(", ".join(bits))

@@ -19,6 +19,7 @@ Aborting is simply not advancing the head: there is no undo log (T4).
 
 import contextlib
 import itertools
+import time
 
 from repro import obs as _obs
 from repro import stats as _stats
@@ -28,10 +29,41 @@ from repro.engine.evaluator import Evaluator, RuleSet
 from repro.engine.ir import PredAtom
 from repro.logiql.compiler import compile_program
 from repro.runtime.errors import ConstraintViolation, TransactionAborted
+from repro.runtime.result import TxnResult
 from repro.runtime.state import ProgramArtifacts, WorkspaceState, _base_name
 from repro.storage.relation import Delta, Relation
 
 _block_counter = itertools.count(1)
+
+
+def evaluate_query(state, source, answer=None, *, plan_cache=None, parallel=None):
+    """Evaluate a query program against one pinned workspace state.
+
+    Shared by :meth:`Workspace.query` (which evaluates at the branch
+    head) and the service layer's lock-free readers (which pin a head
+    snapshot and evaluate while the head moves on).  Returns the sorted
+    rows of the designated answer predicate.
+    """
+    with _obs.span("compile", chars=len(source)):
+        block = compile_program(source)
+    if block.reactive_rules:
+        raise TransactionAborted("queries cannot contain reactive rules")
+    ruleset = RuleSet(block.rules)
+    env = state.env_with_defaults()
+    for rule in block.rules:
+        for atom in rule.body:
+            if isinstance(atom, PredAtom) and atom.pred not in env:
+                if atom.pred not in ruleset.derived:
+                    env[atom.pred] = Relation.empty(len(atom.args))
+    relations, _ = Evaluator(
+        ruleset,
+        prefer_array=False,
+        plan_cache=plan_cache,
+        parallel=parallel,
+    ).evaluate(env)
+    if answer is None:
+        answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
+    return sorted(relations[answer])
 
 
 class _TypeViolation:
@@ -45,6 +77,32 @@ def _type_violation(pred, arg_type):
     return _TypeViolation("{} value must be {}".format(pred, arg_type))
 
 
+class _TxnWindow:
+    """Book-keeping for one transaction verb: the root span (when
+    tracing), the per-transaction counter sink, and the start time."""
+
+    __slots__ = ("kind", "span", "sink", "started")
+
+    def __init__(self, kind):
+        self.kind = kind
+        self.span = None
+        self.sink = {}
+        self.started = time.perf_counter()
+
+    def result(self, *, deltas=None, rows=None, block=None):
+        """The :class:`TxnResult` for a committed transaction."""
+        return TxnResult(
+            status="committed",
+            kind=self.kind,
+            deltas=deltas if deltas is not None else {},
+            rows=rows,
+            stats=self.sink,
+            span_id=self.span.sid if self.span is not None else None,
+            block=block,
+            latency_s=time.perf_counter() - self.started,
+        )
+
+
 class Workspace:
     """A versioned LogiQL workspace with named branches.
 
@@ -55,7 +113,7 @@ class Workspace:
     transactions, IVM passes, and program edits.
     """
 
-    def __init__(self, parallel=None):
+    def __init__(self, *, parallel=None):
         from repro.engine.plancache import PlanCache
 
         self._plan_cache = PlanCache()
@@ -122,30 +180,33 @@ class Workspace:
     # -- addblock / removeblock (live programming) -------------------------------
 
     def addblock(self, source, name=None):
-        """Install a block of logic; returns the block name.
+        """Install a block of logic; returns a :class:`TxnResult` whose
+        ``block`` field is the installed block's name.
 
         Re-materializes only derived predicates affected by the change
         (new/changed rules and their transitive dependents); everything
         else — relations, support counts, sensitivity indices — is
         carried over.
         """
-        with self._txn("addblock") as span_:
+        with self._txn("addblock") as window:
             state = self.state
             with _obs.span("compile", chars=len(source)):
                 block = compile_program(source)
             if name is None:
                 name = "block-{}".format(next(_block_counter))
-            if span_ is not None:
-                span_.attrs["block"] = name
+            if window.span is not None:
+                window.span.attrs["block"] = name
             new_blocks = state.artifacts.blocks.set(name, block)
             new_state = self._rebuild(state, new_blocks, name, block)
             self._check(new_state, changed_preds=None)
             self._commit(new_state)
-            return name
+            return window.result(block=name)
 
     def removeblock(self, name):
         """Remove a block, restoring the workspace program without it."""
-        with self._txn("removeblock", block=name):
+        if isinstance(name, TxnResult):
+            name = name.block
+        with self._txn("removeblock", block=name) as window:
             state = self.state
             old_block = state.artifacts.blocks.get(name)
             if old_block is None:
@@ -154,18 +215,23 @@ class Workspace:
             new_state = self._rebuild(state, new_blocks, name, None)
             self._check(new_state, changed_preds=None)
             self._commit(new_state)
+            return window.result(block=name)
 
     # -- observability ----------------------------------------------------------
 
     @contextlib.contextmanager
     def _txn(self, kind, **attrs):
         """One transaction window: a ``txn.<kind>`` span, a duration
-        histogram observation, and a stats scope capturing every counter
-        the transaction bumps into this workspace's private sink."""
+        histogram observation, and two stats scopes — the workspace's
+        private sink plus a fresh per-transaction sink that becomes the
+        ``stats`` field of the verb's :class:`TxnResult`."""
+        window = _TxnWindow(kind)
         with _stats.scope(self._counters):
-            with _stats.timer("txn." + kind + ".seconds"):
-                with _obs.span("txn." + kind, **attrs) as span_:
-                    yield span_
+            with _stats.scope(window.sink):
+                with _stats.timer("txn." + kind + ".seconds"):
+                    with _obs.span("txn." + kind, **attrs) as span_:
+                        window.span = span_
+                        yield window
 
     def engine_stats(self):
         """Engine effectiveness counters accumulated *by this
@@ -285,12 +351,13 @@ class Workspace:
     # -- exec ------------------------------------------------------------------
 
     def exec(self, source):
-        """Run a reactive transaction; returns the applied base deltas.
+        """Run a reactive transaction; returns a :class:`TxnResult`
+        whose ``deltas`` are the applied base-predicate deltas.
 
         Raises :class:`TransactionAborted` (leaving the head untouched)
         on writes to derived predicates or constraint violations.
         """
-        with self._txn("exec"):
+        with self._txn("exec") as window:
             state = self.state
             with _obs.span("compile", chars=len(source)):
                 block = compile_program(source)
@@ -300,7 +367,7 @@ class Workspace:
                     "use addblock for derivation rules"
                 )
             deltas = self._reactive_deltas(state, block.reactive_rules)
-            return self._apply_deltas(state, deltas)
+            return window.result(deltas=self._apply_deltas(state, deltas))
 
     def _reactive_deltas(self, state, reactive_rules):
         if not reactive_rules:
@@ -423,7 +490,7 @@ class Workspace:
         per tuple; goes through the same maintenance and constraint
         checking.
         """
-        with self._txn("load", pred=pred) as span_:
+        with self._txn("load", pred=pred) as window:
             state = self.state
             if pred in state.artifacts.ruleset.derived:
                 raise TransactionAborted(
@@ -435,12 +502,13 @@ class Workspace:
             removals = [
                 tuple(t) if isinstance(t, (tuple, list)) else (t,) for t in remove
             ]
-            if span_ is not None:
-                span_.attrs["added"] = len(tuples)
-                span_.attrs["removed"] = len(removals)
-            return self._apply_deltas(
+            if window.span is not None:
+                window.span.attrs["added"] = len(tuples)
+                window.span.attrs["removed"] = len(removals)
+            applied = self._apply_deltas(
                 state, {pred: Delta.from_iters(tuples, removals)}
             )
+            return window.result(deltas=applied)
 
     # -- query ---------------------------------------------------------------------
 
@@ -449,29 +517,23 @@ class Workspace:
 
         The designated answer predicate is ``_`` (or ``answer``); all
         other rule heads act as auxiliary views local to the query.
+        (``query`` keeps returning plain rows — use
+        :meth:`query_result` for the structured :class:`TxnResult`.)
         """
-        with self._txn("query") as span_:
+        return self.query_result(source, answer).rows
+
+    def query_result(self, source, answer=None):
+        """Like :meth:`query` but returns the full :class:`TxnResult`
+        (rows plus the per-transaction engine stats and span id)."""
+        with self._txn("query") as window:
             state = self.state
-            with _obs.span("compile", chars=len(source)):
-                block = compile_program(source)
-            if block.reactive_rules:
-                raise TransactionAborted("queries cannot contain reactive rules")
-            ruleset = RuleSet(block.rules)
-            env = state.env_with_defaults()
-            for rule in block.rules:
-                for atom in rule.body:
-                    if isinstance(atom, PredAtom) and atom.pred not in env:
-                        if atom.pred not in ruleset.derived:
-                            env[atom.pred] = Relation.empty(len(atom.args))
-            relations, _ = Evaluator(
-                ruleset,
-                prefer_array=False,
+            rows = evaluate_query(
+                state,
+                source,
+                answer,
                 plan_cache=self._plan_cache,
                 parallel=self._parallel,
-            ).evaluate(env)
-            if answer is None:
-                answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
-            rows = sorted(relations[answer])
-            if span_ is not None:
-                span_.attrs["rows"] = len(rows)
-            return rows
+            )
+            if window.span is not None:
+                window.span.attrs["rows"] = len(rows)
+            return window.result(rows=rows)

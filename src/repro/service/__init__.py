@@ -1,0 +1,29 @@
+"""repro.service — concurrent transactions over branch-and-repair.
+
+The service layer every scale-out feature plugs into: a
+:class:`TransactionService` schedules concurrent writers on O(1)
+branch snapshots and merge-commits them through transaction repair
+(group commit, bounded retry with backoff + jitter, admission control
+with typed load shedding, deterministic fault injection), while
+readers run lock-free on head snapshots.  :func:`connect` opens a
+client :class:`Session`.
+
+``python -m repro.service`` runs a small multi-writer soak demo.
+"""
+
+from repro.service.admission import AdmissionController, Ticket
+from repro.service.config import ServiceConfig
+from repro.service.faults import FaultInjector, InjectedCrash
+from repro.service.service import TransactionService
+from repro.service.session import Session, connect
+
+__all__ = [
+    "TransactionService",
+    "ServiceConfig",
+    "Session",
+    "connect",
+    "AdmissionController",
+    "Ticket",
+    "FaultInjector",
+    "InjectedCrash",
+]

@@ -1,0 +1,54 @@
+"""Service tuning knobs (all keyword-only, all defaulted)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(kw_only=True)
+class ServiceConfig:
+    """Configuration of a :class:`~repro.service.TransactionService`.
+
+    Admission control:
+
+    * ``max_pending`` — hard cap on in-flight write transactions
+      (executing or queued for commit).  The service sheds load past it
+      by raising :class:`~repro.runtime.errors.Overloaded` instead of
+      queuing unboundedly.
+    * ``default_timeout_s`` — per-transaction deadline when the caller
+      does not pass one; ``None`` disables deadlines.
+
+    Conflict handling:
+
+    * ``mode`` — ``"repair"`` (default): commit-time conflicts are
+      absorbed by incrementally repairing the transaction against the
+      moved head; ``"occ"``: first-committer-wins, conflicting
+      transactions raise :class:`ConflictError` and are retried from a
+      fresh snapshot (the classical optimistic baseline, useful for
+      exercising the retry machinery and as a comparison point).
+    * ``max_retries`` — bounded retry budget after retryable conflicts.
+    * ``backoff_base_s`` / ``backoff_cap_s`` — truncated exponential
+      backoff between retries, with deterministic jitter drawn from a
+      service-owned PRNG seeded by ``jitter_seed``.
+
+    Commit pipeline:
+
+    * ``group_commit`` — when True (default) the committer drains every
+      transaction queued at that moment and commits them as one
+      composed group (one IVM pass + one constraint check), the
+      Figure 7(b) batch discipline; when False each transaction is
+      applied individually.
+    """
+
+    max_pending: int = 64
+    default_timeout_s: float = 30.0
+    max_retries: int = 5
+    backoff_base_s: float = 0.001
+    backoff_cap_s: float = 0.05
+    jitter_seed: int = 0
+    group_commit: bool = True
+    mode: str = "repair"
+
+    def __post_init__(self):
+        if self.mode not in ("repair", "occ"):
+            raise ValueError("mode must be 'repair' or 'occ', got {!r}".format(self.mode))
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")

@@ -1,0 +1,94 @@
+"""Deterministic fault injection for the transaction service.
+
+Concurrency bugs hide in interleavings; this hook makes the interesting
+ones reproducible.  A :class:`FaultInjector` is scripted with a finite
+sequence of actions per *fault point* — the named places the service
+calls :meth:`fire` — and replays them FIFO, so a test can say "the
+first two commits conflict, the third succeeds" or "hold the committer
+until I've queued three writers" and get the same schedule every run.
+
+Fault points (see :class:`~repro.service.TransactionService`):
+
+* ``admission`` — after a transaction is admitted, before execution;
+* ``execute``  — immediately before a (re-)execution on a snapshot;
+* ``commit``   — in the committer, before a transaction is composed
+  into the commit group;
+* ``repair``   — before a repair merge is applied.
+
+Actions:
+
+* ``delay``    — sleep ``seconds`` (jitter-free, scripted);
+* ``conflict`` — raise :class:`ConflictError` (retryable);
+* ``crash``    — raise :class:`InjectedCrash` (non-retryable);
+* ``block``    — wait until the supplied :class:`threading.Event` is
+  set (deterministic interleaving control, e.g. holding the committer
+  while writers queue up a batch).
+
+Every fired action is appended to :attr:`fired` as ``(point, action,
+txn)`` so tests can assert the schedule actually happened.
+"""
+
+import collections
+import threading
+import time
+
+from repro.runtime.errors import ConflictError, ReproError
+
+
+class InjectedCrash(ReproError, RuntimeError):
+    """A scripted crash from the fault-injection hook."""
+
+
+class FaultInjector:
+    """Scripted, deterministic faults at the service's fault points."""
+
+    POINTS = ("admission", "execute", "commit", "repair")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._scripts = collections.defaultdict(collections.deque)
+        self.fired = []
+
+    def script(self, point, action, *, times=1, seconds=0.0, event=None, match=None):
+        """Queue ``action`` at ``point`` for the next ``times`` firings.
+
+        ``seconds`` parameterizes ``delay``; ``event`` parameterizes
+        ``block``; ``match``, when given, restricts the entry to
+        transactions whose name equals it (non-matching firings pass
+        through without consuming the entry).
+        """
+        if point not in self.POINTS:
+            raise ValueError("unknown fault point {!r} (one of {})".format(
+                point, ", ".join(self.POINTS)))
+        if action not in ("delay", "conflict", "crash", "block"):
+            raise ValueError("unknown fault action {!r}".format(action))
+        with self._lock:
+            for _ in range(times):
+                self._scripts[point].append((action, seconds, event, match))
+        return self
+
+    def fire(self, point, txn=None):
+        """Replay the next scripted action at ``point`` (no-op when the
+        script for that point is exhausted)."""
+        with self._lock:
+            queue = self._scripts.get(point)
+            if not queue:
+                return
+            action, seconds, event, match = queue[0]
+            if match is not None and txn != match:
+                return
+            queue.popleft()
+            self.fired.append((point, action, txn))
+        if action == "delay":
+            time.sleep(seconds)
+        elif action == "conflict":
+            raise ConflictError("injected conflict at {}".format(point))
+        elif action == "crash":
+            raise InjectedCrash("injected crash at {} (txn {})".format(point, txn))
+        elif action == "block":
+            event.wait()
+
+    def pending(self, point):
+        """Number of unconsumed script entries at ``point``."""
+        with self._lock:
+            return len(self._scripts.get(point, ()))

@@ -1,0 +1,629 @@
+"""The concurrent transaction service (paper pillars 2 + 6, served).
+
+:class:`TransactionService` turns the single-threaded ``Workspace``
+into a concurrent transaction manager following the paper's optimistic
+branch-merge discipline:
+
+* **Writers** (``exec``) run on their own O(1) branch snapshot of the
+  head version — execution never blocks other writers or readers.
+  Executed transactions queue for commit; a single committer thread
+  drains the queue in arrival order.  For each transaction the
+  committer *diffs the snapshot against the moved head* (structural
+  diffing via :mod:`repro.ds.diff`, cost proportional to what actually
+  changed), restricts the diff to the transaction's recorded
+  sensitivities, and — in ``repair`` mode — merge-commits by
+  incrementally repairing the transaction under those corrections
+  (:mod:`repro.txn.repair`).  Irreconcilable conflicts (``occ`` mode,
+  repair failures, injected faults) surface as
+  :class:`~repro.runtime.errors.ConflictError`; the submitting thread
+  retries on a fresh snapshot with truncated exponential backoff and
+  deterministic jitter, up to the configured budget.
+
+* **Group commit**: every transaction queued when the committer wakes
+  is composed into one commit group (each member repaired against the
+  accumulated effects of the members before it — the Figure 7(b)
+  circuit) and applied through one IVM pass + one constraint check.
+  This is what makes throughput *scale with writer count* even on one
+  interpreter: per-commit overhead is amortized over the batch.  If
+  the composed group violates a constraint, the committer falls back to
+  serial re-execution of the members so the violator alone aborts.
+
+* **Readers** (``query``/``rows``) are lock-free: they pin the head
+  version (one reference) and evaluate against that immutable snapshot
+  while the head moves on.
+
+* **DDL** (``addblock``/``removeblock``/``load``) rides the same queue
+  as a *barrier*: the committer flushes the group in front of it, runs
+  the verb on the head, and continues — full serialization with the
+  write stream, no extra locking.
+
+* **Admission control** bounds the in-flight window and sheds load
+  with typed :class:`Overloaded` errors; per-transaction deadlines
+  abort with :class:`TxnTimeout` at whichever stage they expire.
+
+Instrumentation: ``service.*`` counters/histograms/gauges through
+:mod:`repro.stats`, and ``service.exec`` / ``service.commit_batch`` /
+``service.query`` spans through :mod:`repro.obs`.
+"""
+
+import itertools
+import random
+import threading
+import time
+
+from repro import obs as _obs
+from repro import stats as _stats
+from repro.ds.diff import diff_pmap
+from repro.runtime.errors import (
+    ConflictError,
+    ReproError,
+    TransactionAborted,
+    TxnTimeout,
+)
+from repro.runtime.result import TxnResult
+from repro.runtime.workspace import Workspace, evaluate_query
+from repro.service.admission import AdmissionController
+from repro.service.config import ServiceConfig
+from repro.storage.relation import Relation
+from repro.txn.repair import PreparedTransaction, compose_corrections
+
+_txn_counter = itertools.count(1)
+_WAIT_SLICE_S = 0.05
+
+
+class _Pending:
+    """One executed write transaction queued for commit."""
+
+    __slots__ = ("txn", "source", "snapshot", "ticket", "event", "error",
+                 "committed", "attempt", "sink")
+
+    def __init__(self, txn, source, snapshot, ticket, attempt, sink):
+        self.txn = txn
+        self.source = source
+        self.snapshot = snapshot
+        self.ticket = ticket
+        self.event = threading.Event()
+        self.error = None
+        self.committed = False
+        self.attempt = attempt
+        self.sink = sink
+
+
+class _Barrier:
+    """A verb the committer must run serialized with the write stream."""
+
+    __slots__ = ("fn", "kind", "ticket", "event", "error", "result")
+
+    def __init__(self, fn, kind, ticket):
+        self.fn = fn
+        self.kind = kind
+        self.ticket = ticket
+        self.event = threading.Event()
+        self.error = None
+        self.result = None
+
+
+class TransactionService:
+    """Concurrent transaction manager + session layer over a workspace.
+
+    All constructor flags are keyword-only.  The service owns the
+    workspace's branch head: while the service is open, drive all
+    writes through it (direct ``Workspace`` verbs would race the
+    committer).  Reads may go anywhere — states are immutable.
+    """
+
+    def __init__(self, workspace=None, *, config=None, faults=None):
+        self.workspace = workspace if workspace is not None else Workspace()
+        self.config = config if config is not None else ServiceConfig()
+        self.faults = faults
+        self._admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            default_timeout_s=self.config.default_timeout_s,
+        )
+        self._queue = []
+        self._queue_cond = threading.Condition()
+        self._committer = None
+        self._closed = False
+        self._counters = {}
+        self._counters_lock = threading.Lock()
+        self._rng = random.Random(self.config.jitter_seed)
+        self._rng_lock = threading.Lock()
+        self._history = []
+        self._commit_seq = itertools.count(1)
+        self._sessions = itertools.count(1)
+        # source text -> compiled RuleSet: repeated transaction shapes
+        # (retries, parameterized client templates) skip the parser and
+        # compiler entirely; plans are shared via the workspace's plan
+        # cache, so a warm source costs only its joins
+        self._ruleset_cache = {}
+        self._ruleset_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Drain the commit queue and stop the committer thread."""
+        with self._queue_cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue_cond.notify_all()
+        if self._committer is not None:
+            self._committer.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _ensure_open(self):
+        if self._closed:
+            raise ReproError("service is closed")
+
+    def _fire(self, point, txn_name):
+        if self.faults is not None:
+            self.faults.fire(point, txn_name)
+
+    def _merge_stats(self, sink):
+        if not sink:
+            return
+        with self._counters_lock:
+            for key, value in sink.items():
+                self._counters[key] = self._counters.get(key, 0) + value
+
+    def _prepare(self, source, name):
+        """Build a :class:`PreparedTransaction`, reusing the compiled
+        ruleset for previously-seen source text and the workspace's
+        cross-transaction plan cache."""
+        if not isinstance(source, str):
+            return PreparedTransaction(source, name=name)
+        with self._ruleset_lock:
+            ruleset = self._ruleset_cache.get(source)
+        if ruleset is None:
+            txn = PreparedTransaction(
+                source, name=name, plan_cache=self.workspace._plan_cache)
+            with self._ruleset_lock:
+                if len(self._ruleset_cache) >= 512:
+                    self._ruleset_cache.pop(next(iter(self._ruleset_cache)))
+                self._ruleset_cache[source] = txn.ruleset
+            return txn
+        _stats.bump("service.prepare_cache.hits")
+        return PreparedTransaction(
+            source, name=name, ruleset=ruleset,
+            plan_cache=self.workspace._plan_cache)
+
+    # -- client surface: reads -------------------------------------------------
+
+    def query(self, source, *, answer=None):
+        """Evaluate a query lock-free against the current head snapshot;
+        returns the answer rows (use :meth:`query_result` for the
+        structured form)."""
+        return self.query_result(source, answer=answer).rows
+
+    def query_result(self, source, *, answer=None):
+        """Lock-free read returning a full :class:`TxnResult`."""
+        started = time.perf_counter()
+        sink = {}
+        with _obs.span("service.query") as span_:
+            with _stats.scope(sink):
+                _stats.bump("service.queries")
+                state = self.workspace.version().state  # pinned snapshot
+                rows = evaluate_query(
+                    state,
+                    source,
+                    answer,
+                    plan_cache=self.workspace._plan_cache,
+                    parallel=self.workspace._parallel,
+                )
+            if span_ is not None:
+                span_.attrs["rows"] = len(rows)
+        self._merge_stats(sink)
+        return TxnResult(
+            status="committed",
+            kind="query",
+            rows=rows,
+            stats=sink,
+            span_id=span_.sid if span_ is not None else None,
+            latency_s=time.perf_counter() - started,
+        )
+
+    def rows(self, pred):
+        """Current rows of a predicate at the head snapshot."""
+        return list(self.workspace.version().state.relation(pred))
+
+    # -- client surface: writes ------------------------------------------------
+
+    def exec(self, source, *, timeout=None, name=None):
+        """Run a reactive write transaction concurrently; returns its
+        :class:`TxnResult` once committed.
+
+        Raises :class:`Overloaded` (shed at admission),
+        :class:`TxnTimeout` (deadline), :class:`ConflictError` (after
+        the retry budget), or :class:`TransactionAborted` subclasses
+        from constraint checking — the head is untouched in all cases.
+        """
+        self._ensure_open()
+        if name is None:
+            name = "txn-{}".format(next(_txn_counter))
+        started = time.perf_counter()
+        call_sink = {}
+        try:
+            with _stats.scope(call_sink):
+                ticket = self._admission.admit(kind="exec", timeout_s=timeout)
+                try:
+                    with _obs.span("service.exec", txn=name) as span_:
+                        result = self._run_write(source, name, ticket, started)
+                        if span_ is not None:
+                            span_.attrs["attempts"] = result.attempts
+                            result.span_id = span_.sid
+                        return result
+                finally:
+                    self._admission.release(ticket)
+        finally:
+            self._merge_stats(call_sink)
+
+    def _run_write(self, source, name, ticket, started):
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt == 1:
+                self._fire("admission", name)
+            self._fire("execute", name)
+            snapshot = self.workspace.version()  # O(1) branch of the head
+            txn = self._prepare(source, name)
+            # nested inside the call-level scope: these bumps reach the
+            # service counters through it; the per-attempt sink is kept
+            # only to become the TxnResult's stats field
+            sink = {}
+            with _stats.scope(sink):
+                txn.execute(snapshot.state)
+            if ticket.expired():
+                _stats.bump("service.timeouts")
+                raise TxnTimeout(
+                    "transaction {} missed its deadline before commit".format(name),
+                    deadline_s=ticket.deadline,
+                )
+            pending = _Pending(txn, source, snapshot, ticket, attempt, sink)
+            self._enqueue(pending)
+            self._await(pending)
+            if pending.committed:
+                _stats.observe("service.commit.seconds",
+                               time.perf_counter() - started)
+                return TxnResult(
+                    status="committed",
+                    kind="exec",
+                    deltas=dict(txn.effects),
+                    stats=sink,
+                    attempts=attempt,
+                    repairs=txn.repair_count,
+                    latency_s=time.perf_counter() - started,
+                )
+            error = pending.error
+            if isinstance(error, ConflictError) and attempt <= self.config.max_retries:
+                _stats.bump("service.retries")
+                self._backoff(attempt, ticket)
+                if ticket.expired():
+                    _stats.bump("service.timeouts")
+                    raise TxnTimeout(
+                        "transaction {} timed out while retrying".format(name),
+                        deadline_s=ticket.deadline,
+                    ) from error
+                continue
+            _stats.bump("service.aborts")
+            raise error
+
+    def _backoff(self, attempt, ticket):
+        base = self.config.backoff_base_s * (2 ** (attempt - 1))
+        with self._rng_lock:
+            jitter = self._rng.random()
+        delay = min(self.config.backoff_cap_s, base) * (0.5 + jitter)
+        remaining = ticket.remaining()
+        delay = max(0.0, min(delay, remaining))
+        if delay:
+            time.sleep(delay)
+
+    # -- client surface: DDL barriers ------------------------------------------
+
+    def addblock(self, source, *, name=None, timeout=None):
+        """Install a block, serialized with the write stream."""
+        return self._barrier(
+            lambda ws: ws.addblock(source, name=name), "addblock", timeout)
+
+    def removeblock(self, name, *, timeout=None):
+        """Remove a block, serialized with the write stream."""
+        return self._barrier(
+            lambda ws: ws.removeblock(name), "removeblock", timeout)
+
+    def load(self, pred, tuples, remove=(), *, timeout=None):
+        """Bulk load, serialized with the write stream."""
+        tuples = list(tuples)
+        remove = list(remove)
+        return self._barrier(
+            lambda ws: ws.load(pred, tuples, remove), "load", timeout)
+
+    def _barrier(self, fn, kind, timeout):
+        self._ensure_open()
+        call_sink = {}
+        try:
+            with _stats.scope(call_sink):
+                ticket = self._admission.admit(kind=kind, timeout_s=timeout)
+                try:
+                    barrier = _Barrier(fn, kind, ticket)
+                    self._enqueue(barrier)
+                    self._await(barrier)
+                    if barrier.error is not None:
+                        _stats.bump("service.aborts")
+                        raise barrier.error
+                    return barrier.result
+                finally:
+                    self._admission.release(ticket)
+        finally:
+            self._merge_stats(call_sink)
+
+    # -- the commit pipeline ---------------------------------------------------
+
+    def _enqueue(self, item):
+        with self._queue_cond:
+            if self._closed:
+                raise ReproError("service is closed")
+            self._queue.append(item)
+            depth = len(self._queue)
+            if self._committer is None:
+                self._committer = threading.Thread(
+                    target=self._committer_loop,
+                    name="repro-service-committer",
+                    daemon=True,
+                )
+                self._committer.start()
+            self._queue_cond.notify_all()
+        _stats.gauge("service.queue_depth", depth)
+        _stats.observe("service.queue.depth", depth)
+
+    def _await(self, item):
+        while not item.event.wait(_WAIT_SLICE_S):
+            with self._queue_cond:
+                committer_dead = (
+                    self._closed
+                    and (self._committer is None or not self._committer.is_alive())
+                )
+            if committer_dead and not item.event.is_set():
+                raise ReproError("service closed before the transaction finished")
+
+    def _committer_loop(self):
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._closed:
+                    self._queue_cond.wait()
+                if not self._queue and self._closed:
+                    return
+                batch = self._queue
+                self._queue = []
+            _stats.gauge("service.queue_depth", 0)
+            sink = {}
+            try:
+                with _stats.scope(sink):
+                    self._process_batch(batch)
+            except BaseException as exc:  # defensive: never strand writers
+                for item in batch:
+                    if not item.event.is_set():
+                        item.error = item.error or exc
+                        item.event.set()
+            self._merge_stats(sink)
+
+    def _process_batch(self, batch):
+        """Commit a drained queue: groups of writes, barriers between."""
+        group = []
+        for item in batch:
+            if isinstance(item, _Pending):
+                group.append(item)
+                if self.config.group_commit:
+                    continue
+                self._commit_group([item])
+                group = []
+                continue
+            if group:
+                self._commit_group(group)
+                group = []
+            self._run_barrier(item)
+        if group:
+            self._commit_group(group)
+
+    def _run_barrier(self, barrier):
+        try:
+            if barrier.ticket.expired():
+                _stats.bump("service.timeouts")
+                raise TxnTimeout(
+                    "{} barrier missed its deadline".format(barrier.kind))
+            barrier.result = barrier.fn(self.workspace)
+        except Exception as exc:
+            barrier.error = exc
+        finally:
+            barrier.event.set()
+
+    def _commit_group(self, group):
+        """Compose and commit one group of executed transactions.
+
+        Members are repaired (or conflicted, in ``occ`` mode) against
+        the head diff plus the accumulated effects of earlier members,
+        then the composite delta is applied through one IVM pass and
+        one constraint check (the Figure 7(b) batch).  A constraint
+        violation in the composite falls back to serial re-execution so
+        only the violating member aborts.
+        """
+        with _obs.span("service.commit_batch", batch=len(group)) as span_:
+            _stats.bump("service.batches")
+            _stats.observe("service.batch.size", len(group))
+            head = self.workspace.version()
+            accumulated = {}
+            members = []
+            diff_cache = {}
+            repaired = 0
+            for pending in group:
+                if pending.ticket.expired():
+                    _stats.bump("service.timeouts")
+                    pending.error = TxnTimeout(
+                        "transaction {} missed its deadline in the commit "
+                        "queue".format(pending.txn.name))
+                    pending.event.set()
+                    continue
+                try:
+                    self._fire("commit", pending.txn.name)
+                    corrections = self._corrections_since(
+                        pending.snapshot, head, diff_cache)
+                    if accumulated:
+                        corrections = compose_corrections(corrections, accumulated)
+                    relevant = (
+                        pending.txn.relevant_corrections(corrections)
+                        if corrections else {}
+                    )
+                    if relevant:
+                        _stats.bump("service.conflicts")
+                        if self.config.mode == "occ":
+                            raise ConflictError(
+                                "snapshot invalidated by a committed "
+                                "transaction", preds=relevant)
+                        self._fire("repair", pending.txn.name)
+                        _stats.bump("service.repair_merges")
+                        repaired += 1
+                        try:
+                            pending.txn.correct(relevant)
+                        except TransactionAborted:
+                            raise
+                        except Exception as exc:
+                            raise ConflictError(
+                                "repair failed: {}".format(exc),
+                                preds=relevant) from exc
+                    accumulated = compose_corrections(
+                        accumulated, pending.txn.effects)
+                    members.append(pending)
+                except Exception as exc:
+                    pending.error = exc
+                    pending.event.set()
+            if span_ is not None:
+                span_.attrs["repaired"] = repaired
+            if not members:
+                return
+            if accumulated:
+                try:
+                    self.workspace._apply_deltas(head.state, accumulated)
+                except TransactionAborted:
+                    _stats.bump("service.batch_fallbacks")
+                    self._commit_serially(members)
+                    return
+                except Exception as exc:
+                    for pending in members:
+                        pending.error = exc
+                        pending.event.set()
+                    return
+            self._finish_members(members)
+
+    def _commit_serially(self, members):
+        """Fallback when the composed group aborts: re-execute each
+        member alone on the evolving head so the violator is the one
+        that aborts.  (Re-execution, not repair: a member may have been
+        repaired against group effects that are no longer committing.)"""
+        for pending in members:
+            try:
+                head = self.workspace.version()
+                pending.txn.execute(head.state)
+                if pending.txn.effects:
+                    self.workspace._apply_deltas(
+                        head.state, pending.txn.effects)
+            except Exception as exc:
+                pending.error = exc
+                pending.event.set()
+            else:
+                self._finish_members([pending])
+
+    def _finish_members(self, members):
+        for pending in members:
+            seq = next(self._commit_seq)
+            self._history.append({
+                "seq": seq,
+                "txn": pending.txn.name,
+                "source": pending.source,
+                "attempt": pending.attempt,
+                "repairs": pending.txn.repair_count,
+                "preds": sorted(pending.txn.effects),
+            })
+            _stats.bump("service.commits")
+            pending.committed = True
+            pending.event.set()
+
+    def _corrections_since(self, snapshot, head, cache):
+        """Base + derived deltas turning ``snapshot`` into ``head``.
+
+        The base map is diffed structurally (:func:`diff_pmap` prunes
+        shared subtrees, so cost tracks the edit distance, not the
+        database size); derived views are walked by identity, which the
+        IVM engine preserves for untouched predicates.
+        """
+        if snapshot is head or snapshot.state is head.state:
+            return {}
+        key = id(snapshot.state)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        old_state, new_state = snapshot.state, head.state
+        corrections = {}
+        base_delta = diff_pmap(old_state.base_relations, new_state.base_relations)
+        for pred, new_rel in base_delta.inserted.items():
+            delta = Relation.empty(new_rel.arity).diff(new_rel)
+            if delta:
+                corrections[pred] = delta
+        for pred, old_rel in base_delta.deleted.items():
+            delta = old_rel.diff(Relation.empty(old_rel.arity))
+            if delta:
+                corrections[pred] = delta
+        for pred, (old_rel, new_rel) in base_delta.updated.items():
+            delta = old_rel.diff(new_rel)
+            if delta:
+                corrections[pred] = delta
+        derived = (
+            set(new_state.artifacts.ruleset.derived)
+            | set(old_state.artifacts.ruleset.derived)
+        )
+        old_rels, new_rels = old_state.relations, new_state.relations
+        for pred in derived:
+            old_rel = old_rels.get(pred)
+            new_rel = new_rels.get(pred)
+            if old_rel is new_rel:
+                continue
+            if old_rel is None:
+                old_rel = Relation.empty(new_rel.arity)
+            if new_rel is None:
+                new_rel = Relation.empty(old_rel.arity)
+            delta = old_rel.diff(new_rel)
+            if delta:
+                corrections[pred] = delta
+        cache[key] = corrections
+        return corrections
+
+    # -- introspection ---------------------------------------------------------
+
+    def commit_history(self):
+        """The committed transactions in commit (= serialization) order."""
+        return list(self._history)
+
+    def service_stats(self):
+        """Counters attributed to this service's transactions, plus the
+        admission window and commit-queue levels."""
+        with self._counters_lock:
+            counters = dict(self._counters)
+        with self._queue_cond:
+            queued = len(self._queue)
+        counters["in_flight"] = self._admission.depth
+        counters["queued"] = queued
+        counters["committed"] = len(self._history)
+        return counters
+
+    # -- sessions --------------------------------------------------------------
+
+    def session(self, *, name=None, timeout=None):
+        """Open a :class:`~repro.service.session.Session` on this service."""
+        from repro.service.session import Session
+
+        if name is None:
+            name = "session-{}".format(next(self._sessions))
+        return Session(self, name=name, timeout=timeout)

@@ -1,0 +1,139 @@
+"""Client sessions: the user-facing handle onto a transaction service.
+
+``repro.connect()`` is the one-line entry point::
+
+    import repro
+
+    session = repro.connect()
+    session.addblock("inventory[s] = v -> string(s), int(v).")
+    session.load("inventory", [("widget", 50)])
+    session.exec('^inventory["widget"] = x <- '
+                 'inventory@start["widget"] = y, x = y - 1.')
+    print(session.query("_(s, v) <- inventory[s] = v."))
+    session.close()
+
+Many sessions can share one service (``service.session()`` or
+``connect(service=...)``); each carries its own name (stamped onto
+transaction names for tracing) and default timeout.  A session opened
+by ``connect()`` *owns* its service and closes it with the session.
+"""
+
+import itertools
+
+_session_counter = itertools.count(1)
+
+
+class Session:
+    """One client's handle onto a :class:`TransactionService`.
+
+    Thin by design: sessions add naming, default deadlines, and
+    lifecycle; all scheduling lives in the service.  Safe to use from
+    the owning thread; open one session per client thread.
+    """
+
+    def __init__(self, service, *, name=None, timeout=None, owns_service=False):
+        self.service = service
+        self.name = name or "session-{}".format(next(_session_counter))
+        self.timeout = timeout
+        self._owns_service = owns_service
+        self._txns = itertools.count(1)
+        self._closed = False
+
+    # -- verbs (all return TxnResult, except query which returns rows) --------
+
+    def exec(self, source, *, timeout=None):
+        """Submit a write transaction; blocks until committed/aborted."""
+        self._check_open()
+        return self.service.exec(
+            source,
+            timeout=self._timeout(timeout),
+            name="{}/txn-{}".format(self.name, next(self._txns)),
+        )
+
+    def query(self, source, *, answer=None):
+        """Lock-free read returning plain rows."""
+        self._check_open()
+        return self.service.query(source, answer=answer)
+
+    def query_result(self, source, *, answer=None):
+        """Lock-free read returning the structured :class:`TxnResult`."""
+        self._check_open()
+        return self.service.query_result(source, answer=answer)
+
+    def addblock(self, source, *, name=None, timeout=None):
+        """Install logic (serialized with the write stream)."""
+        self._check_open()
+        return self.service.addblock(
+            source, name=name, timeout=self._timeout(timeout))
+
+    def removeblock(self, name, *, timeout=None):
+        """Remove a block (serialized with the write stream)."""
+        self._check_open()
+        return self.service.removeblock(name, timeout=self._timeout(timeout))
+
+    def load(self, pred, tuples, remove=(), *, timeout=None):
+        """Bulk load (serialized with the write stream)."""
+        self._check_open()
+        return self.service.load(
+            pred, tuples, remove, timeout=self._timeout(timeout))
+
+    def rows(self, pred):
+        """Current rows of a predicate at the head snapshot."""
+        self._check_open()
+        return self.service.rows(pred)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Close the session (and its service, when it owns one)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _check_open(self):
+        if self._closed:
+            from repro.runtime.errors import ReproError
+
+            raise ReproError("session {} is closed".format(self.name))
+
+    def _timeout(self, timeout):
+        return timeout if timeout is not None else self.timeout
+
+    def __repr__(self):
+        return "Session({}, {})".format(self.name,
+                                        "closed" if self._closed else "open")
+
+
+def connect(workspace=None, *, service=None, name=None, timeout=None, **config):
+    """Open a session onto a transaction service.
+
+    * ``connect()`` — fresh workspace, fresh service (owned by the
+      returned session: closing the session closes the service).
+    * ``connect(workspace)`` — fresh service over an existing workspace.
+    * ``connect(service=svc)`` — another session on a shared service.
+
+    Extra keyword arguments become
+    :class:`~repro.service.config.ServiceConfig` fields, e.g.
+    ``connect(max_pending=8, mode="occ")``.
+    """
+    from repro.service.config import ServiceConfig
+    from repro.service.service import TransactionService
+
+    owns = service is None
+    if service is None:
+        cfg = ServiceConfig(**config)
+        service = TransactionService(workspace, config=cfg)
+    elif config:
+        raise TypeError(
+            "config kwargs {} ignored when an existing service is passed".format(
+                sorted(config)))
+    return Session(service, name=name, timeout=timeout, owns_service=owns)

@@ -33,6 +33,7 @@ import time
 _lock = threading.Lock()
 _counters = {}
 _histograms = {}  # key -> [count, sum, min, max]
+_gauges = {}
 _scopes = threading.local()
 
 
@@ -177,6 +178,20 @@ class timer:
         return False
 
 
+def gauge(key, value):
+    """Set gauge ``key`` to ``value`` (a point-in-time level, not a
+    monotone counter — the service layer reports queue depth and
+    in-flight transaction counts this way)."""
+    with _lock:
+        _gauges[key] = value
+
+
+def gauges():
+    """Snapshot of every gauge."""
+    with _lock:
+        return dict(_gauges)
+
+
 def histograms():
     """Snapshot of every histogram as ``{key: {count,sum,min,max}}``."""
     with _lock:
@@ -191,3 +206,4 @@ def reset():
     with _lock:
         _counters.clear()
         _histograms.clear()
+        _gauges.clear()

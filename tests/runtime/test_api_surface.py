@@ -1,0 +1,188 @@
+"""Snapshot of the public API surface.
+
+These tests pin the names exported from ``repro`` / ``repro.service``,
+the :class:`TxnResult` field set, and the error taxonomy, so accidental
+surface changes fail loudly instead of breaking clients."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    ConflictError,
+    ConstraintViolation,
+    Overloaded,
+    ReproError,
+    TransactionAborted,
+    TxnResult,
+    TxnTimeout,
+    UnknownPredicate,
+    Workspace,
+)
+
+
+class TestExports:
+    def test_top_level_all(self):
+        assert set(repro.__all__) == {
+            "Workspace",
+            "Workbook",
+            "connect",
+            "TxnResult",
+            "ReproError",
+            "TransactionAborted",
+            "ConstraintViolation",
+            "ConflictError",
+            "TxnTimeout",
+            "Overloaded",
+            "UnknownPredicate",
+            "__version__",
+        }
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_service_exports(self):
+        import repro.service as service
+
+        assert set(service.__all__) == {
+            "TransactionService",
+            "ServiceConfig",
+            "Session",
+            "connect",
+            "AdmissionController",
+            "Ticket",
+            "FaultInjector",
+            "InjectedCrash",
+        }
+        for name in service.__all__:
+            assert getattr(service, name) is not None
+
+    def test_connect_is_the_session_entry_point(self):
+        session = repro.connect()
+        try:
+            assert type(session).__name__ == "Session"
+        finally:
+            session.close()
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(TransactionAborted, ReproError)
+        assert issubclass(ConstraintViolation, TransactionAborted)
+        assert issubclass(ConflictError, TransactionAborted)
+        assert issubclass(TxnTimeout, TransactionAborted)
+        assert issubclass(Overloaded, ReproError)
+        assert issubclass(UnknownPredicate, ReproError)
+
+    def test_compat_mixins(self):
+        # pre-0.2 client code caught stdlib types; keep that working
+        assert issubclass(TransactionAborted, RuntimeError)
+        assert issubclass(Overloaded, RuntimeError)
+        assert issubclass(UnknownPredicate, KeyError)
+
+    def test_payloads(self):
+        assert ConflictError("c", preds=["p"]).preds == ["p"]
+        assert TxnTimeout("t", deadline_s=1.5).deadline_s == 1.5
+        error = Overloaded("o", depth=9, limit=8)
+        assert (error.depth, error.limit) == (9, 8)
+
+
+class TestTxnResult:
+    def test_field_snapshot(self):
+        fields = {f.name for f in dataclasses.fields(TxnResult)}
+        assert fields == {
+            "status",
+            "kind",
+            "deltas",
+            "rows",
+            "stats",
+            "span_id",
+            "block",
+            "attempts",
+            "repairs",
+            "latency_s",
+        }
+
+    def test_workspace_verbs_return_results(self):
+        ws = Workspace()
+        added = ws.addblock("p(x) -> int(x).", name="b1")
+        assert isinstance(added, TxnResult)
+        assert added.kind == "addblock" and added.block == "b1"
+        loaded = ws.load("p", [(1,)])
+        assert isinstance(loaded, TxnResult) and loaded.committed
+        result = ws.exec("+p(2).")
+        assert isinstance(result, TxnResult)
+        assert result.kind == "exec" and result.status == "committed"
+        assert "p" in result.deltas
+        assert result.changed_predicates() == ["p"]
+        assert result.latency_s is not None and result.latency_s >= 0
+
+    def test_query_result(self):
+        ws = Workspace()
+        ws.addblock("p(x) -> int(x).", name="b1")
+        ws.load("p", [(1,), (2,)])
+        result = ws.query_result("_(x) <- p(x).")
+        assert isinstance(result, TxnResult)
+        assert result.kind == "query"
+        assert sorted(result.rows) == [(1,), (2,)]
+        # plain query still returns bare rows
+        assert sorted(ws.query("_(x) <- p(x).")) == [(1,), (2,)]
+
+    def test_legacy_dict_shape_warns(self):
+        ws = Workspace()
+        ws.addblock("p(x) -> int(x).", name="b1")
+        result = ws.exec("+p(1).")
+        with pytest.warns(DeprecationWarning):
+            assert "p" in result
+        with pytest.warns(DeprecationWarning):
+            assert len(result) == 1
+        with pytest.warns(DeprecationWarning):
+            assert list(result) == ["p"]
+        with pytest.warns(DeprecationWarning):
+            assert result["p"] is result.deltas["p"]
+
+    def test_legacy_block_name_shape_warns(self):
+        ws = Workspace()
+        added = ws.addblock("p(x) -> int(x).", name="b7")
+        with pytest.warns(DeprecationWarning):
+            assert added == "b7"
+        assert str(added) == "b7"
+        # removeblock still accepts the result object (old name-string flow)
+        removed = ws.removeblock(added)
+        assert removed.kind == "removeblock" and removed.block == "b7"
+
+    def test_to_dict(self):
+        ws = Workspace()
+        ws.addblock("p(x) -> int(x).", name="b1")
+        result = ws.exec("+p(1).")
+        snapshot = result.to_dict()
+        assert snapshot["status"] == "committed"
+        assert snapshot["kind"] == "exec"
+        assert "p" in snapshot["deltas"]
+
+
+class TestKeywordOnlyConstructors:
+    def test_workspace_flags_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            Workspace(True)
+
+    def test_evaluator_flags_are_keyword_only(self):
+        from repro.engine.evaluator import Evaluator, RuleSet
+
+        with pytest.raises(TypeError):
+            Evaluator(RuleSet([]), None)
+
+    def test_service_flags_are_keyword_only(self):
+        from repro.service import ServiceConfig, TransactionService
+
+        with pytest.raises(TypeError):
+            TransactionService(None, ServiceConfig())
+
+    def test_service_config_rejects_unknown_mode(self):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ValueError):
+            ServiceConfig(mode="hope")
