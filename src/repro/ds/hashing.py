@@ -8,9 +8,26 @@ CPython maps ``hash(-1)`` to ``-2`` (and ``hash(-1.0)`` likewise), so
 ``(-1,)`` and ``(-2,)`` collide — a real equality bug, not a
 theoretical one.  ``stable_hash`` therefore dispatches on type, tags
 each type differently, and mixes through splitmix64.
+
+Two further requirements come from durability (:mod:`repro.storage.pager`)
+and the unique-representation property itself:
+
+* hashes must be identical **across processes** — builtin ``hash`` of
+  ``str``/``bytes`` is salted per interpreter (``PYTHONHASHSEED``), so a
+  checkpointed treap restored in another process would disagree with
+  freshly inserted keys about priorities and subtree hashes.  Strings
+  and bytes therefore hash through blake2b (memoized — the digest is
+  computed once per distinct string);
+* keys that compare equal must hash equal, and keys that are unequal to
+  everything (NaN) must never enter a tree: ``-0.0 == 0.0`` so their
+  bit patterns are canonicalized to one hash, while ``NaN != NaN``
+  would make an inserted fact unfindable and silently break unique
+  representation, so NaN is rejected outright.
 """
 
 import struct
+from functools import lru_cache
+from hashlib import blake2b
 
 _MASK64 = (1 << 64) - 1
 
@@ -21,6 +38,14 @@ _TAG_FLOAT = 0x464C5421
 _TAG_STR = 0x53545221
 _TAG_TUPLE = 0x54504C21
 _TAG_OTHER = 0x4F545221
+
+
+@lru_cache(maxsize=65536)
+def _text_hash(data):
+    """Process-independent 64-bit hash of a str/bytes payload."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "little")
 
 
 def splitmix64(x):
@@ -47,15 +72,25 @@ def stable_hash(key):
         high = (key >> 64) & _MASK64
         return splitmix64(splitmix64(_TAG_INT ^ folded) ^ high)
     if isinstance(key, float):
+        if key != key:
+            raise ValueError(
+                "NaN cannot be stored in persistent structures: "
+                "NaN != NaN breaks unique representation and makes the "
+                "inserted fact unfindable"
+            )
+        if key == 0.0:
+            key = 0.0  # -0.0 == 0.0: equal keys must hash equally
         bits = struct.unpack("<Q", struct.pack("<d", key))[0]
         return splitmix64(_TAG_FLOAT ^ bits)
     if isinstance(key, str):
-        return splitmix64(_TAG_STR ^ (hash(key) & _MASK64))
+        return splitmix64(_TAG_STR ^ _text_hash(key))
     if isinstance(key, tuple):
         acc = _TAG_TUPLE ^ len(key)
         for item in key:
             acc = splitmix64(acc ^ stable_hash(item))
         return splitmix64(acc)
+    if isinstance(key, bytes):
+        return splitmix64(_TAG_OTHER ^ _text_hash(key))
     return splitmix64(_TAG_OTHER ^ (hash(key) & _MASK64))
 
 

@@ -17,6 +17,17 @@ import itertools
 _version_counter = itertools.count(1)
 
 
+def ensure_version_counter(minimum):
+    """Guarantee that future version ids exceed ``minimum``.
+
+    Called after restoring a checkpointed version DAG so ids minted by
+    new transactions never collide with restored ones.
+    """
+    global _version_counter
+    current = next(_version_counter)
+    _version_counter = itertools.count(max(current, minimum + 1))
+
+
 class Version:
     """One immutable snapshot in the version DAG."""
 
@@ -27,6 +38,22 @@ class Version:
         self.state = state
         self.parents = tuple(parents)
         self.label = label
+
+    @classmethod
+    def restore(cls, vid, state, parents=(), label=None):
+        """Rebuild a version with an explicit id (checkpoint restore).
+
+        Non-head versions restore with ``state=None``: the DAG skeleton
+        (ids, parentage, labels) survives durably, but only branch-head
+        states are persisted — time-traveling to a pre-checkpoint
+        interior version requires the original process.
+        """
+        version = cls.__new__(cls)
+        version.id = vid
+        version.state = state
+        version.parents = tuple(parents)
+        version.label = label
+        return version
 
     def branch(self, label=None):
         """O(1): a child version sharing this version's state."""
@@ -72,9 +99,21 @@ class VersionGraph:
         self._heads = {root_name: root}
         self.root_name = root_name
 
+    @classmethod
+    def restore(cls, heads, root_name="main"):
+        """Rebuild a graph from restored head versions (no new ids)."""
+        graph = cls.__new__(cls)
+        graph._heads = dict(heads)
+        graph.root_name = root_name
+        return graph
+
     def head(self, name="main"):
         """Current head version of branch ``name``."""
         return self._heads[name]
+
+    def heads(self):
+        """Branch name → head version (a copy; safe to iterate)."""
+        return dict(self._heads)
 
     def branches(self):
         """Sorted list of branch names."""

@@ -16,10 +16,12 @@ same relation versions — hit the worker-side cache and deserialize
 nothing.
 """
 
+import atexit
 import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import weakref
 
 from repro import stats
 from repro.engine.lftj import LeapfrogTrieJoin
@@ -84,6 +86,21 @@ def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
 
 # -- parent side -----------------------------------------------------------
 
+# every live pool, so interpreter exit can stop their workers: without
+# this, a REPL session or benchmark that parallelized even one join
+# leaks worker processes past exit (the executor's own atexit hook only
+# joins its queue-management thread)
+_LIVE_POOLS = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_live_pools():
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.shutdown()
+        except Exception:
+            pass
+
 
 class JoinWorkerPool:
     """A lazily started, process-wide pool of join workers.
@@ -120,6 +137,7 @@ class JoinWorkerPool:
             self._executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=context
             )
+            _LIVE_POOLS.add(self)
             stats.bump("pool.starts")
         return self._executor
 
@@ -171,10 +189,12 @@ class JoinWorkerPool:
         )
 
     def shutdown(self):
-        """Stop the workers (tests; the shared pool normally lives on)."""
+        """Stop the workers.  Called by tests, and for every live pool
+        by the interpreter-exit hook above."""
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        _LIVE_POOLS.discard(self)
 
     def stats_snapshot(self):
         """Pool shape for observability exports."""

@@ -120,6 +120,7 @@ class CompiledBlock:
         self.directives = []  # ast.DirectiveClause
         self.predict_rules = []  # PredictRule
         self.prob_rules = []  # ProbRule
+        self.source = None  # original LogiQL text (durable checkpoints)
 
 
 class _Lowerer:
@@ -471,11 +472,13 @@ def _compile_caret_rule(clause, block):
 
 def compile_program(program):
     """Compile a parsed :class:`ast.Program` into a :class:`CompiledBlock`."""
+    source = program if isinstance(program, str) else None
     if isinstance(program, str):
         from repro.logiql.parser import parse_program
 
         program = parse_program(program)
     block = CompiledBlock()
+    block.source = source
     for clause in program.clauses:
         if isinstance(clause, ast.DirectiveClause):
             block.directives.append(clause)

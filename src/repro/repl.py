@@ -18,6 +18,8 @@ Commands::
     :stats [prom]           engine counters (JSON; 'prom' = Prometheus text)
     :profile <command>      run any command traced, print its span tree
     :serve [W [N]]          demo the concurrent service (W writers x N txns)
+    :checkpoint <dir>       write a durable checkpoint (incremental)
+    :open <dir>             replace the session workspace from a checkpoint
     help | quit
 """
 
@@ -113,6 +115,25 @@ class Repl:
                     return keep_going
             elif command == ":serve":
                 self.serve(rest)
+            elif command == ":checkpoint":
+                path = rest.strip()
+                if not path:
+                    self.emit("  usage: :checkpoint <dir>")
+                else:
+                    result = self.workspace.checkpoint(path)
+                    self.emit(
+                        "  checkpoint {} at {}: {} nodes "
+                        "({} bytes) written".format(
+                            result["seq"], path,
+                            result["nodes_written"], result["bytes_written"]))
+            elif command == ":open":
+                path = rest.strip()
+                if not path:
+                    self.emit("  usage: :open <dir>")
+                else:
+                    self.workspace = Workspace.open(path)
+                    self.emit("  opened {} (branch {})".format(
+                        path, self.workspace.branch))
             else:
                 result = self.workspace.addblock(stripped)
                 self.emit("  added block {}".format(result.block))
@@ -162,7 +183,7 @@ def _complete(text):
         return bool(rest.strip()) and _complete(rest)
     if command in ("help", "quit", "exit", "print", "blocks", "branches",
                    "branch", "switch", "solve", "meta", "removeblock",
-                   ":stats", ":serve"):
+                   ":stats", ":serve", ":checkpoint", ":open"):
         return True
     return stripped.endswith(".") or stripped.endswith("}")
 

@@ -128,6 +128,10 @@ class Workspace:
         # different threads never contaminate each other's deltas
         self._counters = {}
         self._stats_baseline = {}
+        # checkpoint path -> CheckpointStore: keeps the id(node)->addr
+        # memo warm so repeated checkpoints to the same path stay
+        # incremental
+        self._pagers = {}
 
     # -- state access ---------------------------------------------------------
 
@@ -154,6 +158,47 @@ class Workspace:
 
     def _commit(self, new_state):
         self._graph.advance(self.branch, new_state)
+
+    # -- durability -------------------------------------------------------------
+
+    def _pager(self, path):
+        from repro.storage.pager import CheckpointStore
+
+        pager = self._pagers.get(path)
+        if pager is None:
+            pager = self._pagers[path] = CheckpointStore(path)
+        return pager
+
+    def checkpoint(self, path, *, fault_fire=None):
+        """Write a durable checkpoint of every branch head to ``path``.
+
+        Incremental: only treap nodes not already in the store are
+        written (structural sharing means that is the diff since the
+        last checkpoint).  Crash-safe: the manifest swap is atomic, so
+        an interrupted checkpoint leaves the previous one intact.
+        Returns a dict of counters (``seq``, ``nodes_written``,
+        ``bytes_written``, ``store_nodes``).
+        """
+        with _stats.scope(self._counters):
+            return self._pager(path).checkpoint(self, fault_fire=fault_fire)
+
+    @classmethod
+    def open(cls, path, *, parallel=None):
+        """Reconstruct a workspace from the checkpoint at ``path``.
+
+        Bit-identical restore: relation contents, support counts,
+        aggregation state, and sensitivity indices are read back
+        directly (no re-derivation); compiled program artifacts are
+        rebuilt deterministically from the stored block sources.
+        """
+        from repro.storage.pager import CheckpointStore
+
+        workspace = cls(parallel=parallel)
+        pager = CheckpointStore(path)
+        with _stats.scope(workspace._counters):
+            pager.restore_into(workspace)
+        workspace._pagers[path] = pager
+        return workspace
 
     # -- branches ---------------------------------------------------------------
 

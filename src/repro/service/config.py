@@ -36,6 +36,21 @@ class ServiceConfig:
       composed group (one IVM pass + one constraint check), the
       Figure 7(b) batch discipline; when False each transaction is
       applied individually.
+
+    Durability (:mod:`repro.storage.pager`):
+
+    * ``checkpoint_path`` — directory for durable checkpoints.  When
+      set, a service built without an explicit workspace *recovers* the
+      checkpointed state on startup, and the shutdown/auto-checkpoint
+      knobs below become active.
+    * ``checkpoint_every_n_commits`` — the committer writes a
+      checkpoint after every N committed transactions (0 disables
+      auto-checkpointing).  Checkpoints run on the committer thread,
+      serialized with the write stream, and are incremental: cost
+      tracks the delta since the previous one.
+    * ``checkpoint_on_shutdown`` — write a final checkpoint in
+      :meth:`~repro.service.TransactionService.close` (after the
+      committer drains) so a clean restart loses nothing.
     """
 
     max_pending: int = 64
@@ -46,9 +61,17 @@ class ServiceConfig:
     jitter_seed: int = 0
     group_commit: bool = True
     mode: str = "repair"
+    checkpoint_path: str = None
+    checkpoint_every_n_commits: int = 0
+    checkpoint_on_shutdown: bool = True
 
     def __post_init__(self):
         if self.mode not in ("repair", "occ"):
             raise ValueError("mode must be 'repair' or 'occ', got {!r}".format(self.mode))
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.checkpoint_every_n_commits < 0:
+            raise ValueError("checkpoint_every_n_commits must be >= 0")
+        if self.checkpoint_every_n_commits and not self.checkpoint_path:
+            raise ValueError(
+                "checkpoint_every_n_commits requires checkpoint_path")

@@ -13,7 +13,10 @@ Fault points (see :class:`~repro.service.TransactionService`):
 * ``execute``  — immediately before a (re-)execution on a snapshot;
 * ``commit``   — in the committer, before a transaction is composed
   into the commit group;
-* ``repair``   — before a repair merge is applied.
+* ``repair``   — before a repair merge is applied;
+* ``checkpoint`` — inside :meth:`Workspace.checkpoint`, after the node
+  pack is durable but before the manifest swap (the crash-safety
+  window: a crash here must leave the previous checkpoint intact).
 
 Actions:
 
@@ -42,7 +45,7 @@ class InjectedCrash(ReproError, RuntimeError):
 class FaultInjector:
     """Scripted, deterministic faults at the service's fault points."""
 
-    POINTS = ("admission", "execute", "commit", "repair")
+    POINTS = ("admission", "execute", "commit", "repair", "checkpoint")
 
     def __init__(self):
         self._lock = threading.Lock()

@@ -113,8 +113,10 @@ class TransactionService:
     """
 
     def __init__(self, workspace=None, *, config=None, faults=None):
-        self.workspace = workspace if workspace is not None else Workspace()
         self.config = config if config is not None else ServiceConfig()
+        if workspace is None:
+            workspace = self._recover_workspace(self.config)
+        self.workspace = workspace
         self.faults = faults
         self._admission = AdmissionController(
             max_pending=self.config.max_pending,
@@ -137,11 +139,28 @@ class TransactionService:
         # cache, so a warm source costs only its joins
         self._ruleset_cache = {}
         self._ruleset_lock = threading.Lock()
+        # commits since the last durable checkpoint; touched only by the
+        # committer thread (auto-checkpoint) and close()
+        self._commits_since_checkpoint = 0
+        self._checkpoint_count = 0
+
+    @staticmethod
+    def _recover_workspace(config):
+        """Restart recovery: reopen the checkpoint named by the config
+        (when one exists), else start from an empty workspace."""
+        if config.checkpoint_path:
+            from repro.storage.pager import has_checkpoint
+
+            if has_checkpoint(config.checkpoint_path):
+                _stats.bump("service.recoveries")
+                return Workspace.open(config.checkpoint_path)
+        return Workspace()
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self):
-        """Drain the commit queue and stop the committer thread."""
+        """Drain the commit queue, stop the committer thread, and (when
+        configured) write a final durable checkpoint."""
         with self._queue_cond:
             if self._closed:
                 return
@@ -149,6 +168,33 @@ class TransactionService:
             self._queue_cond.notify_all()
         if self._committer is not None:
             self._committer.join()
+        if (
+            self.config.checkpoint_path
+            and self.config.checkpoint_on_shutdown
+        ):
+            self._checkpoint_now()
+
+    def _checkpoint_now(self):
+        """Write a checkpoint to the configured path.  Runs only on the
+        committer thread or after it has drained, so it never races a
+        commit."""
+        fault_fire = None
+        if self.faults is not None:
+            fault_fire = lambda point: self.faults.fire(point, "checkpoint")
+        result = self.workspace.checkpoint(
+            self.config.checkpoint_path, fault_fire=fault_fire
+        )
+        self._commits_since_checkpoint = 0
+        self._checkpoint_count += 1
+        return result
+
+    def checkpoint(self, *, timeout=None):
+        """Write a durable checkpoint now, serialized with the write
+        stream (a barrier, like DDL).  Returns the pager's counter dict."""
+        if self.config.checkpoint_path is None:
+            raise ReproError("service has no checkpoint_path configured")
+        return self._barrier(
+            lambda ws: self._checkpoint_now(), "checkpoint", timeout)
 
     def __enter__(self):
         return self
@@ -410,6 +456,20 @@ class TransactionService:
                         item.error = item.error or exc
                         item.event.set()
             self._merge_stats(sink)
+            self._maybe_auto_checkpoint()
+
+    def _maybe_auto_checkpoint(self):
+        """Committer-thread hook: checkpoint when enough commits have
+        accumulated.  A failing checkpoint (disk trouble, injected
+        fault) must not take down the commit pipeline — the previous
+        checkpoint is still intact, so we count the error and carry on."""
+        every = self.config.checkpoint_every_n_commits
+        if not every or self._commits_since_checkpoint < every:
+            return
+        try:
+            self._checkpoint_now()
+        except Exception:
+            _stats.bump("service.checkpoint_errors")
 
     def _process_batch(self, batch):
         """Commit a drained queue: groups of writes, barriers between."""
@@ -436,6 +496,8 @@ class TransactionService:
                 raise TxnTimeout(
                     "{} barrier missed its deadline".format(barrier.kind))
             barrier.result = barrier.fn(self.workspace)
+            if barrier.kind in ("addblock", "removeblock", "load"):
+                self._commits_since_checkpoint += 1
         except Exception as exc:
             barrier.error = exc
         finally:
@@ -548,6 +610,7 @@ class TransactionService:
                 "preds": sorted(pending.txn.effects),
             })
             _stats.bump("service.commits")
+            self._commits_since_checkpoint += 1
             pending.committed = True
             pending.event.set()
 
@@ -616,6 +679,7 @@ class TransactionService:
         counters["in_flight"] = self._admission.depth
         counters["queued"] = queued
         counters["committed"] = len(self._history)
+        counters["checkpoints"] = self._checkpoint_count
         return counters
 
     # -- sessions --------------------------------------------------------------

@@ -82,6 +82,14 @@ class Session:
         self._check_open()
         return self.service.rows(pred)
 
+    def checkpoint(self, *, timeout=None):
+        """Write a durable checkpoint now (serialized with the write
+        stream).  Requires the service to be configured with a
+        ``checkpoint_path`` — e.g. ``repro.connect(checkpoint_path=p)``,
+        which also recovers that path's state on startup."""
+        self._check_open()
+        return self.service.checkpoint(timeout=self._timeout(timeout))
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self):
@@ -124,6 +132,11 @@ def connect(workspace=None, *, service=None, name=None, timeout=None, **config):
     Extra keyword arguments become
     :class:`~repro.service.config.ServiceConfig` fields, e.g.
     ``connect(max_pending=8, mode="occ")``.
+
+    Durability: ``connect(checkpoint_path=p)`` recovers the workspace
+    from the checkpoint at ``p`` when one exists (restart recovery) and
+    checkpoints back to it on close; add
+    ``checkpoint_every_n_commits=N`` for periodic checkpoints.
     """
     from repro.service.config import ServiceConfig
     from repro.service.service import TransactionService

@@ -1,6 +1,11 @@
 """Tests for the deterministic hash functions, including the CPython
 hash(-1) == hash(-2) pitfall that motivated them."""
 
+import math
+import subprocess
+import sys
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -30,6 +35,64 @@ class TestKnownPitfalls:
     def test_big_integers(self):
         assert stable_hash(2**100) != stable_hash(2**100 + 2**64)
         assert stable_hash(2**64) != stable_hash(0)
+
+
+class TestFloatEdgeCases:
+    """NaN ≠ NaN would silently break unique representation (an
+    inserted fact becomes unfindable); -0.0 == 0.0 but differs in bits,
+    so equal keys must canonicalize to one hash."""
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            stable_hash(float("nan"))
+
+    def test_nan_rejected_inside_tuples(self):
+        with pytest.raises(ValueError, match="NaN"):
+            stable_hash((1, float("nan")))
+
+    def test_nan_rejected_at_insert(self):
+        from repro.ds.pset import PSet
+
+        with pytest.raises(ValueError, match="NaN"):
+            PSet.EMPTY.add((1, math.nan))
+
+    def test_nan_rejected_by_relation_load(self):
+        from repro.storage.relation import Relation
+
+        with pytest.raises(ValueError, match="NaN"):
+            Relation.from_iter(1, [(math.nan,)])
+
+    def test_negative_zero_canonicalized(self):
+        assert -0.0 == 0.0  # equal keys...
+        assert stable_hash(-0.0) == stable_hash(0.0)  # ...must hash equal
+        assert stable_hash((-0.0, 1)) == stable_hash((0.0, 1))
+
+    def test_negative_zero_one_tree_slot(self):
+        from repro.ds.pset import PSet
+
+        s = PSet.from_iter([(0.0,)]).add((-0.0,))
+        assert len(s) == 1
+        assert (0.0,) in s and (-0.0,) in s
+
+    def test_infinities_still_hash(self):
+        assert stable_hash(math.inf) != stable_hash(-math.inf)
+
+
+class TestCrossProcessDeterminism:
+    def test_hashes_survive_interpreter_restart(self):
+        # durable checkpoints restore treaps in a different process;
+        # priorities (= stable_hash of keys) must come out identical
+        # even for strings, whose builtin hash is per-process salted
+        values = [("alpha", 1), ("beta", -2.5), (b"raw", None), ("", ())]
+        script = (
+            "from repro.ds.hashing import stable_hash\n"
+            "print([stable_hash(v) for v in {!r}])".format(values)
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert out == repr([stable_hash(v) for v in values])
 
 
 class TestDeterminism:

@@ -1,0 +1,81 @@
+"""Worker-pool lifecycle: interpreter exit must stop live workers.
+
+``JoinWorkerPool`` registers every started pool in a ``WeakSet`` and an
+``atexit`` hook shuts them down, so a REPL session or benchmark that
+parallelized one join exits cleanly instead of leaking worker
+processes.  These tests cover the registry bookkeeping in-process and
+the exit hook end-to-end in a subprocess.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+from repro.engine.pool import _LIVE_POOLS, JoinWorkerPool, _shutdown_live_pools
+
+
+class TestRegistry:
+    def test_unstarted_pool_is_not_registered(self):
+        pool = JoinWorkerPool(max_workers=2)
+        assert pool not in _LIVE_POOLS
+
+    def test_started_pool_registered_until_shutdown(self):
+        pool = JoinWorkerPool(max_workers=2)
+        pool._ensure_executor()
+        assert pool in _LIVE_POOLS
+        pool.shutdown()
+        assert pool not in _LIVE_POOLS
+        assert pool._executor is None
+
+    def test_shutdown_idempotent(self):
+        pool = JoinWorkerPool(max_workers=2)
+        pool._ensure_executor()
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+        assert pool not in _LIVE_POOLS
+
+    def test_exit_hook_stops_live_pools(self):
+        pool = JoinWorkerPool(max_workers=2)
+        executor = pool._ensure_executor()
+        _shutdown_live_pools()  # what atexit runs
+        assert pool not in _LIVE_POOLS
+        assert pool._executor is None
+        # the underlying executor really stopped: new submits are refused
+        try:
+            executor.submit(int)
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - would mean workers leaked
+            raise AssertionError("executor accepted work after exit hook")
+
+    def test_exit_hook_safe_when_empty(self):
+        _shutdown_live_pools()
+        _shutdown_live_pools()
+
+    def test_dead_pool_drops_out_of_registry(self):
+        pool = JoinWorkerPool(max_workers=2)
+        pool._ensure_executor()
+        pool.shutdown()
+        before = len(_LIVE_POOLS)
+        del pool
+        assert len(_LIVE_POOLS) <= before  # WeakSet holds no strong refs
+
+
+class TestInterpreterExit:
+    def test_process_with_live_pool_exits_cleanly(self):
+        """A process that starts workers and never calls shutdown()
+        must still terminate promptly with status 0."""
+        script = textwrap.dedent("""
+            from repro.engine.pool import JoinWorkerPool
+            pool = JoinWorkerPool(max_workers=2)
+            executor = pool._ensure_executor()
+            assert executor.submit(sum, (1, 2, 3)).result() == 6
+            print("ok")
+            # no pool.shutdown(): the atexit hook must handle it
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"

@@ -42,10 +42,10 @@ class TestExec:
         )
         assert dict(retail.rows("Stock"))["a"] == 0.0
         # condition now false: second run is a no-op
-        deltas = retail.exec(
+        result = retail.exec(
             '^Stock["a"] = 99.0 <- Stock@start["a"] = y, y > 2.0.'
         )
-        assert not deltas
+        assert not result.deltas
         assert dict(retail.rows("Stock"))["a"] == 0.0
 
     def test_write_to_derived_rejected(self, retail):

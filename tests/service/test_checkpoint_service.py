@@ -1,0 +1,143 @@
+"""Service-level durability: auto-checkpoint cadence, shutdown
+checkpoints, restart recovery through ``repro.connect``, and the
+checkpoint barrier's serialization with the write stream."""
+
+import threading
+
+import pytest
+
+from repro.runtime.errors import ReproError
+from repro.runtime.workspace import Workspace
+from repro.service.config import ServiceConfig
+from repro.service.service import TransactionService
+from repro.service.session import connect
+from repro.storage.pager import has_checkpoint, read_manifest
+
+BLOCK = "counter[k] = v -> string(k), int(v).\n"
+BUMP = '^counter["x"] = v <- counter@start["x"] = y, v = y + 1.'
+
+
+def fresh_service(tmp_path, **kw):
+    cfg = ServiceConfig(checkpoint_path=str(tmp_path), **kw)
+    return TransactionService(config=cfg)
+
+
+class TestShutdownCheckpoint:
+    def test_close_writes_checkpoint(self, tmp_path):
+        service = fresh_service(tmp_path)
+        service.addblock(BLOCK, name="c")
+        service.load("counter", [("x", 0)])
+        assert not has_checkpoint(str(tmp_path))
+        service.close()
+        assert has_checkpoint(str(tmp_path))
+        ws = Workspace.open(str(tmp_path))
+        assert ws.rows("counter") == [("x", 0)]
+
+    def test_shutdown_checkpoint_disabled(self, tmp_path):
+        service = fresh_service(tmp_path, checkpoint_on_shutdown=False)
+        service.addblock(BLOCK, name="c")
+        service.close()
+        assert not has_checkpoint(str(tmp_path))
+
+
+class TestAutoCheckpoint:
+    def test_every_n_commits(self, tmp_path):
+        service = fresh_service(
+            tmp_path, checkpoint_every_n_commits=3,
+            checkpoint_on_shutdown=False)
+        service.addblock(BLOCK, name="c")
+        service.load("counter", [("x", 0)])
+        for _ in range(4):
+            service.exec(BUMP)
+        service.close()
+        # addblock+load+4 execs = 6 commits -> at least 2 checkpoints
+        assert has_checkpoint(str(tmp_path))
+        assert read_manifest(str(tmp_path))["seq"] >= 2
+        stats = service.service_stats()
+        assert stats["checkpoints"] >= 2
+
+    def test_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            ServiceConfig(checkpoint_every_n_commits=5)
+
+
+class TestCheckpointBarrier:
+    def test_explicit_checkpoint_serialized(self, tmp_path):
+        service = fresh_service(tmp_path, checkpoint_on_shutdown=False)
+        service.addblock(BLOCK, name="c")
+        service.load("counter", [("x", 0)])
+        result = service.checkpoint()
+        assert result["seq"] == 1
+        ws = Workspace.open(str(tmp_path))
+        assert ws.rows("counter") == [("x", 0)]
+        service.close()
+
+    def test_checkpoint_without_path_rejected(self):
+        service = TransactionService()
+        with pytest.raises(ReproError, match="checkpoint_path"):
+            service.checkpoint()
+        service.close()
+
+    def test_concurrent_writers_and_checkpoints(self, tmp_path):
+        """Checkpoints interleaved with a concurrent write stream must
+        neither lose commits nor corrupt the store."""
+        service = fresh_service(tmp_path)
+        service.addblock(BLOCK, name="c")
+        service.load("counter", [("x", 0)])
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(10):
+                    service.exec(BUMP)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(5):
+            service.checkpoint()
+        for t in threads:
+            t.join()
+        assert not errors
+        service.close()
+        ws = Workspace.open(str(tmp_path))
+        assert ws.rows("counter") == [("x", 40)]
+
+
+class TestRestartRecovery:
+    def test_connect_recovers(self, tmp_path):
+        with connect(checkpoint_path=str(tmp_path)) as session:
+            session.addblock(BLOCK, name="c")
+            session.load("counter", [("x", 0)])
+            session.exec(BUMP)
+
+        with connect(checkpoint_path=str(tmp_path)) as session:
+            assert session.rows("counter") == [("x", 1)]
+            session.exec(BUMP)
+            assert session.rows("counter") == [("x", 2)]
+
+        with connect(checkpoint_path=str(tmp_path)) as session:
+            assert session.rows("counter") == [("x", 2)]
+
+    def test_connect_without_checkpoint_starts_empty(self, tmp_path):
+        with connect(checkpoint_path=str(tmp_path / "fresh")) as session:
+            assert session.service.workspace.blocks() == []
+
+    def test_explicit_workspace_wins_over_recovery(self, tmp_path):
+        with connect(checkpoint_path=str(tmp_path)) as session:
+            session.addblock(BLOCK, name="c")
+        ws = Workspace()
+        service = TransactionService(
+            ws, config=ServiceConfig(
+                checkpoint_path=str(tmp_path), checkpoint_on_shutdown=False))
+        assert service.workspace is ws
+        assert service.workspace.blocks() == []
+        service.close()
+
+    def test_session_checkpoint_passthrough(self, tmp_path):
+        with connect(checkpoint_path=str(tmp_path)) as session:
+            session.addblock(BLOCK, name="c")
+            result = session.checkpoint()
+            assert result["seq"] == 1
