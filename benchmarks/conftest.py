@@ -28,7 +28,7 @@ SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: result-file aliases: module stem (minus ``bench_``) -> BENCH_<name>
-RESULT_ALIASES = {"service_throughput": "service"}
+RESULT_ALIASES = {"service_throughput": "service", "net_throughput": "net"}
 
 
 def sizes(full, smoke):

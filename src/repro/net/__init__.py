@@ -1,0 +1,48 @@
+"""repro.net — serve a repro workspace over TCP.
+
+The network layer has four pieces, one module each:
+
+* :mod:`repro.net.protocol` — the length-prefixed, versioned binary
+  wire format.  Frames carry values in the pager's canonical codec
+  (the same deterministic encoding checkpoints use), and server-side
+  failures travel as *typed error frames* that reconstruct the exact
+  :class:`~repro.runtime.errors.ReproError` subclass client-side.
+* :mod:`repro.net.server` — an asyncio TCP server fronting a
+  :class:`~repro.service.TransactionService`: per-connection sessions,
+  request pipelining with per-connection bounds, chunked streaming of
+  large query results, and graceful drain on SIGTERM.  Run one with
+  ``python -m repro.net.server --checkpoint-path DIR``.
+* :mod:`repro.net.client` — the blocking client:
+  :func:`repro.net.connect` returns a :class:`NetSession` with the
+  same verb surface and result shapes as an in-process
+  :class:`~repro.service.session.Session`.
+* :mod:`repro.net.replica` — checkpoint-shipping read replicas:
+  a :class:`Replica` Merkle-delta-syncs the leader's durable
+  checkpoints (fetching only the O(log n) records a small change
+  perturbs) and serves read-only queries locally.
+"""
+
+from repro.net.client import NetSession, connect
+from repro.net.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ConnectionLost,
+    NetError,
+    ProtocolError,
+    ReplicaReadOnly,
+)
+from repro.net.replica import Replica
+from repro.net.server import ReproServer
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ConnectionLost",
+    "NetError",
+    "NetSession",
+    "ProtocolError",
+    "Replica",
+    "ReplicaReadOnly",
+    "ReproServer",
+    "connect",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.net``: run a standalone leader server (same CLI
+as ``python -m repro.net.server``, without runpy's re-import warning).
+"""
+
+import sys
+
+from repro.net.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,352 @@
+"""The blocking client library: ``repro.net.connect(host, port)``.
+
+A :class:`NetSession` is the network twin of the in-process
+:class:`~repro.service.session.Session` — the *same verb surface*
+(``exec`` / ``query`` / ``query_result`` / ``addblock`` /
+``removeblock`` / ``load`` / ``rows`` / ``checkpoint`` / ``close``,
+context-manager lifecycle) returning the *same shapes*
+(:class:`~repro.runtime.result.TxnResult` with real
+:class:`~repro.storage.relation.Delta` objects, plain row lists for
+``query``), so code written against a local session runs unchanged
+against a server:
+
+    import repro.net
+
+    session = repro.net.connect("db.example.com", 7411)
+    session.addblock("inventory[s] = v -> string(s), int(v).")
+    session.exec('^inventory["widget"] = 5.')
+    print(session.query("_(s, v) <- inventory[s] = v."))
+    session.close()
+
+Error fidelity: server-side failures arrive as typed error frames and
+re-raise as the *same* :class:`~repro.runtime.errors.ReproError`
+subclass with the same message and payload attributes (``preds`` on a
+:class:`ConflictError`, ``retry_after_s`` on :class:`Overloaded`, ...),
+so retry logic written for local sessions works over the wire.
+
+Reconnect policy: the HELLO handshake hands the client the *service's*
+backoff policy (max retries, base, cap).  Idempotent verbs (``query``,
+``query_result``, ``rows``, ``stats``, the sync ops) transparently
+reconnect and retry under that policy when the transport fails; a
+torn connection honors an ``Overloaded`` retry-after hint the same
+way.  Non-idempotent verbs (``exec``, DDL, ``load``) never auto-retry
+across a transport failure — the commit status is unknown — and raise
+a typed :class:`~repro.net.protocol.ConnectionLost` instead of
+hanging.
+
+Threading: like local sessions, one ``NetSession`` per thread.
+"""
+
+import itertools
+import socket
+import time
+
+from repro import stats as _stats
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_PORT,
+    F_CHUNK,
+    F_ERROR,
+    F_GOODBYE,
+    F_HELLO,
+    F_REQUEST,
+    F_RESPONSE,
+    PROTOCOL_VERSION,
+    ConnectionLost,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    error_from_wire,
+    result_from_wire,
+)
+from repro.runtime.errors import ReproError
+
+_session_counter = itertools.count(1)
+
+#: fallback reconnect policy until the server's HELLO supplies one
+_DEFAULT_POLICY = {
+    "max_retries": 5,
+    "backoff_base_s": 0.05,
+    "backoff_cap_s": 1.0,
+}
+
+
+class NetSession:
+    """One client's blocking connection to a :class:`ReproServer`.
+
+    Mirrors the local :class:`~repro.service.session.Session` verb
+    surface; every verb blocks until its response (or typed error)
+    frame arrives.  Requests carry ids, so the transport supports
+    pipelining — this synchronous client simply doesn't overlap its
+    own calls.
+    """
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, *, name=None,
+                 timeout=None, connect_timeout_s=5.0, socket_timeout_s=60.0,
+                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.name = name or "net-session-{}".format(next(_session_counter))
+        self.timeout = timeout
+        self.connect_timeout_s = connect_timeout_s
+        self.socket_timeout_s = socket_timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self.policy = dict(_DEFAULT_POLICY)
+        self._sock = None
+        self._decoder = None
+        self._inbox = []
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._connect()
+
+    # -- transport -------------------------------------------------------------
+
+    def _connect(self):
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+        except OSError as exc:
+            raise ConnectionLost(
+                "cannot connect to {}:{}: {}".format(
+                    self.host, self.port, exc)) from exc
+        sock.settimeout(self.socket_timeout_s)
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        self._inbox = []
+        _stats.bump("net.client.connects")
+        self._send_raw(encode_frame(F_HELLO, {
+            "proto": PROTOCOL_VERSION, "client": self.name}))
+        ftype, payload = self._next_frame()
+        if ftype == F_ERROR:
+            raise error_from_wire(payload.get("error") or {})
+        if ftype != F_HELLO:
+            raise ProtocolError(
+                "expected HELLO from server, got {}".format(ftype))
+        policy = payload.get("policy") or {}
+        self.policy = {**_DEFAULT_POLICY, **policy}
+
+    def _drop_connection(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._sock = None
+        self._decoder = None
+        self._inbox = []
+
+    def _send_raw(self, data):
+        try:
+            self._sock.sendall(data)
+            _stats.bump("net.client.bytes_out", len(data))
+        except OSError as exc:
+            raise ConnectionLost(
+                "send failed to {}:{}: {}".format(
+                    self.host, self.port, exc)) from exc
+
+    def _next_frame(self):
+        if self._inbox:
+            return self._inbox.pop(0)
+        while True:
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise ConnectionLost(
+                    "no response from {}:{} within {}s".format(
+                        self.host, self.port, self.socket_timeout_s)) from exc
+            except OSError as exc:
+                raise ConnectionLost(
+                    "recv failed from {}:{}: {}".format(
+                        self.host, self.port, exc)) from exc
+            if not data:
+                if self._decoder.buffered:
+                    _stats.bump("net.client.torn_frames")
+                    raise ConnectionLost(
+                        "connection to {}:{} closed mid-frame ({} bytes of "
+                        "a partial frame buffered)".format(
+                            self.host, self.port, self._decoder.buffered))
+                raise ConnectionLost(
+                    "connection to {}:{} closed by server".format(
+                        self.host, self.port))
+            _stats.bump("net.client.bytes_in", len(data))
+            frames = self._decoder.feed(data)
+            if frames:
+                self._inbox.extend(frames[1:])
+                return frames[0]
+
+    # -- request/response ------------------------------------------------------
+
+    def _call(self, op, *, idempotent=False, **args):
+        self._check_open()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._roundtrip(op, args)
+            except (ConnectionLost, ProtocolError) as exc:
+                self._drop_connection()
+                max_retries = self.policy["max_retries"]
+                if not idempotent or attempt > max_retries:
+                    if isinstance(exc, ProtocolError):
+                        raise
+                    raise ConnectionLost(
+                        "{} (op {}{})".format(
+                            exc, op,
+                            "" if idempotent else
+                            "; not retried: commit status unknown")) from exc
+                _stats.bump("net.client.reconnects")
+                self._backoff(attempt)
+
+    def _roundtrip(self, op, args):
+        rid = next(self._ids)
+        self._send_raw(encode_frame(
+            F_REQUEST, {"id": rid, "op": op, "args": args},
+            max_frame_bytes=self.max_frame_bytes))
+        _stats.bump("net.client.requests")
+        rows = []
+        while True:
+            ftype, payload = self._next_frame()
+            if ftype == F_CHUNK and payload.get("id") == rid:
+                rows.extend(payload.get("rows") or ())
+                continue
+            if ftype == F_RESPONSE and payload.get("id") == rid:
+                return payload.get("result") or {}, rows
+            if ftype == F_ERROR:
+                if payload.get("id") in (rid, None):
+                    raise error_from_wire(payload.get("error") or {})
+                continue  # stale error for an abandoned request id
+            if ftype == F_GOODBYE:
+                # server draining: the socket will close; surface it as
+                # a transport failure so idempotent verbs reconnect
+                raise ConnectionLost(
+                    "server {}:{} is draining".format(self.host, self.port))
+            raise ProtocolError(
+                "unexpected frame {} for request {}".format(ftype, rid))
+
+    def _backoff(self, attempt):
+        base = self.policy["backoff_base_s"] * (2 ** (attempt - 1))
+        time.sleep(min(self.policy["backoff_cap_s"], base))
+
+    # -- verbs (the Session surface) -------------------------------------------
+
+    def exec(self, source, *, timeout=None):
+        """Submit a write transaction; blocks until committed/aborted."""
+        result, _ = self._call(
+            "exec", source=source, timeout=self._timeout(timeout),
+            name="{}/txn".format(self.name))
+        return result_from_wire(result["txn"])
+
+    def query(self, source, *, answer=None):
+        """Lock-free read returning plain rows (evaluated on the server's
+        head snapshot; large answers stream back in bounded chunks)."""
+        return self.query_result(source, answer=answer).rows
+
+    def query_result(self, source, *, answer=None):
+        """Lock-free read returning the structured :class:`TxnResult`."""
+        result, rows = self._call(
+            "query", idempotent=True, source=source, answer=answer)
+        return result_from_wire(result["txn"], rows=rows)
+
+    def addblock(self, source, *, name=None, timeout=None):
+        """Install logic (serialized with the server's write stream)."""
+        result, _ = self._call(
+            "addblock", source=source, name=name,
+            timeout=self._timeout(timeout))
+        return result_from_wire(result["txn"])
+
+    def removeblock(self, name, *, timeout=None):
+        """Remove a block (serialized with the write stream)."""
+        result, _ = self._call(
+            "removeblock", name=str(name), timeout=self._timeout(timeout))
+        return result_from_wire(result["txn"])
+
+    def load(self, pred, tuples, remove=(), *, timeout=None):
+        """Bulk load (serialized with the write stream)."""
+        result, _ = self._call(
+            "load", pred=pred, tuples=[tuple(t) for t in tuples],
+            remove=[tuple(t) for t in remove],
+            timeout=self._timeout(timeout))
+        return result_from_wire(result["txn"])
+
+    def rows(self, pred):
+        """Current rows of a predicate at the server's head snapshot."""
+        result, _ = self._call("rows", idempotent=True, pred=pred)
+        return result["rows"]
+
+    def checkpoint(self, *, timeout=None):
+        """Ask the server to write a durable checkpoint now; returns the
+        pager's counter dict (requires the server to be configured with
+        a checkpoint path)."""
+        result, _ = self._call(
+            "checkpoint", timeout=self._timeout(timeout))
+        return result["counters"]
+
+    def stats(self):
+        """The server's service counters (admission window, commits,
+        queue depth, ...)."""
+        result, _ = self._call("stats", idempotent=True)
+        return result["stats"]
+
+    def ping(self):
+        """Round-trip latency in seconds."""
+        started = time.perf_counter()
+        self._call("ping", idempotent=True)
+        return time.perf_counter() - started
+
+    # -- replica feed (used by repro.net.replica) ------------------------------
+
+    def sync_manifest(self):
+        """The leader's committed checkpoint manifest."""
+        result, _ = self._call("sync_manifest", idempotent=True)
+        return result["manifest"]
+
+    def sync_records(self, addrs):
+        """Fetch content-addressed records by address; returns
+        ``[(addr, payload), ...]`` for the addresses the leader holds."""
+        result, _ = self._call(
+            "sync_records", idempotent=True, addrs=list(addrs))
+        return result["records"]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Close the connection (a GOODBYE, then the socket)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sock is not None:
+            try:
+                self._send_raw(encode_frame(F_GOODBYE, {"client": self.name}))
+            except ConnectionLost:
+                pass
+            self._drop_connection()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _check_open(self):
+        if self._closed:
+            raise ReproError("session {} is closed".format(self.name))
+
+    def _timeout(self, timeout):
+        return timeout if timeout is not None else self.timeout
+
+    def __repr__(self):
+        return "NetSession({}:{}, {}, {})".format(
+            self.host, self.port, self.name,
+            "closed" if self._closed else "open")
+
+
+def connect(host="127.0.0.1", port=DEFAULT_PORT, *, name=None, timeout=None,
+            **kwargs):
+    """Open a blocking session onto a repro server — the network
+    counterpart of :func:`repro.connect`.  Extra keyword arguments
+    reach the :class:`NetSession` constructor (connect/socket timeouts,
+    frame-size limit)."""
+    return NetSession(host, port, name=name, timeout=timeout, **kwargs)

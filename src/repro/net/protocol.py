@@ -1,0 +1,338 @@
+"""The repro wire protocol: length-prefixed, versioned binary frames.
+
+The network boundary reuses the *durability* codec as its value codec:
+:func:`repro.storage.pager.encode_value` is already a canonical,
+deterministic, msgpack-free binary encoding of the whole LogiQL value
+universe (None/bool/int/float/str/bytes, tuples, lists, dicts, the
+BOTTOM/TOP sentinels, aggregation states), so request arguments, answer
+rows, and checkpoint records ship over TCP in exactly the bytes they
+occupy on disk.  One codec, one set of invariants.
+
+Frame layout (all integers little-endian)::
+
+    +----------------+-----------+--------+------------------+
+    | length u32     | version u8| type u8| payload bytes    |
+    +----------------+-----------+--------+------------------+
+
+``length`` counts everything after itself (version + type + payload),
+so a reader needs exactly two reads per frame; the payload is one
+encoded value (conventionally a dict).  Frames are bounded by
+``max_frame_bytes`` — an oversized length is a protocol error, not an
+allocation.
+
+Frame types:
+
+* ``HELLO``    — handshake, both directions.  The server's reply
+  carries the protocol version, the service's retry/backoff policy
+  (so clients honor the *server's* policy, not a hardcoded one), and
+  the row-chunk size for streamed results.
+* ``REQUEST``  — ``{"id": n, "op": str, "args": {...}}``.  Requests may
+  be pipelined; responses carry the id and may complete out of order.
+* ``RESPONSE`` — ``{"id": n, "result": {...}}`` terminal success.
+* ``CHUNK``    — ``{"id": n, "rows": [...]}`` partial answer rows for a
+  streaming query; zero or more precede the RESPONSE.
+* ``ERROR``    — ``{"id": n | None, "error": {...}}`` a typed error
+  frame (see below); ``id`` is None for connection-level errors.
+* ``GOODBYE``  — server is draining; finish in-flight work and
+  reconnect elsewhere/later.
+
+**Typed error frames.**  Every :class:`~repro.runtime.errors.ReproError`
+subclass round-trips the wire: :func:`error_to_wire` captures the
+class name, the exception args, and the class's declared payload
+attributes (``preds``, ``deadline_s``, ``retry_after_s``, ...);
+:func:`error_from_wire` rebuilds an instance of the same class with
+the same ``str()`` and the same payload attributes, without re-running
+``__init__`` (which would re-derive the message and double-append
+suffixes).  Unknown class names — a newer server talking to an older
+client — degrade to a plain :class:`ReproError` carrying the original
+type name, never a crash.
+"""
+
+import io
+import struct
+
+from repro.runtime.errors import ReproError
+from repro.storage.pager import decode_value, encode_value
+
+PROTOCOL_VERSION = 1
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+DEFAULT_PORT = 7411
+
+_HEADER = struct.Struct("<I")
+_HEADER_LEN = 4
+
+# -- frame types --------------------------------------------------------------
+
+F_HELLO = 0x01
+F_REQUEST = 0x02
+F_RESPONSE = 0x03
+F_CHUNK = 0x04
+F_ERROR = 0x05
+F_GOODBYE = 0x06
+
+FRAME_NAMES = {
+    F_HELLO: "HELLO",
+    F_REQUEST: "REQUEST",
+    F_RESPONSE: "RESPONSE",
+    F_CHUNK: "CHUNK",
+    F_ERROR: "ERROR",
+    F_GOODBYE: "GOODBYE",
+}
+
+
+# -- net error taxonomy -------------------------------------------------------
+
+
+class NetError(ReproError):
+    """Base class of errors raised by the network layer itself."""
+
+
+class ProtocolError(NetError):
+    """The peer sent bytes that are not a well-formed protocol frame
+    (bad version, oversized length, undecodable payload)."""
+
+
+class ConnectionLost(NetError, ConnectionError):
+    """The transport failed mid-conversation: a torn frame, an EOF
+    while a response was outstanding, or a refused reconnect.  For
+    non-idempotent verbs the commit status of the in-flight transaction
+    is unknown — the server may or may not have applied it."""
+
+
+class ReplicaReadOnly(NetError):
+    """A write verb was invoked on a read replica; writes must go to
+    the leader."""
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(ftype, payload, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+    """One wire frame for ``payload`` (any codec-encodable value)."""
+    body = encode_value(payload)
+    length = len(body) + 2
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            "frame of {} bytes exceeds the {} byte limit".format(
+                length, max_frame_bytes))
+    out = io.BytesIO()
+    out.write(_HEADER.pack(length))
+    out.write(bytes((PROTOCOL_VERSION, ftype)))
+    out.write(body)
+    return out.getvalue()
+
+
+def decode_frame_body(body):
+    """``(ftype, payload)`` from a frame body (version + type + bytes)."""
+    if len(body) < 2:
+        raise ProtocolError("truncated frame body ({} bytes)".format(len(body)))
+    version, ftype = body[0], body[1]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported protocol version {} (this side speaks {})".format(
+                version, PROTOCOL_VERSION))
+    if ftype not in FRAME_NAMES:
+        raise ProtocolError("unknown frame type 0x{:02x}".format(ftype))
+    try:
+        payload = decode_value(body[2:])
+    except (ValueError, IndexError, struct.error) as exc:
+        raise ProtocolError("undecodable frame payload: {}".format(exc)) from exc
+    return ftype, payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    TCP delivers bytes, not frames: a single ``recv`` may hold half a
+    frame or three and a half.  Feed whatever arrives; complete frames
+    come back in order, partial bytes are buffered for the next feed.
+    """
+
+    def __init__(self, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self):
+        """Bytes held waiting for the rest of a frame (0 between frames
+        — nonzero at EOF means the peer tore a frame mid-send)."""
+        return len(self._buffer)
+
+    def feed(self, data):
+        """Consume ``data``; return the list of completed
+        ``(ftype, payload)`` frames."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _HEADER_LEN:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    "incoming frame of {} bytes exceeds the {} byte "
+                    "limit".format(length, self.max_frame_bytes))
+            if len(self._buffer) < _HEADER_LEN + length:
+                return frames
+            body = bytes(self._buffer[_HEADER_LEN:_HEADER_LEN + length])
+            del self._buffer[:_HEADER_LEN + length]
+            frames.append(decode_frame_body(body))
+
+
+# -- typed error frames -------------------------------------------------------
+
+#: extra payload attributes carried per error class, beyond the args.
+#: Keys are class *names* so the table survives import-order games.
+_WIRE_ATTRS = {
+    "ConstraintViolation": ("violations",),
+    "ConflictError": ("preds",),
+    "TxnTimeout": ("deadline_s",),
+    "Overloaded": ("depth", "limit", "retry_after_s"),
+}
+
+
+class _WireConstraint:
+    """Client-side stand-in for a compiled constraint inside a decoded
+    :class:`ConstraintViolation` — carries the source text only."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+    def __repr__(self):
+        return self.text
+
+    def __str__(self):
+        return self.text
+
+
+def _encode_attr(name, value):
+    if name == "violations":
+        return [
+            [str(getattr(constraint, "text", None) or constraint), binding]
+            for constraint, binding in value
+        ]
+    return value
+
+
+def _decode_attr(name, value):
+    if name == "violations":
+        return [(_WireConstraint(text), binding) for text, binding in value]
+    return value
+
+
+def error_registry():
+    """Every currently-importable :class:`ReproError` subclass, by name
+    (including :class:`ReproError` itself).  The wire protocol promises
+    to round-trip all of them; the test suite checks this exhaustively.
+    """
+    registry = {ReproError.__name__: ReproError}
+    stack = [ReproError]
+    while stack:
+        for subclass in stack.pop().__subclasses__():
+            if subclass.__name__ not in registry:
+                registry[subclass.__name__] = subclass
+                stack.append(subclass)
+    return registry
+
+
+def error_to_wire(exc):
+    """The typed wire record of one :class:`ReproError` (or, for a
+    foreign exception, of a :class:`ReproError` wrapping its repr)."""
+    if not isinstance(exc, ReproError):
+        return {
+            "type": ReproError.__name__,
+            "args": ("unexpected server error: {!r}".format(exc),),
+            "attrs": {},
+        }
+    attrs = {}
+    for name in _WIRE_ATTRS.get(type(exc).__name__, ()):
+        attrs[name] = _encode_attr(name, getattr(exc, name, None))
+    args = tuple(
+        arg if isinstance(arg, (str, int, float, bool, bytes)) or arg is None
+        else str(arg)
+        for arg in exc.args
+    )
+    return {"type": type(exc).__name__, "args": args, "attrs": attrs}
+
+
+def error_from_wire(record):
+    """Rebuild the typed exception encoded by :func:`error_to_wire`.
+
+    The instance is built with ``__new__`` + ``Exception.__init__`` so
+    the message (already formatted once, server-side) is preserved
+    verbatim — class ``__init__`` methods that append payload summaries
+    must not run twice.
+    """
+    name = record.get("type") or ReproError.__name__
+    args = tuple(record.get("args") or ())
+    cls = error_registry().get(name)
+    if cls is None:
+        message = args[0] if args else ""
+        return ReproError("remote {}: {}".format(name, message))
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, *args)
+    for attr_name in _WIRE_ATTRS.get(name, ()):
+        value = record.get("attrs", {}).get(attr_name)
+        setattr(exc, attr_name, _decode_attr(attr_name, value))
+    return exc
+
+
+# -- TxnResult over the wire --------------------------------------------------
+
+
+def result_to_wire(result, *, include_rows=True):
+    """A :class:`~repro.runtime.result.TxnResult` as a codec-safe dict.
+
+    Deltas ship as ``{pred: (added_rows, removed_rows)}``; stats are
+    already a flat counter dict.  ``include_rows=False`` omits the rows
+    (they stream separately as CHUNK frames) and records the total.
+    """
+    record = {
+        "status": result.status,
+        "kind": result.kind,
+        "deltas": {
+            pred: (list(delta.added), list(delta.removed))
+            for pred, delta in result.deltas.items()
+        },
+        "stats": dict(result.stats),
+        "span_id": result.span_id,
+        "block": result.block,
+        "attempts": result.attempts,
+        "repairs": result.repairs,
+        "latency_s": result.latency_s,
+    }
+    if result.rows is None:
+        record["rows"] = None
+    elif include_rows:
+        record["rows"] = list(result.rows)
+    else:
+        record["rows"] = None
+        record["rows_total"] = len(result.rows)
+    return record
+
+
+def result_from_wire(record, *, rows=None):
+    """Rebuild the :class:`TxnResult`; ``rows`` supplies rows collected
+    from CHUNK frames when the server streamed them out-of-band."""
+    from repro.runtime.result import TxnResult
+    from repro.storage.relation import Delta
+
+    wire_rows = record.get("rows")
+    if wire_rows is None and rows is not None:
+        wire_rows = rows
+    return TxnResult(
+        status=record.get("status", "committed"),
+        kind=record.get("kind", "exec"),
+        deltas={
+            pred: Delta.from_iters(added, removed)
+            for pred, (added, removed) in record.get("deltas", {}).items()
+        },
+        rows=wire_rows,
+        stats=dict(record.get("stats") or {}),
+        span_id=record.get("span_id"),
+        block=record.get("block"),
+        attempts=record.get("attempts", 1),
+        repairs=record.get("repairs", 0),
+        latency_s=record.get("latency_s"),
+    )

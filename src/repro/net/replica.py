@@ -1,0 +1,271 @@
+"""Checkpoint-shipping read replicas.
+
+A :class:`Replica` follows a leader server's durable checkpoints and
+serves read-only queries from its own local copy of the workspace.
+The shipping protocol is a *Merkle delta sync* over the pager's
+content-addressed record store:
+
+1. The follower fetches the leader's committed checkpoint manifest
+   (``sync_manifest``).  A manifest names the treap *roots* of every
+   relation/index plus a handful of flat blobs — all 16-byte
+   blake2b addresses of immutable records.
+2. Starting from those roots, the follower walks the trees top-down,
+   fetching **only addresses it does not already hold**
+   (``sync_records``, batched).  Children are discovered from the
+   fetched node payloads themselves (:func:`~repro.storage.pager.node_children`);
+   a locally-known address prunes its entire subtree, because content
+   addressing makes "same address" mean "same subtree".
+3. The fetched records are ingested into the local
+   :class:`~repro.storage.pager.CheckpointStore` with the same staged
+   commit protocol as a local checkpoint (pack fsync → dir fsync →
+   atomic manifest replace), and the workspace is rebuilt from it.
+
+Because checkpoints share structure (persistent treaps), a one-tuple
+change on the leader perturbs only the spine above that tuple —
+O(log n) nodes — and step 2 fetches exactly those: a warm replica's
+delta sync transfers O(log n) records, not O(n).  The test suite
+asserts this on the ``pager.sync.fetched_records`` counter.
+
+The replica is read-only: ``query`` / ``query_result`` / ``rows``
+serve from the last synced checkpoint; write verbs raise
+:class:`~repro.net.protocol.ReplicaReadOnly` naming the leader.
+
+    from repro.net import Replica
+
+    replica = Replica("leader-host", 7411, "/var/lib/repro/replica")
+    replica.sync()                 # one cold/delta sync
+    replica.follow(poll_s=2.0)     # ...or poll for new checkpoints
+    print(replica.query("_(s, v) <- inventory[s] = v."))
+    replica.close()
+"""
+
+import threading
+
+from repro import stats as _stats
+from repro import obs as _obs
+from repro.net.client import NetSession
+from repro.net.protocol import DEFAULT_PORT, ReplicaReadOnly
+from repro.runtime.workspace import Workspace
+from repro.storage.pager import (
+    CheckpointStore,
+    manifest_addresses,
+    node_children,
+)
+
+#: how many addresses one sync_records request carries
+_FETCH_BATCH = 256
+
+
+class Replica:
+    """A read-only follower of one leader's checkpoint stream."""
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, path=None, *,
+                 name=None, **client_kwargs):
+        if path is None:
+            raise ValueError("Replica needs a local checkpoint directory")
+        self.host = host
+        self.port = port
+        self.path = path
+        self.name = name or "replica@{}:{}".format(host, port)
+        self._client_kwargs = client_kwargs
+        self._client = None
+        self._store = CheckpointStore(path)
+        self._workspace = None
+        self._lock = threading.Lock()
+        self._poller = None
+        self._stop = threading.Event()
+        self._closed = False
+        self._seq = None
+        if self._store.manifest is not None:
+            # resume from the locally durable checkpoint before the
+            # first contact with the leader
+            self._rebuild()
+
+    # -- syncing ---------------------------------------------------------------
+
+    @property
+    def seq(self):
+        """Sequence number of the checkpoint this replica *serves* —
+        updated only after the synced workspace is rebuilt and visible
+        to readers (``None`` before the first sync)."""
+        return self._seq
+
+    def sync(self):
+        """Pull the leader's latest checkpoint if it is newer than ours.
+
+        Returns a summary dict: ``seq``, ``fetched_records`` (how many
+        records crossed the wire — O(log n) for a warm replica),
+        ``ingested`` (False when we were already current).
+        """
+        with self._lock:
+            self._check_open()
+            with _obs.span("replica.sync", path=self.path) as span:
+                manifest = self._session().sync_manifest()
+                if self._store.seq is not None and \
+                        manifest["seq"] <= self._store.seq:
+                    if span is not None:
+                        span.attrs["ingested"] = False
+                    return {"seq": self._store.seq, "fetched_records": 0,
+                            "ingested": False}
+                records = self._fetch_delta(manifest)
+                self._store.ingest(manifest, records)
+                self._rebuild()
+                if span is not None:
+                    span.attrs["seq"] = manifest["seq"]
+                    span.attrs["fetched_records"] = len(records)
+                return {"seq": manifest["seq"],
+                        "fetched_records": len(records), "ingested": True}
+
+    def _fetch_delta(self, manifest):
+        """The Merkle walk: fetch every record reachable from the
+        manifest's roots that the local store lacks, discovering tree
+        children from the fetched payloads themselves."""
+        tree_roots, blobs = manifest_addresses(manifest)
+        records = {}
+
+        def missing(addr):
+            return addr and addr not in records \
+                and not self._store.known(addr)
+
+        # (addr, is_tree): blobs are fetched whole, never walked
+        frontier = [(a, True) for a in tree_roots if missing(a)]
+        frontier += [(a, False) for a in blobs if missing(a)]
+        client = self._session()
+        while frontier:
+            batch, frontier = frontier[:_FETCH_BATCH], frontier[_FETCH_BATCH:]
+            # the same subtree can be reachable from two parents; drop
+            # addresses a previous batch already brought home
+            want = {addr: is_tree for addr, is_tree in batch
+                    if addr not in records}
+            if not want:
+                continue
+            fetched = client.sync_records(list(want))
+            _stats.bump("pager.sync.fetched_records", len(fetched))
+            got = set()
+            for addr, payload in fetched:
+                got.add(addr)
+                records[addr] = payload
+                if want[addr]:
+                    for child in node_children(payload):
+                        if missing(child):
+                            frontier.append((child, True))
+            lost = set(want) - got
+            if lost:
+                raise ValueError(
+                    "leader could not serve {} record(s) of checkpoint "
+                    "{} (e.g. {}); its checkpoint moved mid-walk — "
+                    "retry the sync".format(
+                        len(lost), manifest["seq"],
+                        sorted(lost)[0].hex()))
+        return records
+
+    def _rebuild(self):
+        workspace = Workspace()
+        self._store.restore_into(workspace)
+        self._workspace = workspace
+        self._seq = self._store.seq
+
+    def follow(self, poll_s=1.0):
+        """Start a background thread polling the leader for new
+        checkpoints every ``poll_s`` seconds (one initial sync runs
+        immediately, raising on failure so misconfiguration surfaces
+        at the call site)."""
+        self._check_open()
+        if self._poller is not None:
+            return
+        self.sync()
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(poll_s):
+                try:
+                    self.sync()
+                except Exception:
+                    # transient leader outage: keep serving the last
+                    # synced checkpoint and keep polling
+                    _stats.bump("net.replica.sync_errors")
+
+        self._poller = threading.Thread(
+            target=loop, name=self.name + "/poll", daemon=True)
+        self._poller.start()
+
+    def stop(self):
+        """Stop the polling thread (the replica keeps serving reads)."""
+        if self._poller is None:
+            return
+        self._stop.set()
+        self._poller.join()
+        self._poller = None
+
+    # -- read-only session surface ---------------------------------------------
+
+    def query(self, source, *, answer=None):
+        """Evaluate a read-only query against the synced checkpoint."""
+        return self._ws().query(source, answer)
+
+    def query_result(self, source, *, answer=None):
+        """Like :meth:`query` but returns the full ``TxnResult``."""
+        return self._ws().query_result(source, answer)
+
+    def rows(self, pred):
+        """Rows of a predicate at the synced checkpoint."""
+        return self._ws().rows(pred)
+
+    def exec(self, source, *, timeout=None):
+        raise self._read_only("exec")
+
+    def addblock(self, source, *, name=None, timeout=None):
+        raise self._read_only("addblock")
+
+    def removeblock(self, name, *, timeout=None):
+        raise self._read_only("removeblock")
+
+    def load(self, pred, tuples, remove=(), *, timeout=None):
+        raise self._read_only("load")
+
+    def _read_only(self, verb):
+        return ReplicaReadOnly(
+            "{} is read-only: {} must go to the leader at {}:{}".format(
+                self.name, verb, self.host, self.port))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Stop polling and release the leader connection."""
+        if self._closed:
+            return
+        self.stop()
+        self._closed = True
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _session(self):
+        if self._client is None:
+            self._client = NetSession(
+                self.host, self.port, name=self.name,
+                **self._client_kwargs)
+        return self._client
+
+    def _ws(self):
+        self._check_open()
+        if self._workspace is None:
+            raise ReplicaReadOnly(
+                "{} has not synced a checkpoint yet; call sync() "
+                "first".format(self.name))
+        return self._workspace
+
+    def _check_open(self):
+        if self._closed:
+            raise ReplicaReadOnly("{} is closed".format(self.name))
+
+    def __repr__(self):
+        return "Replica({}:{} -> {}, seq={})".format(
+            self.host, self.port, self.path, self.seq)

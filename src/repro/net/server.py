@@ -1,0 +1,552 @@
+"""The repro TCP server: a network front end for the transaction service.
+
+``ReproServer`` listens on a socket and speaks the frame protocol of
+:mod:`repro.net.protocol`, turning the in-process
+:class:`~repro.service.TransactionService` into a database *server*:
+
+* **Per-connection sessions** — each accepted connection handshakes
+  (HELLO exchange, which also hands the client the service's
+  retry/backoff policy) and then submits pipelined requests; responses
+  carry request ids and may complete out of order, so one connection
+  can have many transactions in flight.
+* **Blocking verbs off the loop** — the event loop never runs LogiQL.
+  Requests dispatch to a thread pool where the service's verbs execute
+  (and where their ``obs`` spans are recorded, thread-locally and
+  therefore correctly); the loop only frames bytes.
+* **Backpressure, twice** — per-connection in-flight requests are
+  bounded by a semaphore: past the bound the server simply stops
+  reading that socket, pushing back through TCP.  Past that, the
+  service's own :class:`AdmissionController` sheds load with typed
+  ``Overloaded`` frames carrying a retry-after hint.  Writes go through
+  ``drain()`` so a slow reader stalls its own responses, not the server.
+* **Streaming results** — query answers larger than
+  ``net_chunk_rows`` stream as bounded CHUNK frames, so a million-row
+  answer never materializes as one frame on either side.
+* **Graceful drain** — ``stop()`` (wired to SIGTERM in the CLI) stops
+  accepting, sends GOODBYE to every connection, lets in-flight requests
+  finish within the drain budget, then closes.
+* **Replica feed** — ``sync_manifest`` / ``sync_records`` serve the
+  durable checkpoint's manifest and content-addressed records to read
+  replicas (:mod:`repro.net.replica`), straight from the pack files.
+
+Fault injection: the service's :class:`FaultInjector` gains two
+transport points here — ``net_send`` (before writing a response frame;
+``drop`` closes the connection instead, ``truncate`` sends half the
+frame and closes) and ``net_recv`` (after reading a request frame) —
+so tests can prove clients survive torn frames with typed errors.
+
+``python -m repro.net.server --port 7411 --checkpoint-path ./ckpt``
+runs a standalone leader.
+"""
+
+import argparse
+import asyncio
+import concurrent.futures
+import os
+import signal
+import struct
+import sys
+import threading
+
+from repro import obs as _obs
+from repro import stats as _stats
+from repro.net.protocol import (
+    F_CHUNK,
+    F_ERROR,
+    F_GOODBYE,
+    F_HELLO,
+    F_REQUEST,
+    F_RESPONSE,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame_body,
+    encode_frame,
+    error_to_wire,
+    result_to_wire,
+)
+from repro.runtime.errors import Overloaded, ReproError
+
+_HANDSHAKE_TIMEOUT_S = 10.0
+
+
+class _Conn:
+    """Per-connection state: transport, pipelining bound, in-flight tasks."""
+
+    __slots__ = ("reader", "writer", "write_lock", "sem", "tasks", "peer",
+                 "alive")
+
+    def __init__(self, reader, writer, inflight_bound):
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.sem = asyncio.Semaphore(inflight_bound)
+        self.tasks = set()
+        self.peer = writer.get_extra_info("peername")
+        self.alive = True
+
+
+class ReproServer:
+    """Asyncio TCP server fronting one :class:`TransactionService`.
+
+    The event loop runs in a dedicated thread (``start()`` /
+    ``stop()``), so the server embeds in tests and REPLs as easily as
+    it runs standalone.  ``address`` holds the bound ``(host, port)``
+    after start — pass ``port=0`` to let the OS pick.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0, *, faults=None):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.faults = faults if faults is not None else service.faults
+        cfg = service.config
+        self.chunk_rows = cfg.net_chunk_rows
+        self.max_connections = cfg.net_max_connections
+        self.inflight_per_conn = cfg.net_inflight_per_conn
+        self.max_frame_bytes = cfg.net_max_frame_bytes
+        self.address = None
+        self._loop = None
+        self._thread = None
+        self._server = None
+        self._conns = set()
+        self._draining = False
+        self._inflight = 0
+        self._started = threading.Event()
+        self._startup_error = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(32, (os.cpu_count() or 4) * 4),
+            thread_name_prefix="repro-net",
+        )
+        self._sync_store = None
+        self._sync_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        """Start serving on a dedicated event-loop thread; returns self
+        once the listening socket is bound."""
+        if self._thread is not None:
+            raise ReproError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._start_async())
+        except Exception as exc:
+            self._startup_error = ReproError(
+                "could not bind {}:{}: {}".format(self.host, self.port, exc))
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _start_async(self):
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        # publish the kernel-chosen port when bound with port=0
+        self.host, self.port = self.address
+
+    def stop(self, *, drain_s=5.0):
+        """Graceful drain from any thread: stop accepting, GOODBYE every
+        connection, wait up to ``drain_s`` for in-flight requests, then
+        close.  Idempotent."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(drain_s), loop)
+        try:
+            future.result(timeout=drain_s + 10.0)
+        except concurrent.futures.TimeoutError:  # pragma: no cover
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self):
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    async def _shutdown(self, drain_s):
+        if self._draining:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        goodbye = encode_frame(F_GOODBYE, {"reason": "draining"})
+        for conn in list(self._conns):
+            try:
+                async with conn.write_lock:
+                    conn.writer.write(goodbye)
+                    await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        deadline = self._loop.time() + drain_s
+        while self._loop.time() < deadline:
+            if not any(conn.tasks for conn in self._conns):
+                break
+            await asyncio.sleep(0.02)
+        for conn in list(self._conns):
+            await self._abort_conn(conn)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_conn(self, reader, writer):
+        if self._draining or len(self._conns) >= self.max_connections:
+            error = Overloaded(
+                "server draining" if self._draining else
+                "server at connection capacity ({})".format(len(self._conns)),
+                depth=len(self._conns),
+                limit=self.max_connections,
+                retry_after_s=self.service.config.backoff_cap_s,
+            )
+            _stats.bump("net.connections_refused")
+            try:
+                writer.write(encode_frame(
+                    F_ERROR, {"id": None, "error": error_to_wire(error)}))
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+            return
+        conn = _Conn(reader, writer, self.inflight_per_conn)
+        self._conns.add(conn)
+        _stats.bump("net.connections_accepted")
+        _stats.gauge("net.connections", len(self._conns))
+        try:
+            if await self._handshake(conn):
+                await self._read_loop(conn)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except ProtocolError as exc:
+            await self._send_error(conn, None, exc)
+        finally:
+            if conn.tasks:
+                await asyncio.wait(conn.tasks, timeout=5.0)
+            self._conns.discard(conn)
+            _stats.gauge("net.connections", len(self._conns))
+            await self._abort_conn(conn)
+
+    async def _handshake(self, conn):
+        frame = await asyncio.wait_for(
+            self._read_frame(conn), timeout=_HANDSHAKE_TIMEOUT_S)
+        if frame is None:
+            return False
+        ftype, payload = frame
+        if ftype != F_HELLO:
+            raise ProtocolError(
+                "expected HELLO, got {}".format(ftype))
+        cfg = self.service.config
+        reply = {
+            "proto": PROTOCOL_VERSION,
+            "server": "repro",
+            "chunk_rows": self.chunk_rows,
+            "policy": {
+                "max_retries": cfg.max_retries,
+                "backoff_base_s": cfg.backoff_base_s,
+                "backoff_cap_s": cfg.backoff_cap_s,
+            },
+        }
+        return await self._send_frames(conn, [(F_HELLO, reply)], op="hello")
+
+    async def _read_frame(self, conn):
+        """One frame off the socket, or ``None`` on clean EOF."""
+        try:
+            header = await conn.reader.readexactly(4)
+        except asyncio.IncompleteReadError:
+            return None
+        (length,) = struct.unpack("<I", header)
+        if length > self.max_frame_bytes:
+            raise ProtocolError(
+                "incoming frame of {} bytes exceeds the {} byte limit".format(
+                    length, self.max_frame_bytes))
+        body = await conn.reader.readexactly(length)
+        _stats.bump("net.bytes_in", 4 + length)
+        _stats.bump("net.frames_in")
+        return decode_frame_body(body)
+
+    async def _read_loop(self, conn):
+        while conn.alive and not self._draining:
+            frame = await self._read_frame(conn)
+            if frame is None:
+                return
+            ftype, payload = frame
+            op = payload.get("op") if isinstance(payload, dict) else None
+            if self.faults is not None:
+                try:
+                    action = self.faults.fire("net_recv", op)
+                except ReproError as exc:
+                    await self._send_error(
+                        conn,
+                        payload.get("id") if isinstance(payload, dict) else None,
+                        exc)
+                    continue
+                if action == "drop":
+                    _stats.bump("net.faults.recv_dropped")
+                    continue
+                if action == "truncate":
+                    _stats.bump("net.faults.recv_torn")
+                    await self._abort_conn(conn)
+                    return
+            if ftype == F_GOODBYE:
+                return
+            if ftype != F_REQUEST:
+                raise ProtocolError(
+                    "unexpected frame type {} from client".format(ftype))
+            # pipelining bound: block the read loop (and thus the
+            # socket) until a slot frees — backpressure through TCP
+            await conn.sem.acquire()
+            task = self._loop.create_task(self._serve_request(conn, payload))
+            conn.tasks.add(task)
+            task.add_done_callback(
+                lambda t, c=conn: (c.tasks.discard(t), c.sem.release()))
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def _serve_request(self, conn, payload):
+        rid = payload.get("id")
+        op = payload.get("op")
+        args = payload.get("args") or {}
+        _stats.bump("net.requests")
+        self._inflight += 1
+        _stats.gauge("net.inflight", self._inflight)
+        try:
+            try:
+                frames = await self._loop.run_in_executor(
+                    self._executor, self._dispatch, rid, op, args)
+            except ReproError as exc:
+                _stats.bump("net.request_errors")
+                frames = [(F_ERROR, {"id": rid, "error": error_to_wire(exc)})]
+            except Exception as exc:
+                _stats.bump("net.request_errors")
+                frames = [(F_ERROR, {"id": rid, "error": error_to_wire(
+                    ReproError("internal server error: {!r}".format(exc)))})]
+            await self._send_frames(conn, frames, op=op)
+        finally:
+            self._inflight -= 1
+            _stats.gauge("net.inflight", self._inflight)
+
+    def _dispatch(self, rid, op, args):
+        """Run one verb on the service (worker thread, blocking) and
+        build the response frames."""
+        with _obs.span("net.request", op=op) as span_:
+            frames = self._dispatch_op(rid, op, args)
+            if span_ is not None:
+                span_.attrs["frames"] = len(frames)
+        return frames
+
+    def _dispatch_op(self, rid, op, args):
+        svc = self.service
+        def respond(result_value):
+            return [(F_RESPONSE, {"id": rid, "result": result_value})]
+
+        if op == "exec":
+            result = svc.exec(
+                args["source"],
+                timeout=args.get("timeout"),
+                name=args.get("name"),
+            )
+            return respond({"txn": result_to_wire(result)})
+        if op == "query":
+            result = svc.query_result(
+                args["source"], answer=args.get("answer"))
+            rows = result.rows or []
+            if len(rows) > self.chunk_rows:
+                frames = [
+                    (F_CHUNK, {"id": rid, "rows": rows[i:i + self.chunk_rows]})
+                    for i in range(0, len(rows), self.chunk_rows)
+                ]
+                frames.extend(respond(
+                    {"txn": result_to_wire(result, include_rows=False)}))
+                _stats.bump("net.chunked_queries")
+                return frames
+            return respond({"txn": result_to_wire(result)})
+        if op == "addblock":
+            result = svc.addblock(
+                args["source"], name=args.get("name"),
+                timeout=args.get("timeout"))
+            return respond({"txn": result_to_wire(result)})
+        if op == "removeblock":
+            result = svc.removeblock(
+                args["name"], timeout=args.get("timeout"))
+            return respond({"txn": result_to_wire(result)})
+        if op == "load":
+            result = svc.load(
+                args["pred"], args.get("tuples") or (),
+                args.get("remove") or (), timeout=args.get("timeout"))
+            return respond({"txn": result_to_wire(result)})
+        if op == "rows":
+            return respond({"rows": svc.rows(args["pred"])})
+        if op == "checkpoint":
+            return respond(
+                {"counters": svc.checkpoint(timeout=args.get("timeout"))})
+        if op == "stats":
+            return respond({"stats": svc.service_stats()})
+        if op == "ping":
+            return respond({})
+        if op == "sync_manifest":
+            return respond({"manifest": self._sync_manifest()})
+        if op == "sync_records":
+            return respond(
+                {"records": self._sync_records(args.get("addrs") or ())})
+        raise ReproError("unknown op {!r}".format(op))
+
+    # -- replica feed ----------------------------------------------------------
+
+    def _sync_manifest(self):
+        from repro.storage.pager import NodeStore, read_manifest
+
+        path = self.service.config.checkpoint_path
+        if not path:
+            raise ReproError(
+                "leader has no checkpoint_path configured; replicas "
+                "sync from durable checkpoints")
+        with self._sync_lock:
+            manifest = read_manifest(path)
+            if manifest is None:
+                raise ReproError(
+                    "leader has not committed a checkpoint yet; run "
+                    "checkpoint() first")
+            if self._sync_store is None:
+                self._sync_store = NodeStore(path)
+            self._sync_store.load_packs(manifest["packs"])
+            return manifest
+
+    def _sync_records(self, addrs):
+        with self._sync_lock:
+            store = self._sync_store
+            if store is None:
+                raise ReproError("sync_manifest must precede sync_records")
+            records = []
+            for addr in addrs:
+                if addr in store:
+                    records.append((addr, store.get(addr)))
+            store.drop_payload_cache()
+            _stats.bump("net.sync.records_served", len(records))
+            return records
+
+    # -- frame writing ---------------------------------------------------------
+
+    async def _send_frames(self, conn, frames, *, op=None):
+        """Write frames under the connection's write lock; returns False
+        when a transport fault (injected or real) killed the connection."""
+        try:
+            async with conn.write_lock:
+                for ftype, payload in frames:
+                    action = None
+                    if self.faults is not None:
+                        action = self.faults.fire("net_send", op)
+                    data = encode_frame(
+                        ftype, payload, max_frame_bytes=self.max_frame_bytes)
+                    if action == "drop":
+                        _stats.bump("net.faults.send_dropped")
+                        await self._abort_conn(conn)
+                        return False
+                    if action == "truncate":
+                        _stats.bump("net.faults.send_torn")
+                        conn.writer.write(data[:max(1, len(data) // 2)])
+                        try:
+                            await conn.writer.drain()
+                        except ConnectionError:
+                            pass
+                        await self._abort_conn(conn)
+                        return False
+                    conn.writer.write(data)
+                    _stats.bump("net.bytes_out", len(data))
+                    _stats.bump("net.frames_out")
+                await conn.writer.drain()
+            return True
+        except (ConnectionError, RuntimeError):
+            await self._abort_conn(conn)
+            return False
+
+    async def _send_error(self, conn, rid, exc):
+        await self._send_frames(
+            conn, [(F_ERROR, {"id": rid, "error": error_to_wire(exc)})])
+
+    async def _abort_conn(self, conn):
+        if not conn.alive:
+            return
+        conn.alive = False
+        try:
+            conn.writer.close()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    """``python -m repro.net.server``: run a standalone leader until
+    SIGTERM/SIGINT, then drain gracefully."""
+    from repro.net.protocol import DEFAULT_PORT
+    from repro.service import ServiceConfig, TransactionService
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--checkpoint-path", default=None,
+                        help="durable checkpoint dir (enables replicas)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="auto-checkpoint every N commits")
+    parser.add_argument("--max-pending", type=int, default=64)
+    parser.add_argument("--mode", default="repair", choices=("repair", "occ"))
+    parser.add_argument("--trace", default=None,
+                        help="stream obs spans to this JSONL file")
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        _obs.trace_to(args.trace)
+    service = TransactionService(config=ServiceConfig(
+        max_pending=args.max_pending,
+        mode=args.mode,
+        checkpoint_path=args.checkpoint_path,
+        checkpoint_every_n_commits=args.checkpoint_every,
+    ))
+    server = ReproServer(service, host=args.host, port=args.port)
+    server.start()
+    print("repro.net serving on {}:{}".format(*server.address), flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        print("draining...", flush=True)
+        server.stop()
+        service.close()
+        if args.trace:
+            _obs.trace_file_off()
+        print("stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -162,6 +162,7 @@ def _finish_one(span_):
 
 
 def _emit_root(span_):
+    _write_trace_file(span_)
     collector = getattr(_local, "collector", None)
     if collector is not None:
         collector.roots.append(span_)
@@ -172,6 +173,73 @@ def _emit_root(span_):
     ring.append(span_)
     if len(ring) > _AMBIENT_LIMIT:
         del ring[: len(ring) - _AMBIENT_LIMIT]
+
+
+# -- streaming trace file -----------------------------------------------------
+#
+# Per-thread rings and Profiles cover single-threaded flows, but a
+# network server finishes root spans on many executor threads at once;
+# a long-running process also wants its trace on disk, not in memory.
+# trace_to() installs a process-wide JSONL sink: every finished root
+# span (any thread) is appended as flat id/parent-linked lines, the
+# same exchange format Profile.to_jsonl writes and CI uploads.
+
+_trace_file_lock = threading.Lock()
+_trace_file = None
+
+
+def root_jsonl_lines(root):
+    """Flatten one finished root span into JSONL strings (parent links
+    via the process-unique span sids)."""
+    lines = []
+
+    def emit(span_, parent_sid):
+        lines.append(json.dumps({
+            "id": span_.sid,
+            "parent": parent_sid,
+            "name": span_.name,
+            "wall_s": span_.wall_s,
+            "attrs": span_.attrs,
+            "counters": span_.counters,
+        }, sort_keys=True, default=repr))
+        for child in span_.children:
+            emit(child, span_.sid)
+
+    emit(root, None)
+    return lines
+
+
+def trace_to(path):
+    """Enable tracing and stream every finished root span (from any
+    thread) to ``path`` as JSON lines.  Returns the path."""
+    global _trace_file
+    enable()
+    with _trace_file_lock:
+        if _trace_file is not None:
+            _trace_file.close()
+        _trace_file = open(path, "a")
+    return path
+
+
+def trace_file_off():
+    """Stop streaming spans to the trace file (tracing stays enabled)."""
+    global _trace_file
+    with _trace_file_lock:
+        if _trace_file is not None:
+            _trace_file.close()
+            _trace_file = None
+
+
+def _write_trace_file(span_):
+    if _trace_file is None:
+        return
+    with _trace_file_lock:
+        fh = _trace_file
+        if fh is None:  # lost the race with trace_file_off()
+            return
+        for line in root_jsonl_lines(span_):
+            fh.write(line + "\n")
+        fh.flush()
 
 
 def _finish(span_):

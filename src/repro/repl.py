@@ -17,7 +17,9 @@ Commands::
     meta <pred>             show a meta-engine relation (lang_edb, ...)
     :stats [prom]           engine counters (JSON; 'prom' = Prometheus text)
     :profile <command>      run any command traced, print its span tree
-    :serve [W [N]]          demo the concurrent service (W writers x N txns)
+    :serve [--tcp] [W [N]]  demo the concurrent service (W writers x N txns;
+                            --tcp routes every transaction through a
+                            loopback repro.net server)
     :checkpoint <dir>       write a durable checkpoint (incremental)
     :open <dir>             replace the session workspace from a checkpoint
     help | quit
@@ -147,13 +149,32 @@ class Repl:
         """The ``:serve`` command: run the multi-writer service soak
         (a fresh workspace behind a :class:`TransactionService`) and
         print its counters — the quickest way to see group commit,
-        repair, and the admission queue in action."""
+        repair, and the admission queue in action.  With ``--tcp`` the
+        same soak runs through a loopback :mod:`repro.net` server, so
+        every transaction crosses the wire protocol."""
         from repro.service.__main__ import soak
 
         parts = rest.split()
+        tcp = bool(parts) and parts[0] == "--tcp"
+        if tcp:
+            parts = parts[1:]
         writers = int(parts[0]) if parts else 4
         txns = int(parts[1]) if len(parts) > 1 else 20
-        soak(writers=writers, txns=txns, out=self.out)
+        if not tcp:
+            soak(writers=writers, txns=txns, out=self.out)
+            return
+        from repro.service import ServiceConfig, TransactionService
+
+        service = TransactionService(
+            config=ServiceConfig(max_pending=writers * 2))
+        server = service.serve()
+        try:
+            self.emit("serving on {}:{}".format(server.host, server.port))
+            soak(writers=writers, txns=txns, out=self.out,
+                 net=(server.host, server.port))
+        finally:
+            server.stop()
+            service.close()
 
     def run(self, stdin=sys.stdin):
         """Interactive loop."""

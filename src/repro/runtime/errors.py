@@ -65,11 +65,13 @@ class TxnTimeout(TransactionAborted):
 
 class Overloaded(ReproError, RuntimeError):
     """Admission control rejected the request instead of queuing it
-    unboundedly; carries the observed depth so clients can back off."""
+    unboundedly; carries the observed depth — and, when the server can
+    estimate one, a retry-after hint — so clients can back off."""
 
-    def __init__(self, message, depth=None, limit=None):
+    def __init__(self, message, depth=None, limit=None, retry_after_s=None):
         self.depth = depth
         self.limit = limit
+        self.retry_after_s = retry_after_s
         super().__init__(message)
 
 

@@ -5,6 +5,12 @@ writer threads each committing M low-conflict decrements (plus a
 lock-free reader thread), then prints the committed state, the service
 counters, and throughput.  CI runs this under ``REPRO_TRACE=1`` as the
 stress smoke for the concurrent path.
+
+With ``--net HOST:PORT`` the soak becomes a pure network client: the
+same writer/reader threads drive a *remote* repro server (started with
+``python -m repro.net.server``) through :func:`repro.net.connect`,
+exercising the wire protocol under the exact workload the in-process
+smoke uses — same sessions, same verbs, same drain check.
 """
 
 import argparse
@@ -19,24 +25,43 @@ INVENTORY = "inventory[s] = v -> string(s), int(v).\n" \
             "inventory[s] = v -> v >= 0.\n"
 
 
-def soak(writers=4, txns=20, items=32, out=sys.stdout):
+def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None):
     """Run the soak; returns (service stats, commits/sec, drained ok).
 
     The inventory has a fixed ``items``-sized pool regardless of writer
     count (so per-commit costs like constraint checking are identical
     across configurations); writer ``w`` owns the slice ``w::writers``,
-    keeping writers conflict-free."""
-    service = TransactionService(config=ServiceConfig(max_pending=writers * 2))
-    with service:
-        service.addblock(INVENTORY, name="inventory")
+    keeping writers conflict-free.
+
+    ``net=(host, port)`` drives a remote server over TCP instead of an
+    in-process service; everything else is identical.
+    """
+    if net is not None:
+        from repro.net import connect as _net_connect
+        host, port = net
+        service = None
+
+        def make_session(name):
+            return _net_connect(host, port, name=name)
+    else:
+        service = TransactionService(
+            config=ServiceConfig(max_pending=writers * 2))
+
+        def make_session(name):
+            return service.session(name=name)
+
+    admin = None if service is not None else make_session("soak-admin")
+    front = service if service is not None else admin
+    try:
+        front.addblock(INVENTORY, name="inventory")
         pool = ["item-{}".format(i) for i in range(items)]
-        service.load("inventory", [(item, txns) for item in pool])
+        front.load("inventory", [(item, txns) for item in pool])
 
         errors = []
         decrements = {item: 0 for item in pool}
 
         def writer(index):
-            session = service.session(name="writer-{}".format(index))
+            session = make_session("writer-{}".format(index))
             owned = pool[index::writers]
             for k in range(txns):
                 item = owned[k % len(owned)]
@@ -46,6 +71,7 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout):
                         'inventory@start["{0}"] = y, x = y - 1.'.format(item))
                 except Exception as exc:  # surface, keep soaking
                     errors.append(exc)
+            session.close()
 
         for index in range(writers):
             owned = pool[index::writers]
@@ -53,10 +79,11 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout):
                 decrements[owned[k % len(owned)]] += 1
 
         def reader(stop):
-            session = service.session(name="reader")
+            session = make_session("reader")
             while not stop.is_set():
                 session.query("_(s, v) <- inventory[s] = v.")
                 time.sleep(0.001)
+            session.close()
 
         stop = threading.Event()
         reader_thread = threading.Thread(target=reader, args=(stop,), daemon=True)
@@ -73,31 +100,46 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout):
         stop.set()
         reader_thread.join()
 
-        stats = service.service_stats()
-        throughput = stats.get("service.commits", 0) / elapsed if elapsed else 0.0
-        print("soak: {} writers x {} txns in {:.3f}s -> {:.1f} commits/s".format(
-            writers, txns, elapsed, throughput), file=out)
+        stats = service.service_stats() if service is not None else admin.stats()
+        throughput = (writers * txns) / elapsed if elapsed else 0.0
+        print("soak: {} writers x {} txns in {:.3f}s -> {:.1f} commits/s{}".format(
+            writers, txns, elapsed, throughput,
+            " (over TCP {}:{})".format(*net) if net else ""), file=out)
         print(json.dumps(
             {k: v for k, v in sorted(stats.items())
-             if k.startswith("service.") or k in ("committed", "in_flight", "queued")},
+             if k.startswith(("service.", "net."))
+             or k in ("committed", "in_flight", "queued")},
             indent=2, default=repr), file=out)
         if errors:
-            print("errors: {}".format(errors[:3]), file=out)
+            print("errors: {}".format([repr(e) for e in errors[:3]]), file=out)
             return stats, throughput, False
-        remaining = dict(service.rows("inventory"))
+        remaining = dict(front.rows("inventory"))
         drained = all(
             remaining[item] == txns - decrements[item] for item in pool
         )
         print("inventory drained correctly: {}".format(drained), file=out)
         return stats, throughput, drained
+    finally:
+        if admin is not None:
+            admin.close()
+        if service is not None:
+            service.close()
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--writers", type=int, default=4)
     parser.add_argument("--txns", type=int, default=20)
+    parser.add_argument(
+        "--net", metavar="HOST:PORT", default=None,
+        help="drive a remote repro server over TCP instead of an "
+             "in-process service")
     args = parser.parse_args(argv)
-    _, _, ok = soak(writers=args.writers, txns=args.txns)
+    net = None
+    if args.net:
+        host, _, port = args.net.rpartition(":")
+        net = (host or "127.0.0.1", int(port))
+    _, _, ok = soak(writers=args.writers, txns=args.txns, net=net)
     return 0 if ok else 1
 
 

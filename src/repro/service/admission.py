@@ -43,9 +43,11 @@ class Ticket:
 class AdmissionController:
     """Counts in-flight transactions; rejects past the cap."""
 
-    def __init__(self, *, max_pending=64, default_timeout_s=30.0):
+    def __init__(self, *, max_pending=64, default_timeout_s=30.0,
+                 retry_after_s=0.05):
         self.max_pending = max_pending
         self.default_timeout_s = default_timeout_s
+        self.retry_after_s = retry_after_s
         self._lock = threading.Lock()
         self._in_flight = 0
 
@@ -71,6 +73,7 @@ class AdmissionController:
                         self._in_flight),
                     depth=self._in_flight,
                     limit=self.max_pending,
+                    retry_after_s=self.retry_after_s,
                 )
             self._in_flight += 1
             depth = self._in_flight

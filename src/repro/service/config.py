@@ -51,6 +51,20 @@ class ServiceConfig:
     * ``checkpoint_on_shutdown`` — write a final checkpoint in
       :meth:`~repro.service.TransactionService.close` (after the
       committer drains) so a clean restart loses nothing.
+
+    Network serving (:mod:`repro.net`, read by the TCP server fronting
+    this service):
+
+    * ``net_chunk_rows`` — streamed query results are split into CHUNK
+      frames of at most this many rows (bounds per-frame memory on
+      both sides).
+    * ``net_max_connections`` — accepted-connection cap; excess
+      connections are refused with a typed ``Overloaded`` frame.
+    * ``net_inflight_per_conn`` — pipelining bound: how many requests
+      one connection may have in flight before the server stops
+      reading its socket (backpressure through TCP).
+    * ``net_max_frame_bytes`` — hard frame-size limit; an oversized
+      frame is a protocol error, not an allocation.
     """
 
     max_pending: int = 64
@@ -64,6 +78,10 @@ class ServiceConfig:
     checkpoint_path: str = None
     checkpoint_every_n_commits: int = 0
     checkpoint_on_shutdown: bool = True
+    net_chunk_rows: int = 512
+    net_max_connections: int = 64
+    net_inflight_per_conn: int = 32
+    net_max_frame_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self):
         if self.mode not in ("repair", "occ"):
@@ -75,3 +93,7 @@ class ServiceConfig:
         if self.checkpoint_every_n_commits and not self.checkpoint_path:
             raise ValueError(
                 "checkpoint_every_n_commits requires checkpoint_path")
+        for knob in ("net_chunk_rows", "net_max_connections",
+                     "net_inflight_per_conn", "net_max_frame_bytes"):
+            if getattr(self, knob) < 1:
+                raise ValueError("{} must be >= 1".format(knob))

@@ -16,7 +16,9 @@ Fault points (see :class:`~repro.service.TransactionService`):
 * ``repair``   — before a repair merge is applied;
 * ``checkpoint`` — inside :meth:`Workspace.checkpoint`, after the node
   pack is durable but before the manifest swap (the crash-safety
-  window: a crash here must leave the previous checkpoint intact).
+  window: a crash here must leave the previous checkpoint intact);
+* ``net_send`` / ``net_recv`` — in the TCP server (:mod:`repro.net`),
+  around writing a response frame / after reading a request frame.
 
 Actions:
 
@@ -25,7 +27,17 @@ Actions:
 * ``crash``    — raise :class:`InjectedCrash` (non-retryable);
 * ``block``    — wait until the supplied :class:`threading.Event` is
   set (deterministic interleaving control, e.g. holding the committer
-  while writers queue up a batch).
+  while writers queue up a batch);
+* ``drop``     — transport-level: the net layer closes the connection
+  instead of sending/processing the frame (a vanished peer);
+* ``truncate`` — transport-level: the net layer sends only a prefix of
+  the frame's bytes and then closes (a torn frame mid-send).
+
+``drop`` and ``truncate`` are not executed by :meth:`fire` itself —
+they describe *transport* misbehavior, so :meth:`fire` returns the
+action name and the caller (the server's frame reader/writer)
+implements the semantics.  Service-layer fault points ignore the
+return value, which keeps the two families composable in one script.
 
 Every fired action is appended to :attr:`fired` as ``(point, action,
 txn)`` so tests can assert the schedule actually happened.
@@ -45,7 +57,9 @@ class InjectedCrash(ReproError, RuntimeError):
 class FaultInjector:
     """Scripted, deterministic faults at the service's fault points."""
 
-    POINTS = ("admission", "execute", "commit", "repair", "checkpoint")
+    POINTS = ("admission", "execute", "commit", "repair", "checkpoint",
+              "net_send", "net_recv")
+    ACTIONS = ("delay", "conflict", "crash", "block", "drop", "truncate")
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -63,7 +77,7 @@ class FaultInjector:
         if point not in self.POINTS:
             raise ValueError("unknown fault point {!r} (one of {})".format(
                 point, ", ".join(self.POINTS)))
-        if action not in ("delay", "conflict", "crash", "block"):
+        if action not in self.ACTIONS:
             raise ValueError("unknown fault action {!r}".format(action))
         with self._lock:
             for _ in range(times):
@@ -72,14 +86,17 @@ class FaultInjector:
 
     def fire(self, point, txn=None):
         """Replay the next scripted action at ``point`` (no-op when the
-        script for that point is exhausted)."""
+        script for that point is exhausted).  Returns the action name,
+        or ``None`` when nothing fired — transport actions (``drop``,
+        ``truncate``) are *returned* for the net layer to enact, not
+        executed here."""
         with self._lock:
             queue = self._scripts.get(point)
             if not queue:
-                return
+                return None
             action, seconds, event, match = queue[0]
             if match is not None and txn != match:
-                return
+                return None
             queue.popleft()
             self.fired.append((point, action, txn))
         if action == "delay":
@@ -90,6 +107,7 @@ class FaultInjector:
             raise InjectedCrash("injected crash at {} (txn {})".format(point, txn))
         elif action == "block":
             event.wait()
+        return action
 
     def pending(self, point):
         """Number of unconsumed script entries at ``point``."""

@@ -121,6 +121,7 @@ class TransactionService:
         self._admission = AdmissionController(
             max_pending=self.config.max_pending,
             default_timeout_s=self.config.default_timeout_s,
+            retry_after_s=self.config.backoff_cap_s,
         )
         self._queue = []
         self._queue_cond = threading.Condition()
@@ -195,6 +196,16 @@ class TransactionService:
             raise ReproError("service has no checkpoint_path configured")
         return self._barrier(
             lambda ws: self._checkpoint_now(), "checkpoint", timeout)
+
+    def serve(self, host="127.0.0.1", port=0):
+        """Expose this service over TCP: starts (and returns) a
+        :class:`repro.net.ReproServer` bound to ``host:port`` (port 0
+        picks a free port — read it back from ``server.port``).  The
+        caller owns the server's lifecycle; ``server.stop()`` drains
+        connections without closing this service."""
+        from repro.net.server import ReproServer
+
+        return ReproServer(self, host=host, port=port, faults=self.faults).start()
 
     def __enter__(self):
         return self

@@ -330,6 +330,11 @@ class NodeStore:
     def __len__(self):
         return len(self._index)
 
+    def addresses(self):
+        """The set of record addresses this store holds (for replica
+        delta-sync: a follower fetches only addresses it lacks)."""
+        return frozenset(self._index)
+
     def get(self, addr):
         """The payload stored at ``addr`` (digest-verified)."""
         name, offset, length = self._index[addr]
@@ -586,6 +591,74 @@ class CheckpointStore:
             "store_nodes": len(self.store),
         }
 
+    # -- replica ingest ------------------------------------------------------
+
+    @property
+    def manifest(self):
+        """The committed manifest dict, or ``None`` before the first
+        checkpoint/ingest."""
+        return self._manifest
+
+    @property
+    def seq(self):
+        """Sequence number of the committed checkpoint (``None`` when
+        the directory holds no checkpoint yet)."""
+        return self._manifest["seq"] if self._manifest else None
+
+    def known(self, addr):
+        """True when ``addr`` is already resident in the local store."""
+        return addr in self.store
+
+    def ingest(self, manifest, records):
+        """Adopt a leader's checkpoint: write the fetched ``records``
+        (``{addr: payload}`` — only the addresses this store lacked)
+        into a local pack, then commit a local manifest.
+
+        The manifest is the leader's except for ``packs``, which must
+        name *local* pack files; everything else (states, versions,
+        branches, seq) transfers verbatim because records are content
+        addressed — the same addresses resolve on either side.  The
+        staged-commit protocol matches :meth:`checkpoint`: pack fsync →
+        dir fsync → atomic manifest replace, so a replica crash
+        mid-sync leaves its previous checkpoint intact.
+        """
+        for addr, payload in records.items():
+            if _addr_of(payload) != addr:
+                raise ValueError(
+                    "sync record digest mismatch for {}".format(addr.hex()))
+        previous = self._manifest
+        packs = list(previous["packs"]) if previous else []
+        pack_name = "sync-{:06d}.pack".format(manifest["seq"])
+        locations = None
+        if records:
+            writer = _PackWriter()
+            for addr, payload in records.items():
+                writer.add(addr, payload)
+            locations = self.store.write_pack(pack_name, writer)
+            _fsync_dir(self.path)
+            packs.append(pack_name)
+            _stats.bump("pager.sync.records_ingested", len(records))
+            _stats.bump("pager.sync.bytes_ingested", writer.bytes_written)
+        local_manifest = dict(manifest)
+        local_manifest["packs"] = packs
+        tmp_path = os.path.join(self.path, MANIFEST_NAME + ".tmp")
+        with open(tmp_path, "w") as fh:
+            json.dump(local_manifest, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, os.path.join(self.path, MANIFEST_NAME))
+        _fsync_dir(self.path)
+        if locations is not None:
+            self.store.commit_pack(pack_name, locations)
+        self._manifest = local_manifest
+        _stats.bump("pager.sync.ingests")
+        return {
+            "seq": local_manifest["seq"],
+            "records_ingested": len(records),
+            "packs": len(packs),
+        }
+
     # -- read side -----------------------------------------------------------
 
     def _load_tree(self, addr_hex, node_cache):
@@ -727,6 +800,58 @@ class CheckpointStore:
             self.store.drop_payload_cache()
         _stats.bump("pager.restores")
         return workspace
+
+
+# -- replica sync surface -----------------------------------------------------
+#
+# A read replica (repro.net.replica) ships checkpoints over the wire by
+# Merkle walk: starting from the manifest's root addresses it fetches
+# only records missing from its local store, discovering children from
+# the fetched node payloads.  These helpers expose exactly the address
+# structure that walk needs, without decoding node keys/values.
+
+
+def node_children(payload):
+    """``(left_addr, right_addr)`` of one encoded treap node record
+    (``b""`` for an absent child).  Only the Merkle header is parsed."""
+    flags = payload[0]
+    offset = 1
+    left = b""
+    right = b""
+    if flags & 1:
+        left = payload[offset:offset + _ADDR_BYTES]
+        offset += _ADDR_BYTES
+    if flags & 2:
+        right = payload[offset:offset + _ADDR_BYTES]
+    return left, right
+
+
+def manifest_addresses(manifest):
+    """``(tree_roots, blobs)`` referenced by a checkpoint manifest.
+
+    ``tree_roots`` are treap roots (walk them via :func:`node_children`);
+    ``blobs`` are flat content-addressed records (sensitivity recorders)
+    fetched whole.  Both are sets of raw 16-byte addresses.
+    """
+    tree_roots = set()
+    blobs = set()
+
+    def add_tree(addr_hex):
+        if addr_hex:
+            tree_roots.add(bytes.fromhex(addr_hex))
+
+    for record in manifest.get("states", {}).values():
+        for ref in record.get("base", {}).values():
+            add_tree(ref[1])
+        for ref in record.get("relations", {}).values():
+            add_tree(ref[1])
+        for entry in record.get("pred_states", {}).values():
+            add_tree(entry["counts"])
+            add_tree(entry["groups"])
+        for addr_hex in record.get("recorders", {}).values():
+            if addr_hex:
+                blobs.add(bytes.fromhex(addr_hex))
+    return tree_roots, blobs
 
 
 def _recorder_payload(recorder):

@@ -1,0 +1,132 @@
+"""Frame codec properties: bit-identical round trips under arbitrary
+payloads and arbitrary TCP chunking (split and coalesced reads)."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.protocol import (
+    F_CHUNK,
+    F_ERROR,
+    F_GOODBYE,
+    F_HELLO,
+    F_REQUEST,
+    F_RESPONSE,
+    FRAME_NAMES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    decode_frame_body,
+    encode_frame,
+)
+
+FRAME_TYPES = sorted(FRAME_NAMES)
+
+# the codec's value universe (scalars nest into rows, dicts, lists)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=6),
+        st.lists(inner, max_size=6).map(tuple),
+        st.dictionaries(st.text(max_size=10), inner, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+def chunked(blob, rnd, max_chunk):
+    """Split ``blob`` into random-sized chunks (the TCP read schedule)."""
+    chunks = []
+    offset = 0
+    while offset < len(blob):
+        size = rnd.randint(1, max_chunk)
+        chunks.append(blob[offset:offset + size])
+        offset += size
+    return chunks
+
+
+@settings(max_examples=200, deadline=None)
+@given(values, st.sampled_from(FRAME_TYPES))
+def test_frame_roundtrip_bit_identical(payload, ftype):
+    blob = encode_frame(ftype, payload)
+    got_type, got_payload = decode_frame_body(blob[4:])
+    assert got_type == ftype
+    assert got_payload == payload
+    # canonical: re-encoding the decoded payload reproduces the bytes
+    assert encode_frame(ftype, got_payload) == blob
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(st.sampled_from(FRAME_TYPES), values),
+             min_size=1, max_size=8),
+    st.randoms(use_true_random=False),
+    st.integers(min_value=1, max_value=64),
+)
+def test_decoder_survives_any_chunking(frames, rnd, max_chunk):
+    stream = b"".join(encode_frame(ftype, payload)
+                      for ftype, payload in frames)
+    decoder = FrameDecoder()
+    decoded = []
+    for chunk in chunked(stream, rnd, max_chunk):
+        decoded.extend(decoder.feed(chunk))
+    assert decoded == frames
+    assert decoder.buffered == 0
+
+
+def test_decoder_coalesced_single_feed():
+    frames = [(F_REQUEST, {"id": 1, "op": "ping", "args": {}}),
+              (F_RESPONSE, {"id": 1, "result": {}}),
+              (F_GOODBYE, {})]
+    stream = b"".join(encode_frame(f, p) for f, p in frames)
+    assert FrameDecoder().feed(stream) == frames
+
+
+def test_partial_frame_stays_buffered():
+    blob = encode_frame(F_HELLO, {"proto": PROTOCOL_VERSION})
+    decoder = FrameDecoder()
+    assert decoder.feed(blob[:7]) == []
+    assert decoder.buffered == 7
+    assert decoder.feed(blob[7:]) == [(F_HELLO, {"proto": PROTOCOL_VERSION})]
+    assert decoder.buffered == 0
+
+
+def test_oversized_frame_is_protocol_error_not_allocation():
+    decoder = FrameDecoder(max_frame_bytes=128)
+    huge_header = struct.pack("<I", 1 << 30)
+    with pytest.raises(ProtocolError):
+        decoder.feed(huge_header)
+
+
+def test_encode_respects_frame_limit():
+    with pytest.raises(ProtocolError):
+        encode_frame(F_CHUNK, {"rows": ["x" * 4096]}, max_frame_bytes=256)
+
+
+def test_bad_version_rejected():
+    blob = bytearray(encode_frame(F_HELLO, {}))
+    blob[4] = PROTOCOL_VERSION + 1
+    with pytest.raises(ProtocolError):
+        decode_frame_body(bytes(blob[4:]))
+
+
+def test_unknown_frame_type_rejected():
+    blob = bytearray(encode_frame(F_HELLO, {}))
+    blob[5] = 0x7F
+    with pytest.raises(ProtocolError):
+        decode_frame_body(bytes(blob[4:]))
+
+
+def test_undecodable_payload_is_protocol_error():
+    with pytest.raises(ProtocolError):
+        decode_frame_body(bytes((PROTOCOL_VERSION, F_ERROR)) + b"\xff\xff")

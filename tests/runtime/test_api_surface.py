@@ -164,6 +164,85 @@ class TestTxnResult:
         assert "p" in snapshot["deltas"]
 
 
+class TestNetSessionSurface:
+    """The network session mirrors the local session: same verbs, same
+    result shapes, so code written against one runs against the other."""
+
+    SESSION_VERBS = (
+        "exec", "query", "query_result", "addblock", "removeblock",
+        "load", "rows", "checkpoint", "close", "__enter__", "__exit__",
+    )
+
+    def test_net_exports(self):
+        import repro.net as net
+
+        assert set(net.__all__) == {
+            "DEFAULT_PORT",
+            "PROTOCOL_VERSION",
+            "ConnectionLost",
+            "NetError",
+            "NetSession",
+            "ProtocolError",
+            "Replica",
+            "ReplicaReadOnly",
+            "ReproServer",
+            "connect",
+        }
+        for name in net.__all__:
+            assert getattr(net, name) is not None
+
+    def test_net_session_has_every_session_verb(self):
+        from repro.net import NetSession
+        from repro.service.session import Session
+
+        for verb in self.SESSION_VERBS:
+            assert callable(getattr(Session, verb)), verb
+            assert callable(getattr(NetSession, verb)), verb
+
+    def test_net_errors_are_repro_errors(self):
+        from repro.net import ConnectionLost, NetError, ProtocolError, ReplicaReadOnly
+
+        assert issubclass(NetError, ReproError)
+        assert issubclass(ProtocolError, NetError)
+        assert issubclass(ReplicaReadOnly, NetError)
+        assert issubclass(ConnectionLost, NetError)
+        assert issubclass(ConnectionLost, ConnectionError)
+
+    def test_same_shapes_against_a_live_server(self):
+        import repro.net
+        from repro.service import TransactionService
+
+        service = TransactionService()
+        server = service.serve()
+        local = repro.connect()
+        try:
+            remote = repro.net.connect(server.host, server.port)
+            for session in (local, remote):
+                added = session.addblock("p(x) -> int(x).", name="b1")
+                assert isinstance(added, TxnResult)
+                assert added.kind == "addblock" and added.block == "b1"
+                loaded = session.load("p", [(1,)])
+                assert isinstance(loaded, TxnResult) and loaded.committed
+                result = session.exec("+p(2).")
+                assert isinstance(result, TxnResult)
+                assert result.kind == "exec" and result.status == "committed"
+                assert result.changed_predicates() == ["p"]
+                assert sorted(result.deltas["p"].added) == [(2,)]
+                assert result.latency_s is not None and result.latency_s >= 0
+                qr = session.query_result("_(x) <- p(x).")
+                assert isinstance(qr, TxnResult) and qr.kind == "query"
+                assert sorted(qr.rows) == [(1,), (2,)]
+                assert sorted(session.query("_(x) <- p(x).")) == [(1,), (2,)]
+                assert sorted(session.rows("p")) == [(1,), (2,)]
+                removed = session.removeblock("b1")
+                assert removed.kind == "removeblock" and removed.block == "b1"
+                session.close()
+        finally:
+            local.close()
+            server.stop()
+            service.close()
+
+
 class TestKeywordOnlyConstructors:
     def test_workspace_flags_are_keyword_only(self):
         with pytest.raises(TypeError):
