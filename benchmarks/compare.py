@@ -11,6 +11,15 @@ hits gained, seeks avoided, joins sharded).
 
 Exit status is 0 unless ``--fail-above PCT`` is given and some test's
 mean wall time regressed by more than ``PCT`` percent.
+
+Single-artifact mode::
+
+    python benchmarks/compare.py --require-speedup 5 benchmarks/results/BENCH_wco.json
+
+scans one result file for backend comparison entries (``extra_info``
+carrying ``pure_s``/``columnar_s``) and exits 1 unless the best
+recorded columnar-vs-pure speedup reaches the given factor — the CI
+gate for the vectorized engine backend.
 """
 
 import argparse
@@ -76,16 +85,60 @@ def compare(old_payload, new_payload, out=sys.stdout):
     return worst
 
 
+def check_speedup(payload, required, out=sys.stdout):
+    """Scan backend comparison entries; returns the best speedup found
+    (``None`` when the artifact has no such entries)."""
+    best = None
+    for entry in payload.get("results", ()):
+        extra = entry.get("extra_info") or {}
+        pure = extra.get("pure_s")
+        fast = extra.get("columnar_s")
+        if not pure or not fast:
+            continue
+        speedup = pure / fast
+        print("  {:<60} {:>6.1f}x  (pure {:.4f}s -> columnar {:.4f}s)".format(
+            entry["test"], speedup, pure, fast), file=out)
+        best = speedup if best is None else max(best, speedup)
+    return best
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline BENCH_<name>.json")
-    parser.add_argument("new", help="candidate BENCH_<name>.json")
+    parser.add_argument(
+        "new", nargs="?", default=None,
+        help="candidate BENCH_<name>.json (omit for --require-speedup "
+             "single-artifact mode)",
+    )
     parser.add_argument(
         "--fail-above", type=float, default=None, metavar="PCT",
         help="exit 1 if any test's mean wall time regressed more than PCT%%",
     )
+    parser.add_argument(
+        "--require-speedup", type=float, default=None, metavar="N",
+        help="exit 1 unless a backend comparison entry in the (new, or "
+             "only) artifact records a columnar-vs-pure speedup >= N",
+    )
     args = parser.parse_args(argv)
-    worst = compare(_load(args.old), _load(args.new))
+    if args.new is None and args.require_speedup is None:
+        parser.error("two artifacts are required unless --require-speedup "
+                     "is given")
+    worst = 0.0
+    if args.new is not None:
+        worst = compare(_load(args.old), _load(args.new))
+    if args.require_speedup is not None:
+        payload = _load(args.new if args.new is not None else args.old)
+        print("== columnar vs pure ==")
+        best = check_speedup(payload, args.require_speedup)
+        if best is None:
+            print("FAIL: no backend comparison entries "
+                  "(extra_info.pure_s/columnar_s) in artifact",
+                  file=sys.stderr)
+            return 1
+        if best < args.require_speedup:
+            print("FAIL: best speedup {:.1f}x below required {:.1f}x".format(
+                best, args.require_speedup), file=sys.stderr)
+            return 1
     if args.fail_above is not None and worst > args.fail_above:
         print("FAIL: worst regression {:+.1f}% exceeds {:.1f}%".format(
             worst, args.fail_above), file=sys.stderr)

@@ -45,6 +45,20 @@ def pedantic(benchmark, fn, *args, rounds=3, **kwargs):
                               iterations=1, warmup_rounds=0)
 
 
+def _numpy_version():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+def _engine_backend():
+    from repro.engine.columnar import resolve_backend
+
+    return resolve_backend()
+
+
 def _json_safe(value):
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}
@@ -93,6 +107,8 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmark": module,
             "smoke": SMOKE,
             "python": platform.python_version(),
+            "numpy": _numpy_version(),
+            "engine_backend": _engine_backend(),
             "cpu_count": os.cpu_count(),
             "engine_stats": counters,
             "histograms": histograms,

@@ -56,6 +56,28 @@ def splitmix64(x):
     return x ^ (x >> 31)
 
 
+def canonical_key(value):
+    """Canonical representative of ``value`` for sorted storage.
+
+    The single source of the float key rules every backend must agree
+    on: ``-0.0`` canonicalizes to ``0.0`` (equal keys must have one
+    representation) and NaN is rejected outright (``NaN != NaN`` would
+    make an inserted fact unfindable).  The columnar relation encoder
+    (:mod:`repro.storage.columnar`) routes every datum through this
+    helper so both engine backends sort and compare identically.
+    """
+    if isinstance(value, float):
+        if value != value:
+            raise ValueError(
+                "NaN cannot be stored in persistent structures: "
+                "NaN != NaN breaks unique representation and makes the "
+                "inserted fact unfindable"
+            )
+        if value == 0.0:
+            return 0.0  # -0.0 == 0.0: equal keys, one representative
+    return value
+
+
 def stable_hash(key):
     """A well-mixed 64-bit hash of ``key``, safe for equality tests.
 
@@ -72,14 +94,7 @@ def stable_hash(key):
         high = (key >> 64) & _MASK64
         return splitmix64(splitmix64(_TAG_INT ^ folded) ^ high)
     if isinstance(key, float):
-        if key != key:
-            raise ValueError(
-                "NaN cannot be stored in persistent structures: "
-                "NaN != NaN breaks unique representation and makes the "
-                "inserted fact unfindable"
-            )
-        if key == 0.0:
-            key = 0.0  # -0.0 == 0.0: equal keys must hash equally
+        key = canonical_key(key)  # NaN rejection + -0.0 -> 0.0
         bits = struct.unpack("<Q", struct.pack("<d", key))[0]
         return splitmix64(_TAG_FLOAT ^ bits)
     if isinstance(key, str):

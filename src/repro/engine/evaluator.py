@@ -17,6 +17,7 @@ from repro import obs
 from repro import stats as global_stats
 from repro.ds.pmap import PMap
 from repro.engine.aggregates import AGGREGATES, agg_add
+from repro.engine.columnar import ColumnarTrieJoin, make_join, resolve_backend
 from repro.engine.ir import Const, PredAtom, Var
 from repro.engine.lftj import LeapfrogTrieJoin
 from repro.engine.rules import stratify
@@ -129,6 +130,12 @@ class Evaluator:
     through the domain-partitioned executor and, when its
     ``dispatch_rules`` flag is set, fans independent rules of a
     non-recursive stratum out to the same worker pool.
+
+    ``backend`` selects the join executor: ``"pure"`` (the per-tuple
+    iterator oracle) or ``"columnar"`` (vectorized over
+    dictionary-encoded arrays, falling back to pure per join when a
+    relation does not encode or sensitivity recording is on).  ``None``
+    resolves through the ``REPRO_ENGINE`` environment override.
     """
 
     def __init__(
@@ -139,12 +146,14 @@ class Evaluator:
         prefer_array=True,
         plan_cache=None,
         parallel=None,
+        backend=None,
     ):
         self.ruleset = ruleset
         self.order_chooser = order_chooser
         self.prefer_array = prefer_array
         self.plan_cache = plan_cache
         self.parallel = parallel
+        self.backend = resolve_backend(backend)
 
     def _order_for(self, rule, relations):
         if self.order_chooser is None:
@@ -186,18 +195,26 @@ class Evaluator:
                 prefer_array=prefer,
                 stats=exec_stats,
                 cost_hint=self._cost_hint(rule, relations),
+                backend=self.backend,
             )
             bump_prefix = None  # the parallel executor bumps join.* itself
             exec_stats = executor.stats
         else:
-            executor = LeapfrogTrieJoin(plan, relations, recorder, prefer,
-                                        stats=exec_stats)
-            bump_prefix = "join."
+            executor = make_join(plan, relations, recorder, prefer,
+                                 stats=exec_stats, backend=self.backend)
+            if isinstance(executor, ColumnarTrieJoin):
+                bump_prefix = None  # the columnar executor bumps join.* itself
+            else:
+                bump_prefix = "join."
         run = executor.run()
         if traced:
             run = obs.traced_bindings(
                 "join",
-                {"rule": rule.name or rule.head_pred, "vars": len(plan.var_order)},
+                {
+                    "rule": rule.name or rule.head_pred,
+                    "vars": len(plan.var_order),
+                    "backend": type(executor).__name__,
+                },
                 run,
                 exec_stats,
                 bump_prefix,
@@ -259,7 +276,7 @@ class Evaluator:
             jobs.append(
                 parallel.pool.submit_join(
                     plan, relations, prefer_array=self.prefer_array,
-                    projector=projector,
+                    projector=projector, backend=self.backend,
                 )
             )
         global_stats.bump("join.rule_dispatches", len(jobs))

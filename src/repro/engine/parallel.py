@@ -139,6 +139,7 @@ class ParallelLeapfrogTrieJoin:
         prefer_array=True,
         stats=None,
         cost_hint=None,
+        backend="pure",
     ):
         self.plan = plan
         self.relations = relations
@@ -147,21 +148,36 @@ class ParallelLeapfrogTrieJoin:
         self.prefer_array = prefer_array
         self.stats = stats if stats is not None else {}
         self.cost_hint = cost_hint
+        self.backend = backend
 
     def _bump(self, key, amount=1):
         self.stats[key] = self.stats.get(key, 0) + amount
         global_stats.bump("join." + key, amount)
 
     def _serial(self):
+        from repro.engine.columnar import ColumnarTrieJoin, make_join
+
         self._bump("serial_fallbacks")
         local = {}
-        run = LeapfrogTrieJoin(
+        executor = make_join(
             self.plan,
             self.relations,
             recorder=self.recorder,
             prefer_array=self.prefer_array,
             stats=local,
-        ).run()
+            backend=self.backend,
+        )
+        if isinstance(executor, ColumnarTrieJoin):
+            # the columnar executor feeds join.* itself; only fold the
+            # step counter into this join's stats, not the globals
+            run = executor.run()
+            try:
+                yield from run
+            finally:
+                for key, value in local.items():
+                    self.stats[key] = self.stats.get(key, 0) + value
+            return
+        run = executor.run()
         try:
             yield from run
         finally:
@@ -196,12 +212,19 @@ class ParallelLeapfrogTrieJoin:
         self._bump("parallel_joins")
         self._bump("shards", len(ranges))
         futures = self.config.pool.map_shards(
-            self.plan, self.relations, ranges, self.prefer_array
+            self.plan, self.relations, ranges, self.prefer_array,
+            backend=self.backend,
         )
         for future in futures:
             rows, shard_stats, worker_counters = future.result()
             for key, value in shard_stats.items():
-                self._bump(key, value)
+                # columnar shards bump join.vector_seeks/batches into the
+                # worker's globals (returned via the envelope below), so
+                # only fold those into this join's local stats
+                if key in ("vector_seeks", "batches"):
+                    self.stats[key] = self.stats.get(key, 0) + value
+                else:
+                    self._bump(key, value)
             global_stats.merge(worker_counters)
             yield from rows
 

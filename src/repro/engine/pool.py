@@ -24,7 +24,6 @@ import pickle
 import weakref
 
 from repro import stats
-from repro.engine.lftj import LeapfrogTrieJoin
 
 # -- worker side -----------------------------------------------------------
 
@@ -52,7 +51,8 @@ def _materialize_env(env_key, env_blob, flat_perms):
     return env
 
 
-def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
+def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector,
+               backend="pure"):
     """Execute one domain shard of a planned join; returns the shard's
     result rows (projected when a head projector is given), its
     executor counters, and an envelope of the global engine counters the
@@ -64,18 +64,21 @@ def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector):
     of the parent's, invisible to the parent's exports.  The parent
     merges the envelope back on result consumption.
     """
+    from repro.engine.columnar import make_join
+
     before = stats.snapshot()
     flat_perms = (
         [(ap.pred, ap.perm) for ap in plan.atom_plans] if prefer_array else []
     )
     env = _materialize_env(env_key, env_blob, flat_perms)
     shard_stats = {}
-    executor = LeapfrogTrieJoin(
+    executor = make_join(
         plan,
         env,
         prefer_array=prefer_array,
         stats=shard_stats,
         first_key_range=key_range,
+        backend=backend,
     )
     if projector is None:
         rows = list(executor.run())
@@ -165,27 +168,31 @@ class JoinWorkerPool:
             stats.bump("pool.env_reuses")
         return key, blob
 
-    def map_shards(self, plan, relations, ranges, prefer_array=True, projector=None):
+    def map_shards(self, plan, relations, ranges, prefer_array=True,
+                   projector=None, backend="pure"):
         """Submit one task per shard range; returns futures in range
         order (the order that reproduces the serial enumeration)."""
         executor = self._ensure_executor()
         env_key, blob = self.env_for(relations, plan.body_preds())
         futures = [
             executor.submit(
-                _run_shard, env_key, blob, plan, key_range, prefer_array, projector
+                _run_shard, env_key, blob, plan, key_range, prefer_array,
+                projector, backend,
             )
             for key_range in ranges
         ]
         stats.bump("pool.tasks", len(futures))
         return futures
 
-    def submit_join(self, plan, relations, prefer_array=True, projector=None):
+    def submit_join(self, plan, relations, prefer_array=True, projector=None,
+                    backend="pure"):
         """Submit one whole (unsharded) join — rule-level dispatch."""
         executor = self._ensure_executor()
         env_key, blob = self.env_for(relations, plan.body_preds())
         stats.bump("pool.tasks")
         return executor.submit(
-            _run_shard, env_key, blob, plan, None, prefer_array, projector
+            _run_shard, env_key, blob, plan, None, prefer_array, projector,
+            backend,
         )
 
     def shutdown(self):

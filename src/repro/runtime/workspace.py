@@ -36,7 +36,8 @@ from repro.storage.relation import Delta, Relation
 _block_counter = itertools.count(1)
 
 
-def evaluate_query(state, source, answer=None, *, plan_cache=None, parallel=None):
+def evaluate_query(state, source, answer=None, *, plan_cache=None, parallel=None,
+                   backend=None):
     """Evaluate a query program against one pinned workspace state.
 
     Shared by :meth:`Workspace.query` (which evaluates at the branch
@@ -60,6 +61,7 @@ def evaluate_query(state, source, answer=None, *, plan_cache=None, parallel=None
         prefer_array=False,
         plan_cache=plan_cache,
         parallel=parallel,
+        backend=backend,
     ).evaluate(env)
     if answer is None:
         answer = "_" if "_" in ruleset.derived else block.rules[-1].head_pred
@@ -111,15 +113,22 @@ class Workspace:
     :class:`~repro.engine.plancache.PlanCache` is owned per workspace
     and threaded through every evaluator, so compiled plans survive
     transactions, IVM passes, and program edits.
+
+    ``engine`` picks the join backend for every evaluator this
+    workspace creates: ``"pure"`` or ``"columnar"`` (vectorized over
+    dictionary-encoded numpy arrays); ``None`` defers to the
+    ``REPRO_ENGINE`` environment override, defaulting to pure.
     """
 
-    def __init__(self, *, parallel=None):
+    def __init__(self, *, parallel=None, engine=None):
+        from repro.engine.columnar import resolve_backend
         from repro.engine.plancache import PlanCache
 
         self._plan_cache = PlanCache()
         self._parallel = parallel
+        self._engine_backend = resolve_backend(engine)
         self._graph = VersionGraph(
-            WorkspaceState.empty(self._plan_cache, parallel)
+            WorkspaceState.empty(self._plan_cache, parallel, self._engine_backend)
         )
         self.branch = "main"
         self._meta_engine = MetaEngine()
@@ -183,7 +192,7 @@ class Workspace:
             return self._pager(path).checkpoint(self, fault_fire=fault_fire)
 
     @classmethod
-    def open(cls, path, *, parallel=None):
+    def open(cls, path, *, parallel=None, engine=None):
         """Reconstruct a workspace from the checkpoint at ``path``.
 
         Bit-identical restore: relation contents, support counts,
@@ -193,7 +202,7 @@ class Workspace:
         """
         from repro.storage.pager import CheckpointStore
 
-        workspace = cls(parallel=parallel)
+        workspace = cls(parallel=parallel, engine=engine)
         pager = CheckpointStore(path)
         with _stats.scope(workspace._counters):
             pager.restore_into(workspace)
@@ -298,6 +307,13 @@ class Workspace:
         counters["plan_cache"] = self._plan_cache.stats_snapshot()
         if self._parallel is not None:
             counters["pool"] = self._parallel.pool.stats_snapshot()
+        counters["columnar"] = {
+            "backend": self._engine_backend,
+            "joins": counters.get("join.columnar_joins", 0),
+            "fallbacks": counters.get("join.columnar_fallbacks", 0),
+            "vector_seeks": counters.get("join.vector_seeks", 0),
+            "setups": counters.get("join.columnar_setups", 0),
+        }
         return counters
 
     def reset_engine_stats(self):
@@ -324,7 +340,9 @@ class Workspace:
         return _obs.Profile()
 
     def _rebuild(self, state, new_blocks, block_name, block):
-        artifacts = ProgramArtifacts(new_blocks, self._plan_cache, self._parallel)
+        artifacts = ProgramArtifacts(
+            new_blocks, self._plan_cache, self._parallel, self._engine_backend
+        )
         old_artifacts = state.artifacts
 
         # base relations: carry over, then reconcile block facts
@@ -431,7 +449,8 @@ class Workspace:
                         arity = len(atom.args)
                     env[atom.pred] = Relation.empty(arity)
         relations, _ = Evaluator(
-            ruleset, prefer_array=False, plan_cache=self._plan_cache
+            ruleset, prefer_array=False, plan_cache=self._plan_cache,
+            backend=self._engine_backend,
         ).evaluate(env)
         deltas = {}
         preds = set()
@@ -578,6 +597,7 @@ class Workspace:
                 answer,
                 plan_cache=self._plan_cache,
                 parallel=self._parallel,
+                backend=self._engine_backend,
             )
             if window.span is not None:
                 window.span.attrs["rows"] = len(rows)

@@ -65,6 +65,14 @@ class ServiceConfig:
       reading its socket (backpressure through TCP).
     * ``net_max_frame_bytes`` — hard frame-size limit; an oversized
       frame is a protocol error, not an allocation.
+
+    Engine selection (:mod:`repro.engine.columnar`):
+
+    * ``engine`` — join backend for workspaces the service constructs
+      itself (recovery or fresh start): ``"pure"`` (per-tuple LFTJ),
+      ``"columnar"`` (vectorized numpy backend), or ``None`` to defer
+      to the ``REPRO_ENGINE`` environment override / default.  A
+      workspace passed in explicitly keeps its own backend.
     """
 
     max_pending: int = 64
@@ -82,8 +90,16 @@ class ServiceConfig:
     net_max_connections: int = 64
     net_inflight_per_conn: int = 32
     net_max_frame_bytes: int = 16 * 1024 * 1024
+    engine: str = None
 
     def __post_init__(self):
+        if self.engine is not None:
+            from repro.engine.columnar import BACKENDS
+
+            if self.engine not in BACKENDS:
+                raise ValueError(
+                    "engine must be one of {}, got {!r}".format(
+                        "/".join(BACKENDS), self.engine))
         if self.mode not in ("repair", "occ"):
             raise ValueError("mode must be 'repair' or 'occ', got {!r}".format(self.mode))
         if self.max_pending < 1:

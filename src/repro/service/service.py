@@ -154,8 +154,8 @@ class TransactionService:
 
             if has_checkpoint(config.checkpoint_path):
                 _stats.bump("service.recoveries")
-                return Workspace.open(config.checkpoint_path)
-        return Workspace()
+                return Workspace.open(config.checkpoint_path, engine=config.engine)
+        return Workspace(engine=config.engine)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -683,7 +683,8 @@ class CheckpointStore:
         _stats.bump("pager.nodes_read")
         return node
 
-    def _restore_state(self, record, plan_cache, parallel, caches):
+    def _restore_state(self, record, plan_cache, parallel, caches,
+                       engine_backend=None):
         from repro.engine.evaluator import PredicateState
         from repro.engine.ivm import Materialization
         from repro.logiql.compiler import compile_program
@@ -703,7 +704,8 @@ class CheckpointStore:
                     for name, source in record["blocks"].items()
                 }
             )
-            artifacts = ProgramArtifacts(blocks, plan_cache, parallel)
+            artifacts = ProgramArtifacts(blocks, plan_cache, parallel,
+                                         engine_backend)
             artifact_cache[blocks_key] = artifacts
 
         def load_relation(ref):
@@ -777,7 +779,8 @@ class CheckpointStore:
             caches = ({}, {}, {})
             states = {
                 int(vid): self._restore_state(
-                    record, workspace._plan_cache, workspace._parallel, caches
+                    record, workspace._plan_cache, workspace._parallel, caches,
+                    workspace._engine_backend,
                 )
                 for vid, record in manifest["states"].items()
             }

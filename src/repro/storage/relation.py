@@ -112,7 +112,7 @@ def _merge_sorted(rows, added, removed):
 class Relation:
     """One immutable version of a predicate's extension."""
 
-    __slots__ = ("arity", "_tuples", "_indexes", "_flat")
+    __slots__ = ("arity", "_tuples", "_indexes", "_flat", "_columnar")
 
     def __init__(self, arity, tuples=None, indexes=None, flats=None):
         self.arity = arity
@@ -121,6 +121,10 @@ class Relation:
         self._indexes = indexes if indexes is not None else {}
         # perm (tuple) -> list of permuted tuples, sorted; lazy cache
         self._flat = flats if flats is not None else {}
+        # perm (tuple) -> ColumnarLayout | ColumnarUnsupported; lazy
+        # cache for the vectorized backend (per version, like _flat;
+        # rebuilt from the promoted flat array after a delta)
+        self._columnar = {}
 
     @classmethod
     def empty(cls, arity):
@@ -340,6 +344,31 @@ class Relation:
     def has_flat(self, perm):
         """True when the array backend is already materialized."""
         return tuple(perm) in self._flat
+
+    def columnar(self, perm):
+        """Column-encoded layout of the tuples permuted by ``perm``
+        (cached per version, like :meth:`flat`).
+
+        Raises :class:`~repro.storage.columnar.ColumnarUnsupported`
+        when the values do not dictionary-encode (or numpy is absent);
+        the failure itself is cached so repeated probes stay cheap.
+        """
+        from repro.storage.columnar import ColumnarLayout, ColumnarUnsupported
+
+        perm = tuple(perm)
+        cached = self._columnar.get(perm)
+        if cached is None:
+            stats.bump("relation.columnar_misses")
+            try:
+                cached = ColumnarLayout(self.flat(perm), self.arity)
+            except ColumnarUnsupported as exc:
+                cached = exc
+            self._columnar[perm] = cached
+        else:
+            stats.bump("relation.columnar_hits")
+        if isinstance(cached, ColumnarUnsupported):
+            raise cached
+        return cached
 
     def __repr__(self):
         preview = ", ".join(repr(t) for t in list(self._tuples)[:3])

@@ -98,16 +98,28 @@ def test_rebranching_unchanged_relation_keeps_indexes_warm():
     before = global_stats.snapshot()
     ws.query(query)  # builds the secondary index on the shared version
     built = global_stats.delta_since(before)
-    assert built.get("relation.index_misses", 0) > 0
+    # the pure backend builds a permuted tuple index; the columnar one
+    # builds a permuted columnar layout — either way it is a cold build
+    assert (
+        built.get("relation.index_misses", 0) > 0
+        or built.get("relation.columnar_misses", 0) > 0
+    )
     before = global_stats.snapshot()
     ws.create_branch("fork")
     ws.switch("fork")
     ws.query(query)
     bumped = global_stats.delta_since(before)
-    # the branch shares the relation version: the permuted index built
-    # before the branch must be reused, not rebuilt
-    assert bumped.get("relation.index_hits", 0) > 0
+    # the branch shares the relation version: the permuted structure
+    # built before the branch must be reused, not rebuilt (the columnar
+    # backend may reuse the whole encoded join setup, which is keyed by
+    # the same relation versions and never re-touches the layouts)
+    assert (
+        bumped.get("relation.index_hits", 0) > 0
+        or bumped.get("relation.columnar_hits", 0) > 0
+        or bumped.get("join.columnar_setup_hits", 0) > 0
+    )
     assert bumped.get("relation.index_misses", 0) == 0
+    assert bumped.get("relation.columnar_misses", 0) == 0
 
 
 def test_delta_application_promotes_flat_arrays():

@@ -257,3 +257,27 @@ class TestStatsSurface:
             result = service.exec(BUMP)
             assert isinstance(result.stats, dict)
             assert result.latency_s is not None
+
+
+class TestEngineKnob:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(engine="vectorized")
+
+    def test_engine_reaches_the_constructed_workspace(self):
+        from repro.engine.columnar import resolve_backend
+
+        with make_service(engine="columnar") as service:
+            assert service.workspace._engine_backend == resolve_backend(
+                "columnar"
+            )
+            service.exec(BUMP)
+            assert service.rows("counter") == [("hits", 1)]
+
+    def test_explicit_workspace_keeps_its_own_backend(self):
+        workspace = Workspace(engine="pure")
+        service = TransactionService(
+            workspace, config=ServiceConfig(engine="columnar")
+        )
+        with service:
+            assert workspace._engine_backend == "pure"

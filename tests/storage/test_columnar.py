@@ -1,0 +1,112 @@
+"""Columnar storage: dictionary encoding, canonicalization, layouts."""
+
+import math
+
+import pytest
+
+from repro import stats as global_stats
+from repro.ds.hashing import canonical_key, stable_hash
+from repro.storage.columnar import (
+    HAVE_NUMPY,
+    ColumnarLayout,
+    ColumnarUnsupported,
+    encode_column,
+)
+from repro.storage.relation import Relation
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+
+
+class TestEncodeColumn:
+    def test_round_trip_preserves_values_and_order(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        codes, domain = encode_column(values)
+        assert [domain[c] for c in codes] == values
+        assert domain == sorted(set(values))
+        # order-preserving: code comparison == value comparison
+        for i, u in enumerate(domain):
+            for j, v in enumerate(domain):
+                assert (i < j) == (u < v)
+
+    def test_domain_holds_python_objects_not_numpy_scalars(self):
+        codes, domain = encode_column([10, 20])
+        assert all(type(v) is int for v in domain)
+        # decoded values must stable_hash exactly like the originals
+        assert stable_hash(domain[0]) == stable_hash(10)
+
+    def test_negative_zero_collapses_to_positive_zero(self):
+        codes, domain = encode_column([-0.0, 0.0, 1.5])
+        assert domain == [0.0, 1.5]
+        assert math.copysign(1.0, domain[0]) == 1.0
+        assert codes[0] == codes[1] == 0
+
+    def test_nan_is_rejected_as_data_error(self):
+        with pytest.raises(ValueError):
+            encode_column([1.0, float("nan")])
+
+    def test_mixed_int_float_keys_sort_numerically(self):
+        # regression: 1 and 1.5 and 2 must interleave by value, and an
+        # equal int/float pair must share one code (canonical_key treats
+        # 2 == 2.0), exactly as the pure backend's tuple sort does
+        codes, domain = encode_column([2, 1.5, 1, 2.0])
+        assert domain == [1, 1.5, 2]
+        assert list(codes) == [2, 1, 0, 2]
+
+    def test_incomparable_values_raise_columnar_unsupported(self):
+        with pytest.raises(ColumnarUnsupported):
+            encode_column([1, "a"])
+
+    def test_unhashable_values_raise_columnar_unsupported(self):
+        with pytest.raises(ColumnarUnsupported):
+            encode_column([[1], [2]])
+
+    def test_strings_encode_in_lexicographic_order(self):
+        codes, domain = encode_column(["pear", "apple", "fig"])
+        assert domain == ["apple", "fig", "pear"]
+        assert [domain[c] for c in codes] == ["pear", "apple", "fig"]
+
+
+class TestColumnarLayout:
+    def test_layout_matches_sorted_rows(self):
+        rows = sorted({(i % 3, i % 5, i) for i in range(30)})
+        layout = ColumnarLayout(rows, 3)
+        assert layout.n_rows == len(rows)
+        decoded = [
+            tuple(layout.domains[j][layout.codes[j][i]] for j in range(3))
+            for i in range(layout.n_rows)
+        ]
+        assert decoded == rows
+
+    def test_run_starts_mark_prefix_group_boundaries(self):
+        rows = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 5)]
+        layout = ColumnarLayout(rows, 2)
+        assert list(layout.run_starts(0)) == [0, 3, 5]
+        assert list(layout.run_starts(1)) == [0, 1, 2, 3, 4, 5]
+
+    def test_run_starts_respects_lo_hi_window(self):
+        rows = [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2)]
+        layout = ColumnarLayout(rows, 2)
+        assert list(layout.run_starts(0, 2, 5)) == [2]
+        assert list(layout.run_starts(1, 2, 5)) == [2, 3, 4]
+        assert list(layout.run_starts(0, 3, 3)) == []
+
+
+class TestRelationAccessor:
+    def test_columnar_accessor_caches_per_permutation(self):
+        relation = Relation.from_iter(2, [(i, i % 3) for i in range(16)])
+        before = global_stats.snapshot()
+        first = relation.columnar((1, 0))
+        again = relation.columnar((1, 0))
+        delta = global_stats.delta_since(before)
+        assert first is again
+        assert delta.get("relation.columnar_misses") == 1
+        assert delta.get("relation.columnar_hits") == 1
+
+    def test_unencodable_relation_raises_and_caches_failure(self):
+        # rows sort fine tuple-wise (first column decides) but the
+        # second column mixes ints and strings, which do not encode
+        relation = Relation.from_iter(2, [(1, 2), (2, "a")])
+        with pytest.raises(ColumnarUnsupported):
+            relation.columnar((0, 1))
+        with pytest.raises(ColumnarUnsupported):
+            relation.columnar((0, 1))
