@@ -5,9 +5,10 @@ Usage::
     python benchmarks/compare.py benchmarks/results/BENCH_wco.json /tmp/BENCH_wco.json
 
 Prints, per benchmark test, the old/new mean wall time and the relative
-change, followed by the engine counter deltas — so a perf PR can show
-in one screen both *how much* a workload moved and *why* (plan-cache
-hits gained, seeks avoided, joins sharded).
+change, followed by the engine counter deltas and the histogram
+quantile shifts (p50/p90/p99 per recorded distribution) — so a perf PR
+can show in one screen both *how much* a workload moved and *why*
+(plan-cache hits gained, seeks avoided, latency tail widened).
 
 Exit status is 0 unless ``--fail-above PCT`` is given and some test's
 mean wall time regressed by more than ``PCT`` percent.
@@ -82,7 +83,50 @@ def compare(old_payload, new_payload, out=sys.stdout):
                 continue
             print("  {:<40} {:>14} -> {:>14}  ({:+})".format(
                 key, old, new, new - old), file=out)
+    _compare_quantiles(old_payload, new_payload, out)
     return worst
+
+
+def _quantile_rows(payload):
+    """``{histogram name: {quantile label: value}}`` for artifacts that
+    recorded histogram quantiles (older artifacts simply lack them)."""
+    rows = {}
+    for name, entry in (payload.get("histograms") or {}).items():
+        if not isinstance(entry, dict):
+            continue
+        quantiles = {label: value for label, value in entry.items()
+                     if label.startswith("p") and
+                     isinstance(value, (int, float))}
+        if quantiles:
+            rows[name] = quantiles
+    return rows
+
+
+def _compare_quantiles(old_payload, new_payload, out=sys.stdout):
+    """Diff per-histogram p50/p90/p99 between two artifacts."""
+    old_rows = _quantile_rows(old_payload)
+    new_rows = _quantile_rows(new_payload)
+    names = sorted(set(old_rows) | set(new_rows))
+    if not names:
+        return
+    print("== histogram quantiles ==", file=out)
+    for name in names:
+        old = old_rows.get(name)
+        new = new_rows.get(name)
+        if old is None or new is None:
+            print("  {:<40} ({})".format(
+                name, "added" if old is None else "removed"), file=out)
+            continue
+        cells = []
+        for label in sorted(set(old) | set(new),
+                            key=lambda lbl: float(lbl[1:])):
+            before, after = old.get(label), new.get(label)
+            if before is None or after is None:
+                continue
+            change = (after - before) / before * 100.0 if before else 0.0
+            cells.append("{} {:.4g}->{:.4g} ({:+.0f}%)".format(
+                label, before, after, change))
+        print("  {:<40} {}".format(name, "  ".join(cells)), file=out)
 
 
 def check_speedup(payload, required, out=sys.stdout):

@@ -262,3 +262,30 @@ class SamplingOptimizer:
         threshold, so sharding only pays for joins the sampler already
         measured as expensive."""
         return self._cost_cache.get(self._version_key(rule, relations))
+
+    def explain_rule(self, rule, relations):
+        """The optimizer's prediction for ``rule`` on these inputs.
+
+        Returns ``(var_order, estimated_steps, indexes)`` with steps
+        extrapolated to full input size — the EXPLAIN ANALYZE side of
+        the estimate-vs-actual comparison — or ``None`` when the rule
+        has no joinable body atoms or does not plan.  When the chooser
+        kept the planner default, the default order is scored so every
+        rule still gets an estimate."""
+        if not any(isinstance(atom, PredAtom) for atom in rule.body):
+            return None
+        preds = rule.body_preds()
+        if any(pred not in relations for pred in preds):
+            return None
+        order = self(rule, relations)
+        if order is None:
+            try:
+                order = tuple(rule.plan().var_order)
+            except PlanError:
+                return None
+        env = self._sampled(relations, preds)
+        cost = estimate_order_cost(rule, env, order, self._prefix_cache)
+        if cost is None:
+            return None
+        estimated = self._scaled_steps(rule, relations, cost[0])
+        return order, estimated, cost[1]

@@ -41,6 +41,7 @@ import itertools
 import socket
 import time
 
+from repro import obs as _obs
 from repro import stats as _stats
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -92,6 +93,7 @@ class NetSession:
         self.socket_timeout_s = socket_timeout_s
         self.max_frame_bytes = max_frame_bytes
         self.policy = dict(_DEFAULT_POLICY)
+        self._server_trace = False
         self._sock = None
         self._decoder = None
         self._inbox = []
@@ -124,6 +126,9 @@ class NetSession:
                 "expected HELLO from server, got {}".format(ftype))
         policy = payload.get("policy") or {}
         self.policy = {**_DEFAULT_POLICY, **policy}
+        # only servers that advertise the capability ever see trace_ctx,
+        # so connecting to an old peer degrades to untraced requests
+        self._server_trace = bool(payload.get("trace"))
 
     def _drop_connection(self):
         if self._sock is not None:
@@ -178,13 +183,20 @@ class NetSession:
 
     def _call(self, op, *, idempotent=False, **args):
         self._check_open()
+        with _obs.span("net.call", op=op) as span_:
+            return self._call_inner(op, idempotent, args, span_)
+
+    def _call_inner(self, op, idempotent, args, span_):
         attempt = 0
         while True:
             attempt += 1
             try:
                 if self._sock is None:
                     self._connect()
-                return self._roundtrip(op, args)
+                outcome = self._roundtrip(op, args)
+                if span_ is not None:
+                    span_.attrs["attempts"] = attempt
+                return outcome
             except (ConnectionLost, ProtocolError) as exc:
                 self._drop_connection()
                 max_retries = self.policy["max_retries"]
@@ -201,9 +213,13 @@ class NetSession:
 
     def _roundtrip(self, op, args):
         rid = next(self._ids)
+        request = {"id": rid, "op": op, "args": args}
+        if self._server_trace:
+            ctx = _obs.trace_context()
+            if ctx is not None:
+                request["trace_ctx"] = ctx
         self._send_raw(encode_frame(
-            F_REQUEST, {"id": rid, "op": op, "args": args},
-            max_frame_bytes=self.max_frame_bytes))
+            F_REQUEST, request, max_frame_bytes=self.max_frame_bytes))
         _stats.bump("net.client.requests")
         rows = []
         while True:
@@ -212,6 +228,11 @@ class NetSession:
                 rows.extend(payload.get("rows") or ())
                 continue
             if ftype == F_RESPONSE and payload.get("id") == rid:
+                trace = payload.get("trace")
+                if trace is not None:
+                    # stitch the server's span tree under our net.call
+                    # span: one client transaction, one trace
+                    _obs.graft(trace, origin="server")
                 return payload.get("result") or {}, rows
             if ftype == F_ERROR:
                 if payload.get("id") in (rid, None):
@@ -288,6 +309,23 @@ class NetSession:
         queue depth, ...)."""
         result, _ = self._call("stats", idempotent=True)
         return result["stats"]
+
+    def telemetry(self, *, ring_tail=32):
+        """The server's live telemetry snapshot (counters, gauges,
+        histogram quantiles, span totals, slow-transaction log, and the
+        last ``ring_tail`` snapshot-ring entries)."""
+        result, _ = self._call("telemetry", idempotent=True,
+                               ring_tail=ring_tail)
+        return result["telemetry"]
+
+    def explain(self, source, *, answer=None):
+        """EXPLAIN ANALYZE on the server: returns an
+        :class:`~repro.obs.ExplainReport` pairing the optimizer's
+        estimated per-rule join cost with the executed join's actual
+        movement counts."""
+        result, _ = self._call(
+            "explain", idempotent=True, source=source, answer=answer)
+        return _obs.ExplainReport.from_dict(result["explain"])
 
     def ping(self):
         """Round-trip latency in seconds."""

@@ -28,7 +28,16 @@ Frame types:
   the row-chunk size for streamed results.
 * ``REQUEST``  — ``{"id": n, "op": str, "args": {...}}``.  Requests may
   be pipelined; responses carry the id and may complete out of order.
-* ``RESPONSE`` — ``{"id": n, "result": {...}}`` terminal success.
+  A tracing client adds ``"trace_ctx": {"trace": id, "span": sid}``
+  (sent only after the server's HELLO advertised ``"trace": True``, so
+  old peers never see the key; dict payloads tolerate unknown keys in
+  both directions regardless).
+* ``RESPONSE`` — ``{"id": n, "result": {...}}`` terminal success.  When
+  the request carried a ``trace_ctx``, the server attaches ``"trace"``:
+  its serialized span tree for the request (a
+  :meth:`repro.obs.Span.to_dict` payload, scrubbed by
+  :func:`trace_to_wire`), which the client grafts back under its own
+  open span — one transaction, one stitched tree.
 * ``CHUNK``    — ``{"id": n, "rows": [...]}`` partial answer rows for a
   streaming query; zero or more precede the RESPONSE.
 * ``ERROR``    — ``{"id": n | None, "error": {...}}`` a typed error
@@ -276,6 +285,32 @@ def error_from_wire(record):
         value = record.get("attrs", {}).get(attr_name)
         setattr(exc, attr_name, _decode_attr(attr_name, value))
     return exc
+
+
+# -- trace payloads over the wire ---------------------------------------------
+
+
+_CODEC_SCALARS = (str, int, float, bool, bytes)
+
+
+def trace_to_wire(record):
+    """A :meth:`repro.obs.Span.to_dict` tree made codec-safe.
+
+    Span attributes are arbitrary Python values (call sites annotate
+    freely); the pager codec only encodes its value universe.  Scalars
+    pass through, containers recurse, anything else degrades to its
+    ``repr`` — a trace must never be the reason a response frame fails
+    to encode."""
+    def scrub(value):
+        if value is None or isinstance(value, _CODEC_SCALARS):
+            return value
+        if isinstance(value, dict):
+            return {str(key): scrub(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [scrub(item) for item in value]
+        return repr(value)
+
+    return scrub(record)
 
 
 # -- TxnResult over the wire --------------------------------------------------

@@ -96,6 +96,11 @@ class Replica:
         Returns a summary dict: ``seq``, ``fetched_records`` (how many
         records crossed the wire — O(log n) for a warm replica),
         ``ingested`` (False when we were already current).
+
+        When tracing is on, the ``replica.sync`` span roots one
+        distributed trace: each ``sync_manifest`` / ``sync_records``
+        round-trip sends the span's trace context with the request and
+        grafts the leader's ``net.request`` subtree back underneath it.
         """
         with self._lock:
             self._check_open()

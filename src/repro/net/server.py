@@ -63,6 +63,7 @@ from repro.net.protocol import (
     encode_frame,
     error_to_wire,
     result_to_wire,
+    trace_to_wire,
 )
 from repro.runtime.errors import Overloaded, ReproError
 
@@ -127,6 +128,11 @@ class ReproServer:
         once the listening socket is bound."""
         if self._thread is not None:
             raise ReproError("server already started")
+        cfg = self.service.config
+        if cfg.telemetry_interval_s > 0:
+            _obs.start_sampler(cfg.telemetry_interval_s,
+                               capacity=cfg.telemetry_ring)
+            self._owns_sampler = True
         self._thread = threading.Thread(
             target=self._run, name="repro-net-server", daemon=True)
         self._thread.start()
@@ -178,6 +184,9 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self._executor.shutdown(wait=False)
+        if getattr(self, "_owns_sampler", False):
+            self._owns_sampler = False
+            _obs.stop_sampler()
 
     def __enter__(self):
         if self._thread is None:
@@ -262,6 +271,11 @@ class ReproServer:
             "proto": PROTOCOL_VERSION,
             "server": "repro",
             "chunk_rows": self.chunk_rows,
+            # trace-context negotiation: clients only attach trace_ctx
+            # to requests after seeing this capability, so an old server
+            # (no "trace" key) is never sent one and an old client
+            # simply ignores the key — interop both ways
+            "trace": True,
             "policy": {
                 "max_retries": cfg.max_retries,
                 "backoff_base_s": cfg.backoff_base_s,
@@ -328,13 +342,14 @@ class ReproServer:
         rid = payload.get("id")
         op = payload.get("op")
         args = payload.get("args") or {}
+        trace_ctx = payload.get("trace_ctx")
         _stats.bump("net.requests")
         self._inflight += 1
         _stats.gauge("net.inflight", self._inflight)
         try:
             try:
                 frames = await self._loop.run_in_executor(
-                    self._executor, self._dispatch, rid, op, args)
+                    self._executor, self._dispatch, rid, op, args, trace_ctx)
             except ReproError as exc:
                 _stats.bump("net.request_errors")
                 frames = [(F_ERROR, {"id": rid, "error": error_to_wire(exc)})]
@@ -347,14 +362,48 @@ class ReproServer:
             self._inflight -= 1
             _stats.gauge("net.inflight", self._inflight)
 
-    def _dispatch(self, rid, op, args):
+    def _dispatch(self, rid, op, args, trace_ctx=None):
         """Run one verb on the service (worker thread, blocking) and
-        build the response frames."""
-        with _obs.span("net.request", op=op) as span_:
-            frames = self._dispatch_op(rid, op, args)
-            if span_ is not None:
-                span_.attrs["frames"] = len(frames)
+        build the response frames.
+
+        When the request carried a ``trace_ctx``, the whole dispatch
+        *continues the client's trace*: the ``net.request`` root adopts
+        the remote trace id (installing a throwaway collector when
+        tracing is otherwise off, so client-driven tracing costs the
+        server nothing between traced requests), and the finished span
+        tree — including the committer's grafted batch span — is
+        attached to the RESPONSE frame for the client to stitch."""
+        if trace_ctx is None:
+            with _obs.span("net.request", op=op) as span_:
+                frames = self._dispatch_op(rid, op, args)
+                if span_ is not None:
+                    span_.attrs["frames"] = len(frames)
+            return frames
+        collector = None if _obs.tracing() else _obs.Profile()
+        request_span = None
+        with _obs.remote_context(trace_ctx):
+            if collector is not None:
+                collector.__enter__()
+            try:
+                with _obs.span("net.request", op=op) as span_:
+                    request_span = span_
+                    frames = self._dispatch_op(rid, op, args)
+                    if span_ is not None:
+                        span_.attrs["frames"] = len(frames)
+            finally:
+                if collector is not None:
+                    collector.__exit__(None, None, None)
+        if request_span is not None:
+            self._attach_trace(frames, request_span)
         return frames
+
+    @staticmethod
+    def _attach_trace(frames, span_):
+        """Put the closed request span tree on the RESPONSE payload."""
+        record = trace_to_wire(span_.to_dict())
+        for ftype, payload in frames:
+            if ftype == F_RESPONSE and isinstance(payload, dict):
+                payload["trace"] = record
 
     def _dispatch_op(self, rid, op, args):
         svc = self.service
@@ -403,6 +452,12 @@ class ReproServer:
                 {"counters": svc.checkpoint(timeout=args.get("timeout"))})
         if op == "stats":
             return respond({"stats": svc.service_stats()})
+        if op == "telemetry":
+            snapshot = svc.telemetry(ring_tail=args.get("ring_tail") or 0)
+            return respond({"telemetry": trace_to_wire(snapshot)})
+        if op == "explain":
+            report = svc.explain(args["source"], answer=args.get("answer"))
+            return respond({"explain": trace_to_wire(report.to_dict())})
         if op == "ping":
             return respond({})
         if op == "sync_manifest":
@@ -515,6 +570,11 @@ def main(argv=None):
     parser.add_argument("--mode", default="repair", choices=("repair", "occ"))
     parser.add_argument("--trace", default=None,
                         help="stream obs spans to this JSONL file")
+    parser.add_argument("--telemetry-interval", type=float, default=1.0,
+                        help="snapshot-ring sampling period in seconds "
+                             "(0 disables the sampler)")
+    parser.add_argument("--slow-txn", type=float, default=None,
+                        help="log transactions slower than this many seconds")
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -524,6 +584,8 @@ def main(argv=None):
         mode=args.mode,
         checkpoint_path=args.checkpoint_path,
         checkpoint_every_n_commits=args.checkpoint_every,
+        telemetry_interval_s=args.telemetry_interval,
+        slow_txn_s=args.slow_txn,
     ))
     server = ReproServer(service, host=args.host, port=args.port)
     server.start()

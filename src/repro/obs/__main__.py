@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — demo trace exporter and the ``top``
+dashboard (``python -m repro.obs top HOST:PORT``)."""
+
+import sys
+
+from repro.obs import main
+
+sys.exit(main())

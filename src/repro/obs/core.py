@@ -1,4 +1,5 @@
-"""Transaction-scoped tracing: hierarchical spans and engine profiles.
+"""Transaction-scoped tracing: hierarchical spans, profiles, and
+cross-process trace context.
 
 The paper's performance story — LFTJ cost measured in seeks/nexts per
 iterator (Veldhuizen 2012), IVM work "proportional to the trace edit
@@ -17,9 +18,16 @@ counters of :mod:`repro.stats`:
 * **Profiles** — :class:`Profile` collects the root spans produced on
   its thread; :meth:`~repro.runtime.workspace.Workspace.profile` is the
   user-facing entry point.
+* **Trace context** — every root span is stamped with a process-unique
+  *trace id*.  :func:`trace_context` captures ``{"trace", "span"}`` for
+  shipping across a process boundary; :func:`remote_context` installs a
+  received context so the next root span on this thread *continues* the
+  remote trace instead of starting a fresh one; :func:`graft` splices a
+  serialized remote subtree (a :meth:`Span.to_dict` payload) back under
+  the local open span, which is how the network client stitches the
+  server/committer side of a transaction into one tree.
 * **Exporters** — a JSON-lines trace dump (one span per line, parent
-  links included) and a Prometheus-style text rendering of the global
-  counters and histograms.
+  links included, trace id stamped on every line).
 
 Overhead contract: with tracing disabled (the default), every
 instrumentation site costs one function call and one flag test —
@@ -34,9 +42,9 @@ unbounded trace state.
 import itertools
 import json
 import os
-import sys
 import threading
 import time
+import uuid
 
 from repro import stats
 
@@ -51,6 +59,17 @@ _span_totals = {}  # span name -> [count, total wall seconds]
 
 _span_ids = itertools.count(1)
 
+# Trace ids must be unique *across* processes (a client, a server, and
+# a replica all mint them), so they carry a per-process random seed —
+# the span sids stay small ints because they only need to be unique
+# within one process's trace file.
+_TRACE_SEED = uuid.uuid4().hex[:12]
+_trace_ids = itertools.count(1)
+
+
+def _new_trace_id():
+    return "{}-{:x}".format(_TRACE_SEED, next(_trace_ids))
+
 
 class Span:
     """One named region of a trace: wall time, attributes, counter
@@ -58,10 +77,13 @@ class Span:
 
     ``sid`` is a process-unique span id; transaction results carry the
     root span's sid so a :class:`~repro.runtime.result.TxnResult` can
-    be joined back to its trace."""
+    be joined back to its trace.  ``trace_id`` is set on root spans
+    only (children share their root's trace) and survives process hops:
+    a root opened under :func:`remote_context` adopts the remote trace
+    id, which is what makes one distributed transaction one trace."""
 
     __slots__ = ("sid", "name", "attrs", "children", "counters", "wall_s",
-                 "_started", "_sink")
+                 "trace_id", "_started", "_sink")
 
     def __init__(self, name, attrs):
         self.sid = next(_span_ids)
@@ -70,6 +92,7 @@ class Span:
         self.children = []
         self.counters = {}
         self.wall_s = 0.0
+        self.trace_id = None
         self._started = time.perf_counter()
         self._sink = stats.push_scope()
 
@@ -91,14 +114,19 @@ class Span:
         return [s for s in self.walk() if s.name == name]
 
     def to_dict(self):
-        """JSON-safe nested representation."""
-        return {
+        """JSON-safe nested representation (the wire/graft exchange
+        shape — :func:`span_from_dict` is the inverse)."""
+        out = {
+            "sid": self.sid,
             "name": self.name,
             "wall_s": self.wall_s,
             "attrs": dict(self.attrs),
             "counters": dict(self.counters),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
+        return out
 
     def format(self, indent=0):
         """Human-readable tree rendering."""
@@ -131,6 +159,14 @@ def disable():
     keep tracing their own thread regardless)."""
     global _forced
     _forced = False
+
+
+def _set_forced(value):
+    """Restore the force flag to a saved value (test isolation helper —
+    assigning ``obs._forced`` directly would only rebind the package
+    attribute, not this module's global)."""
+    global _forced
+    _forced = bool(value)
 
 
 def tracing():
@@ -175,6 +211,100 @@ def _emit_root(span_):
         del ring[: len(ring) - _AMBIENT_LIMIT]
 
 
+# -- cross-process trace context ---------------------------------------------
+
+
+def trace_context():
+    """The current trace coordinates as ``{"trace", "span"}``, or
+    ``None`` when no span is open (callers ship this across the wire;
+    the receiving side installs it with :func:`remote_context`)."""
+    stack = getattr(_local, "spans", None)
+    if stack:
+        return {"trace": stack[0].trace_id, "span": stack[-1].sid}
+    ctx = getattr(_local, "remote_ctx", None)
+    if ctx:
+        return dict(ctx)
+    return None
+
+
+class _RemoteContext:
+    """Context manager installing a received trace context on this
+    thread: the next *root* span opened inside adopts the remote trace
+    id and records the remote parent span sid."""
+
+    __slots__ = ("_ctx", "_prev")
+
+    def __init__(self, ctx):
+        self._ctx = ctx
+        self._prev = None
+
+    def __enter__(self):
+        self._prev = getattr(_local, "remote_ctx", None)
+        _local.remote_ctx = self._ctx
+        return self._ctx
+
+    def __exit__(self, *exc):
+        _local.remote_ctx = self._prev
+        self._prev = None
+        return False
+
+
+def remote_context(ctx):
+    """Adopt a remote trace context for the duration of the ``with``
+    block (no-op when ``ctx`` is missing or malformed, so servers can
+    pass whatever arrived on the wire without validating first)."""
+    if not isinstance(ctx, dict) or ctx.get("trace") is None:
+        return _NOOP
+    return _RemoteContext(ctx)
+
+
+def span_from_dict(record):
+    """Rebuild a :class:`Span` tree from a :meth:`Span.to_dict`
+    payload.  The rebuilt spans get fresh local sids (the remote sid is
+    preserved as the ``remote_sid`` attribute) so id/parent links in
+    exported traces stay unique within this process."""
+    span_ = Span.__new__(Span)
+    span_.sid = next(_span_ids)
+    span_.name = str(record.get("name", "?"))
+    attrs = record.get("attrs")
+    span_.attrs = dict(attrs) if isinstance(attrs, dict) else {}
+    remote_sid = record.get("sid")
+    if remote_sid is not None:
+        span_.attrs.setdefault("remote_sid", remote_sid)
+    counters = record.get("counters")
+    span_.counters = dict(counters) if isinstance(counters, dict) else {}
+    try:
+        span_.wall_s = float(record.get("wall_s") or 0.0)
+    except (TypeError, ValueError):
+        span_.wall_s = 0.0
+    span_.trace_id = record.get("trace")
+    span_._started = 0.0
+    span_._sink = None
+    span_.children = [
+        span_from_dict(child) for child in record.get("children") or ()
+        if isinstance(child, dict)
+    ]
+    return span_
+
+
+def graft(record, **extra_attrs):
+    """Splice a serialized remote span tree under the innermost open
+    span on this thread.  Returns the grafted :class:`Span`, or
+    ``None`` when there is no open span or the record is unusable —
+    the client-side stitch point for distributed traces."""
+    parent = current()
+    if parent is None or not isinstance(record, dict):
+        return None
+    try:
+        span_ = span_from_dict(record)
+    except Exception:
+        return None
+    if extra_attrs:
+        span_.attrs.update(extra_attrs)
+    parent.children.append(span_)
+    return span_
+
+
 # -- streaming trace file -----------------------------------------------------
 #
 # Per-thread rings and Profiles cover single-threaded flows, but a
@@ -190,13 +320,16 @@ _trace_file = None
 
 def root_jsonl_lines(root):
     """Flatten one finished root span into JSONL strings (parent links
-    via the process-unique span sids)."""
+    via the process-unique span sids; every line carries the root's
+    trace id so multi-process dumps can be grouped into traces)."""
     lines = []
+    trace_id = root.trace_id
 
     def emit(span_, parent_sid):
         lines.append(json.dumps({
             "id": span_.sid,
             "parent": parent_sid,
+            "trace": trace_id,
             "name": span_.name,
             "wall_s": span_.wall_s,
             "attrs": span_.attrs,
@@ -275,9 +408,20 @@ class _SpanHandle:
         self._span = None
 
     def __enter__(self):
-        self._span = Span(self._name, self._attrs)
-        _stack().append(self._span)
-        return self._span
+        stack = _stack()
+        span_ = Span(self._name, self._attrs)
+        if not stack:
+            ctx = getattr(_local, "remote_ctx", None)
+            if ctx:
+                span_.trace_id = ctx.get("trace")
+                remote_parent = ctx.get("span")
+                if remote_parent is not None:
+                    span_.attrs.setdefault("remote_parent", remote_parent)
+            else:
+                span_.trace_id = _new_trace_id()
+        stack.append(span_)
+        self._span = span_
+        return span_
 
     def __exit__(self, *exc):
         _finish(self._span)
@@ -428,22 +572,23 @@ class Profile:
         lines = []
         next_id = [0]
 
-        def emit(span_, parent_id):
+        def emit(span_, parent_id, trace_id):
             span_id = next_id[0]
             next_id[0] += 1
             lines.append(json.dumps({
                 "id": span_id,
                 "parent": parent_id,
+                "trace": trace_id,
                 "name": span_.name,
                 "wall_s": span_.wall_s,
                 "attrs": span_.attrs,
                 "counters": span_.counters,
             }, sort_keys=True, default=repr))
             for child in span_.children:
-                emit(child, span_id)
+                emit(child, span_id, trace_id)
 
         for root in self.roots:
-            emit(root, None)
+            emit(root, None, root.trace_id)
         return lines
 
 
@@ -461,88 +606,3 @@ def reset_span_totals():
     """Clear the per-name aggregates (test isolation only)."""
     with _totals_lock:
         _span_totals.clear()
-
-
-# -- prometheus-style text dump ---------------------------------------------
-
-
-def _metric_name(key):
-    out = []
-    for ch in key:
-        out.append(ch if ch.isalnum() else "_")
-    return "repro_" + "".join(out)
-
-
-def prometheus_text():
-    """Counters and histograms as Prometheus text exposition lines."""
-    lines = []
-    for key, value in sorted(stats.snapshot().items()):
-        name = _metric_name(key)
-        lines.append("# TYPE {} counter".format(name))
-        lines.append("{} {}".format(name, value))
-    for key, value in sorted(stats.gauges().items()):
-        name = _metric_name(key)
-        lines.append("# TYPE {} gauge".format(name))
-        lines.append("{} {}".format(name, value))
-    for key, hist in sorted(stats.histograms().items()):
-        name = _metric_name(key)
-        lines.append("# TYPE {} summary".format(name))
-        lines.append("{}_count {}".format(name, hist["count"]))
-        lines.append("{}_sum {}".format(name, hist["sum"]))
-        lines.append("{}_min {}".format(name, hist["min"]))
-        lines.append("{}_max {}".format(name, hist["max"]))
-    return "\n".join(lines) + "\n"
-
-
-# -- demo / sample-trace CLI -------------------------------------------------
-
-
-def _demo(jsonl_path=None, out=None):
-    """Run one traced triangle-query transaction and render its trace.
-
-    ``python -m repro.obs [--jsonl PATH]`` — CI uses this to produce
-    the sample trace artifact.
-    """
-    out = out if out is not None else sys.stdout
-    enable()
-    from repro import Workspace
-
-    workspace = Workspace()
-    with Profile() as prof:
-        workspace.addblock(
-            "edge(x, y) -> int(x), int(y).\n"
-            "tri(a, b, c) <- edge(a, b), edge(b, c), edge(a, c).\n"
-        )
-        workspace.load(
-            "edge",
-            [(a, b) for a in range(12) for b in range(12) if a < b and (a + b) % 3],
-        )
-        workspace.query("_(a, b, c) <- edge(a, b), edge(b, c), edge(a, c).")
-    print(prof.format(), file=out)
-    print(file=out)
-    print(prometheus_text(), file=out)
-    if jsonl_path:
-        prof.to_jsonl(jsonl_path)
-        print("wrote {} spans to {}".format(
-            sum(1 for _ in prof.walk()), jsonl_path), file=out)
-    return prof
-
-
-def main(argv=None):
-    argv = list(sys.argv[1:] if argv is None else argv)
-    jsonl_path = None
-    if "--jsonl" in argv:
-        index = argv.index("--jsonl")
-        jsonl_path = argv[index + 1]
-    _demo(jsonl_path=jsonl_path)
-    return 0
-
-
-if __name__ == "__main__":
-    # ``python -m repro.obs`` executes this file as ``__main__`` while
-    # the engine imports it as ``repro.obs`` — two module instances with
-    # separate thread-locals.  Delegate to the canonical one so the
-    # demo's collector sees the engine's spans.
-    from repro import obs as _canonical
-
-    sys.exit(_canonical.main())

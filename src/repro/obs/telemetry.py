@@ -1,0 +1,172 @@
+"""The live telemetry plane: snapshot ring, sampler, and exporters.
+
+A running server wants its counters observable *without* touching the
+committer or pausing transactions.  This module keeps a bounded
+in-memory ring of periodic counter/gauge/histogram snapshots (the
+``telemetry`` wire verb serves it; ``python -m repro.obs top`` renders
+it) and the Prometheus-style text exposition, including p50/p90/p99
+quantile lines derived from :mod:`repro.stats` sample windows.
+
+Everything here reads the global stats sinks — recording a snapshot is
+a dict copy under the stats lock, so the sampler thread never blocks
+the engine's hot paths.
+"""
+
+import os
+import threading
+import time
+
+from repro import stats
+from repro.obs import core as _core
+from repro.obs import explain as _explain
+
+_DEFAULT_CAPACITY = 128
+
+
+class TelemetryRing:
+    """A bounded ring of telemetry snapshots, newest last.
+
+    Each entry is ``{"seq", "ts", "counters", "gauges", "histograms"}``
+    — ``seq`` increases monotonically so pollers can detect gaps after
+    a slow poll without comparing timestamps."""
+
+    def __init__(self, capacity=_DEFAULT_CAPACITY):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._entries = []
+        self._seq = 0
+
+    def record(self, entry=None):
+        """Append a snapshot (taken now when ``entry`` is None)."""
+        if entry is None:
+            entry = snapshot_entry()
+        with self._lock:
+            entry = dict(entry)
+            entry["seq"] = self._seq
+            self._seq += 1
+            self._entries.append(entry)
+            if len(self._entries) > self.capacity:
+                del self._entries[: len(self._entries) - self.capacity]
+        return entry
+
+    def tail(self, n=None):
+        """The last ``n`` snapshots (all retained ones when ``n`` is
+        None), oldest first."""
+        with self._lock:
+            entries = self._entries if n is None else self._entries[-int(n):]
+            return [dict(entry) for entry in entries]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+
+_ring = TelemetryRing()
+
+
+def telemetry_ring():
+    """The process-wide snapshot ring."""
+    return _ring
+
+
+def snapshot_entry():
+    """One point-in-time snapshot of every stats sink."""
+    return {
+        "ts": time.time(),
+        "counters": stats.snapshot(),
+        "gauges": stats.gauges(),
+        "histograms": stats.histograms(),
+    }
+
+
+def telemetry_snapshot(*, ring_tail=0):
+    """The full telemetry payload the wire verb returns: a live
+    snapshot plus span totals, the slow-transaction log, and (when
+    ``ring_tail`` > 0) the most recent ring entries."""
+    payload = snapshot_entry()
+    payload["pid"] = os.getpid()
+    payload["span_totals"] = _core.span_totals()
+    payload["slow_txns"] = _explain.slow_txn_log()
+    if ring_tail:
+        payload["ring"] = _ring.tail(ring_tail)
+    return payload
+
+
+# -- the sampler thread ------------------------------------------------------
+
+_sampler_lock = threading.Lock()
+_sampler = None
+
+
+class _Sampler(threading.Thread):
+    def __init__(self, interval_s):
+        super().__init__(name="repro-telemetry", daemon=True)
+        self.interval_s = interval_s
+        # NB: not ``_stop`` — threading.Thread owns that name internally
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.wait(self.interval_s):
+            _ring.record()
+
+    def stop(self):
+        self._halt.set()
+
+
+def start_sampler(interval_s, capacity=None):
+    """Start (or retune) the periodic snapshot sampler.  Idempotent:
+    a second call replaces the previous sampler."""
+    global _sampler
+    with _sampler_lock:
+        if capacity is not None and capacity != _ring.capacity:
+            _ring.capacity = max(1, int(capacity))
+        if _sampler is not None:
+            _sampler.stop()
+        _sampler = _Sampler(float(interval_s))
+        _sampler.start()
+        return _sampler
+
+
+def stop_sampler():
+    """Stop the sampler if running (retained snapshots stay)."""
+    global _sampler
+    with _sampler_lock:
+        if _sampler is not None:
+            _sampler.stop()
+            _sampler = None
+
+
+# -- prometheus-style text dump ---------------------------------------------
+
+
+def _metric_name(key):
+    out = []
+    for ch in key:
+        out.append(ch if ch.isalnum() else "_")
+    return "repro_" + "".join(out)
+
+
+def prometheus_text():
+    """Counters, gauges, and histograms as Prometheus text exposition
+    lines; histograms are summaries with p50/p90/p99 quantile lines
+    over the bounded sample window."""
+    lines = []
+    for key, value in sorted(stats.snapshot().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} counter".format(name))
+        lines.append("{} {}".format(name, value))
+    for key, value in sorted(stats.gauges().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} gauge".format(name))
+        lines.append("{} {}".format(name, value))
+    for key, hist in sorted(stats.histograms().items()):
+        name = _metric_name(key)
+        lines.append("# TYPE {} summary".format(name))
+        lines.append('{}{{quantile="0.5"}} {}'.format(name, hist["p50"]))
+        lines.append('{}{{quantile="0.9"}} {}'.format(name, hist["p90"]))
+        lines.append('{}{{quantile="0.99"}} {}'.format(name, hist["p99"]))
+        lines.append("{}_count {}".format(name, hist["count"]))
+        lines.append("{}_sum {}".format(name, hist["sum"]))
+        lines.append("{}_min {}".format(name, hist["min"]))
+        lines.append("{}_max {}".format(name, hist["max"]))
+    return "\n".join(lines) + "\n"

@@ -17,6 +17,8 @@ Commands::
     meta <pred>             show a meta-engine relation (lang_edb, ...)
     :stats [prom]           engine counters (JSON; 'prom' = Prometheus text)
     :profile <command>      run any command traced, print its span tree
+    :explain <rule(s)>      EXPLAIN ANALYZE a query: per-rule estimated
+                            vs. actual join cost, and the error ratio
     :serve [--tcp] [W [N]]  demo the concurrent service (W writers x N txns;
                             --tcp routes every transaction through a
                             loopback repro.net server)
@@ -115,6 +117,11 @@ class Repl:
                         keep_going = self.handle(rest)
                     self.emit(prof.format())
                     return keep_going
+            elif command == ":explain":
+                if not rest.strip():
+                    self.emit("  usage: :explain <rule(s)>")
+                else:
+                    self.emit(self.workspace.explain(rest).format())
             elif command == ":serve":
                 self.serve(rest)
             elif command == ":checkpoint":
@@ -201,6 +208,8 @@ def _complete(text):
     command, _, rest = stripped.partition(" ")
     if command == ":profile":
         # completeness is decided by the command being profiled
+        return bool(rest.strip()) and _complete(rest)
+    if command == ":explain":
         return bool(rest.strip()) and _complete(rest)
     if command in ("help", "quit", "exit", "print", "blocks", "branches",
                    "branch", "switch", "solve", "meta", "removeblock",

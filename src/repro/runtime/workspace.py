@@ -280,12 +280,22 @@ class Workspace:
         private sink plus a fresh per-transaction sink that becomes the
         ``stats`` field of the verb's :class:`TxnResult`."""
         window = _TxnWindow(kind)
-        with _stats.scope(self._counters):
-            with _stats.scope(window.sink):
-                with _stats.timer("txn." + kind + ".seconds"):
-                    with _obs.span("txn." + kind, **attrs) as span_:
-                        window.span = span_
-                        yield window
+        try:
+            with _stats.scope(self._counters):
+                with _stats.scope(window.sink):
+                    with _stats.timer("txn." + kind + ".seconds"):
+                        with _obs.span("txn." + kind, **attrs) as span_:
+                            window.span = span_
+                            yield window
+        finally:
+            # one flag test when no slow-txn threshold is configured
+            _obs.maybe_record_slow(
+                kind,
+                attrs.get("name") or attrs.get("txn"),
+                time.perf_counter() - window.started,
+                counters=window.sink,
+                span=window.span,
+            )
 
     def engine_stats(self):
         """Engine effectiveness counters accumulated *by this
@@ -338,6 +348,21 @@ class Workspace:
             print(prof.format())
         """
         return _obs.Profile()
+
+    def explain(self, source, answer=None):
+        """EXPLAIN ANALYZE for a query: run it with the sampling
+        optimizer engaged and return an
+        :class:`~repro.obs.ExplainReport` pairing the optimizer's
+        estimated LFTJ steps against the executed join's actual
+        seek/next movement per rule (the estimate-error ratio is
+        recorded into the ``optimizer.estimate_error`` histogram)."""
+        return _obs.explain_query(
+            self.state,
+            source,
+            answer,
+            parallel=self._parallel,
+            backend=self._engine_backend,
+        )
 
     def _rebuild(self, state, new_blocks, block_name, block):
         artifacts = ProgramArtifacts(

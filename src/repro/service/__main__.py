@@ -134,12 +134,25 @@ def main(argv=None):
         "--net", metavar="HOST:PORT", default=None,
         help="drive a remote repro server over TCP instead of an "
              "in-process service")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream client-side span trees to this JSONL file; with "
+             "--net each root is a stitched distributed trace carrying "
+             "the server's subtree")
     args = parser.parse_args(argv)
     net = None
     if args.net:
         host, _, port = args.net.rpartition(":")
         net = (host or "127.0.0.1", int(port))
-    _, _, ok = soak(writers=args.writers, txns=args.txns, net=net)
+    if args.trace:
+        from repro import obs as _obs
+
+        _obs.trace_to(args.trace)
+    try:
+        _, _, ok = soak(writers=args.writers, txns=args.txns, net=net)
+    finally:
+        if args.trace:
+            _obs.trace_file_off()
     return 0 if ok else 1
 
 

@@ -66,6 +66,20 @@ class ServiceConfig:
     * ``net_max_frame_bytes`` — hard frame-size limit; an oversized
       frame is a protocol error, not an allocation.
 
+    Observability (:mod:`repro.obs`):
+
+    * ``telemetry_interval_s`` — when > 0, the TCP server starts the
+      background telemetry sampler at this period, filling the bounded
+      snapshot ring the ``telemetry`` wire verb (and ``obs top``)
+      serves; 0 disables the sampler (the verb still returns a live
+      snapshot).
+    * ``telemetry_ring`` — snapshot-ring capacity (entries retained).
+    * ``slow_txn_s`` — transactions slower than this many seconds are
+      recorded into the slow-transaction log with their counter deltas
+      and trace coordinates; ``None`` defers to the
+      ``REPRO_SLOW_TXN_S`` environment override (default: disabled,
+      one flag test per transaction).
+
     Engine selection (:mod:`repro.engine.columnar`):
 
     * ``engine`` — join backend for workspaces the service constructs
@@ -90,6 +104,9 @@ class ServiceConfig:
     net_max_connections: int = 64
     net_inflight_per_conn: int = 32
     net_max_frame_bytes: int = 16 * 1024 * 1024
+    telemetry_interval_s: float = 0.0
+    telemetry_ring: int = 128
+    slow_txn_s: float = None
     engine: str = None
 
     def __post_init__(self):
@@ -110,6 +127,11 @@ class ServiceConfig:
             raise ValueError(
                 "checkpoint_every_n_commits requires checkpoint_path")
         for knob in ("net_chunk_rows", "net_max_connections",
-                     "net_inflight_per_conn", "net_max_frame_bytes"):
+                     "net_inflight_per_conn", "net_max_frame_bytes",
+                     "telemetry_ring"):
             if getattr(self, knob) < 1:
                 raise ValueError("{} must be >= 1".format(knob))
+        if self.telemetry_interval_s < 0:
+            raise ValueError("telemetry_interval_s must be >= 0")
+        if self.slow_txn_s is not None and self.slow_txn_s <= 0:
+            raise ValueError("slow_txn_s must be positive (or None)")

@@ -72,10 +72,17 @@ _WAIT_SLICE_S = 0.05
 
 
 class _Pending:
-    """One executed write transaction queued for commit."""
+    """One executed write transaction queued for commit.
+
+    ``traced`` snapshots whether the *submitting* thread was tracing
+    when the transaction was queued — the committer uses it to decide
+    whether to capture its commit span for this member even though the
+    committer thread itself has no collector (client-driven tracing).
+    ``commit_span`` receives the serialized ``service.commit_batch``
+    span tree after commit, for grafting into the submitter's trace."""
 
     __slots__ = ("txn", "source", "snapshot", "ticket", "event", "error",
-                 "committed", "attempt", "sink")
+                 "committed", "attempt", "sink", "traced", "commit_span")
 
     def __init__(self, txn, source, snapshot, ticket, attempt, sink):
         self.txn = txn
@@ -87,6 +94,8 @@ class _Pending:
         self.committed = False
         self.attempt = attempt
         self.sink = sink
+        self.traced = _obs.tracing()
+        self.commit_span = None
 
 
 class _Barrier:
@@ -144,6 +153,8 @@ class TransactionService:
         # committer thread (auto-checkpoint) and close()
         self._commits_since_checkpoint = 0
         self._checkpoint_count = 0
+        if self.config.slow_txn_s is not None:
+            _obs.set_slow_txn_threshold(self.config.slow_txn_s)
 
     @staticmethod
     def _recover_workspace(config):
@@ -345,6 +356,10 @@ class TransactionService:
             self._enqueue(pending)
             self._await(pending)
             if pending.committed:
+                if pending.commit_span is not None:
+                    # stitch the committer-side span tree (closed, with
+                    # final counters) under this writer's exec span
+                    _obs.graft(pending.commit_span, origin="committer")
                 _stats.observe("service.commit.seconds",
                                time.perf_counter() - started)
                 return TxnResult(
@@ -517,6 +532,37 @@ class TransactionService:
     def _commit_group(self, group):
         """Compose and commit one group of executed transactions.
 
+        When any member's submitter was tracing, the committer records
+        the ``service.commit_batch`` span even though this thread has
+        no collector of its own, *closes* it (so wall time and counter
+        deltas are final), and only then hands the serialized span tree
+        to the committed members and fires their events — the waiting
+        writers graft it into their own traces, which is how one
+        distributed transaction becomes one span tree.
+        """
+        needs_collector = (
+            not _obs.tracing() and any(p.traced for p in group)
+        )
+        if needs_collector:
+            # a throwaway collector: it makes tracing() true on this
+            # thread so real spans are recorded; the root is exported
+            # via the captured span object, not the profile
+            with _obs.Profile():
+                committed, batch_span = self._commit_members(group)
+        else:
+            committed, batch_span = self._commit_members(group)
+        span_dict = batch_span.to_dict() if batch_span is not None else None
+        for pending in committed:
+            pending.commit_span = span_dict
+            pending.event.set()
+
+    def _commit_members(self, group):
+        """The batch commit itself.  Returns ``(committed_members,
+        batch_span)`` — committed members have ``committed`` set but
+        their events NOT fired; the caller fires them once the span is
+        closed.  Members that abort or time out get their events set
+        immediately (there is nothing to graft for them).
+
         Members are repaired (or conflicted, in ``occ`` mode) against
         the head diff plus the accumulated effects of earlier members,
         then the composite delta is applied through one IVM pass and
@@ -524,7 +570,10 @@ class TransactionService:
         violation in the composite falls back to serial re-execution so
         only the violating member aborts.
         """
+        committed = []
+        batch_span = None
         with _obs.span("service.commit_batch", batch=len(group)) as span_:
+            batch_span = span_
             _stats.bump("service.batches")
             _stats.observe("service.batch.size", len(group))
             head = self.workspace.version()
@@ -575,27 +624,32 @@ class TransactionService:
                     pending.event.set()
             if span_ is not None:
                 span_.attrs["repaired"] = repaired
-            if not members:
-                return
-            if accumulated:
+            applied = bool(members)
+            if members and accumulated:
                 try:
                     self.workspace._apply_deltas(head.state, accumulated)
                 except TransactionAborted:
                     _stats.bump("service.batch_fallbacks")
-                    self._commit_serially(members)
-                    return
+                    committed = self._commit_serially(members)
+                    applied = False
                 except Exception as exc:
                     for pending in members:
                         pending.error = exc
                         pending.event.set()
-                    return
-            self._finish_members(members)
+                    applied = False
+            if applied:
+                self._record_commits(members)
+                committed = members
+        return committed, batch_span
 
     def _commit_serially(self, members):
         """Fallback when the composed group aborts: re-execute each
         member alone on the evolving head so the violator is the one
         that aborts.  (Re-execution, not repair: a member may have been
-        repaired against group effects that are no longer committing.)"""
+        repaired against group effects that are no longer committing.)
+        Returns the members that committed (events deferred, like
+        :meth:`_commit_members`); aborted members get theirs set here."""
+        committed = []
         for pending in members:
             try:
                 head = self.workspace.version()
@@ -607,9 +661,14 @@ class TransactionService:
                 pending.error = exc
                 pending.event.set()
             else:
-                self._finish_members([pending])
+                self._record_commits([pending])
+                committed.append(pending)
+        return committed
 
-    def _finish_members(self, members):
+    def _record_commits(self, members):
+        """Mark members committed and append them to the history —
+        without firing their events; the committer does that after the
+        batch span has closed so waiters never see a half-built span."""
         for pending in members:
             seq = next(self._commit_seq)
             self._history.append({
@@ -623,7 +682,6 @@ class TransactionService:
             _stats.bump("service.commits")
             self._commits_since_checkpoint += 1
             pending.committed = True
-            pending.event.set()
 
     def _corrections_since(self, snapshot, head, cache):
         """Base + derived deltas turning ``snapshot`` into ``head``.
@@ -692,6 +750,32 @@ class TransactionService:
         counters["committed"] = len(self._history)
         counters["checkpoints"] = self._checkpoint_count
         return counters
+
+    def telemetry(self, *, ring_tail=32):
+        """The live telemetry payload: process counters, gauges,
+        histogram quantiles, span totals, the slow-transaction log,
+        the last ``ring_tail`` snapshot-ring entries, and this
+        service's own counters — assembled without touching the
+        committer, so it is safe to poll at any rate."""
+        payload = _obs.telemetry_snapshot(ring_tail=ring_tail)
+        payload["service"] = self.service_stats()
+        return payload
+
+    def explain(self, source, *, answer=None):
+        """EXPLAIN ANALYZE: run ``source`` as a query against the
+        current head snapshot (lock-free, like :meth:`query`) with the
+        sampling optimizer engaged, and return an
+        :class:`~repro.obs.ExplainReport` pairing estimated against
+        actual per-rule join cost."""
+        _stats.bump("service.explains")
+        state = self.workspace.version().state  # pinned snapshot
+        return _obs.explain_query(
+            state,
+            source,
+            answer,
+            parallel=self.workspace._parallel,
+            backend=self.workspace._engine_backend,
+        )
 
     # -- sessions --------------------------------------------------------------
 

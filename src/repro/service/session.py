@@ -90,6 +90,22 @@ class Session:
         self._check_open()
         return self.service.checkpoint(timeout=self._timeout(timeout))
 
+    def telemetry(self, *, ring_tail=32):
+        """Live telemetry snapshot (counters, gauges, histogram
+        quantiles, span totals, the slow-transaction log, and the last
+        ``ring_tail`` snapshot-ring entries) — served without touching
+        the committer."""
+        self._check_open()
+        return self.service.telemetry(ring_tail=ring_tail)
+
+    def explain(self, source, *, answer=None):
+        """EXPLAIN ANALYZE for a query: returns an
+        :class:`~repro.obs.ExplainReport` pairing the sampling
+        optimizer's estimated per-rule join cost against the executed
+        join's actual movement counts."""
+        self._check_open()
+        return self.service.explain(source, answer=answer)
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self):

@@ -19,8 +19,11 @@ Three primitives:
   counter increments of its own window without diffing global state:
   two workspaces counting in parallel never cross-contaminate.
 * **Histograms / timers** — :func:`observe` records a value into a
-  count/sum/min/max histogram; :func:`timer` is the context-manager
-  form for wall-clock durations (named ``subsystem.verb.seconds``).
+  count/sum/min/max histogram plus a bounded cyclic sample window
+  (last :data:`SAMPLE_WINDOW` observations) from which
+  :func:`histograms` derives p50/p90/p99 nearest-rank quantiles;
+  :func:`timer` is the context-manager form for wall-clock durations
+  (named ``subsystem.verb.seconds``).
 
 A sink dict is only safe to share between threads through a scope if
 the caller serializes access (workspaces are single-transaction at a
@@ -32,8 +35,16 @@ import time
 
 _lock = threading.Lock()
 _counters = {}
-_histograms = {}  # key -> [count, sum, min, max]
+_histograms = {}  # key -> [count, sum, min, max, samples]
 _gauges = {}
+
+#: How many recent observations each histogram retains for quantiles.
+#: Old values are overwritten cyclically, so memory per histogram is
+#: bounded no matter how long the process runs.
+SAMPLE_WINDOW = 512
+
+#: The quantiles :func:`histograms` exports, as (label, fraction).
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
 _scopes = threading.local()
 
 
@@ -146,18 +157,34 @@ class scope:
 
 
 def observe(key, value):
-    """Record ``value`` into histogram ``key`` (count/sum/min/max)."""
+    """Record ``value`` into histogram ``key`` (count/sum/min/max plus
+    a cyclic window of the last :data:`SAMPLE_WINDOW` values)."""
     with _lock:
         entry = _histograms.get(key)
         if entry is None:
-            _histograms[key] = [1, value, value, value]
+            _histograms[key] = [1, value, value, value, [value]]
         else:
+            samples = entry[4]
+            if len(samples) < SAMPLE_WINDOW:
+                samples.append(value)
+            else:
+                samples[entry[0] % SAMPLE_WINDOW] = value
             entry[0] += 1
             entry[1] += value
             if value < entry[2]:
                 entry[2] = value
             if value > entry[3]:
                 entry[3] = value
+
+
+def _quantiles(samples):
+    """Nearest-rank quantiles of ``samples`` as ``{label: value}``."""
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return {
+        label: ordered[min(last, int(fraction * len(ordered)))]
+        for label, fraction in QUANTILES
+    }
 
 
 class timer:
@@ -193,12 +220,17 @@ def gauges():
 
 
 def histograms():
-    """Snapshot of every histogram as ``{key: {count,sum,min,max}}``."""
+    """Snapshot of every histogram as
+    ``{key: {count,sum,min,max,p50,p90,p99}}`` (quantiles are
+    nearest-rank over the bounded sample window, so they describe
+    recent behaviour, while count/sum/min/max are lifetime)."""
     with _lock:
-        return {
-            key: {"count": e[0], "sum": e[1], "min": e[2], "max": e[3]}
-            for key, e in _histograms.items()
-        }
+        out = {}
+        for key, e in _histograms.items():
+            entry = {"count": e[0], "sum": e[1], "min": e[2], "max": e[3]}
+            entry.update(_quantiles(e[4]))
+            out[key] = entry
+        return out
 
 
 def reset():

@@ -16,7 +16,7 @@ def untraced():
     was_forced = obs._forced
     obs.disable()
     yield
-    obs._forced = was_forced
+    obs._set_forced(was_forced)
 
 
 class TestSpansDisabled:
@@ -97,7 +97,7 @@ class TestForcedMode:
             roots = obs.last_roots()
             assert roots and roots[-1].name == "ambient-root"
         finally:
-            obs._forced = was_forced
+            obs._set_forced(was_forced)
 
     def test_ring_is_bounded(self):
         was_forced = obs._forced
@@ -108,7 +108,7 @@ class TestForcedMode:
                     pass
             assert len(obs.last_roots()) <= obs._AMBIENT_LIMIT
         finally:
-            obs._forced = was_forced
+            obs._set_forced(was_forced)
 
 
 class TestThreadIsolation:
@@ -194,10 +194,168 @@ class TestDemo:
         try:
             prof = obs._demo(jsonl_path=str(path), out=out)
         finally:
-            obs._forced = was_forced
+            obs._set_forced(was_forced)
         assert path.exists() and path.read_text().strip()
         # the demo runs addblock + load + query transactions
         names = {s.name for s in prof.walk()}
         assert "txn.addblock" in names
         assert "txn.query" in names
         assert "join" in names
+
+
+class TestTraceContext:
+    def test_no_context_outside_spans(self, untraced):
+        assert obs.trace_context() is None
+
+    def test_root_span_mints_a_trace_id(self):
+        with obs.Profile():
+            with obs.span("root"):
+                ctx = obs.trace_context()
+                assert ctx is not None
+                assert ctx["trace"] and isinstance(ctx["trace"], str)
+                assert isinstance(ctx["span"], int)
+        assert obs.trace_context() is None
+
+    def test_nested_span_shares_trace_points_at_leaf(self):
+        with obs.Profile():
+            with obs.span("root"):
+                outer = obs.trace_context()
+                with obs.span("leaf"):
+                    inner = obs.trace_context()
+                assert inner["trace"] == outer["trace"]
+                assert inner["span"] != outer["span"]
+
+    def test_remote_context_adopts_trace(self):
+        with obs.Profile() as prof:
+            with obs.remote_context({"trace": "T-remote", "span": 42}):
+                with obs.span("continued"):
+                    ctx = obs.trace_context()
+                    assert ctx["trace"] == "T-remote"
+        root = prof.roots[0]
+        assert root.trace_id == "T-remote"
+        assert root.attrs["remote_parent"] == 42
+
+    def test_remote_context_visible_before_any_span(self):
+        with obs.remote_context({"trace": "T-ambient", "span": 7}):
+            ctx = obs.trace_context()
+        assert ctx == {"trace": "T-ambient", "span": 7}
+        assert obs.trace_context() is None
+
+    def test_malformed_remote_context_is_noop(self):
+        with obs.remote_context(None):
+            pass
+        with obs.remote_context({"span": 1}):  # no trace id
+            assert obs.trace_context() is None
+        with obs.remote_context("garbage"):
+            pass
+
+    def test_span_from_dict_mints_fresh_local_sids(self):
+        record = {"sid": 5, "name": "remote", "wall_s": 0.25,
+                  "attrs": {"op": "exec"}, "counters": {"join.seeks": 3},
+                  "children": [{"sid": 6, "name": "inner", "wall_s": 0.1}]}
+        rebuilt = obs.span_from_dict(record)
+        assert rebuilt.name == "remote"
+        assert rebuilt.attrs["remote_sid"] == 5
+        assert rebuilt.sid != 5  # process-unique local id
+        assert rebuilt.counters == {"join.seeks": 3}
+        (child,) = rebuilt.children
+        assert child.attrs["remote_sid"] == 6
+
+    def test_graft_attaches_under_current_span(self):
+        with obs.Profile() as prof:
+            with obs.span("local"):
+                grafted = obs.graft(
+                    {"sid": 9, "name": "remote", "wall_s": 0.0},
+                    origin="server")
+                assert grafted is not None
+        root = prof.roots[0]
+        (child,) = root.children
+        assert child.name == "remote"
+        assert child.attrs["origin"] == "server"
+
+    def test_graft_without_open_span_is_noop(self, untraced):
+        assert obs.graft({"sid": 1, "name": "x", "wall_s": 0.0}) is None
+
+    def test_graft_bad_record_is_noop(self):
+        with obs.Profile():
+            with obs.span("local"):
+                assert obs.graft("not-a-span") is None
+
+    def test_trace_id_survives_jsonl(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        was_forced = obs._forced
+        obs.trace_to(str(path))
+        try:
+            with obs.span("root"):
+                with obs.span("leaf"):
+                    pass
+        finally:
+            # trace_to force-enables tracing and trace_file_off leaves
+            # it on (server CLI semantics) — restore for test isolation
+            obs.trace_file_off()
+            obs._set_forced(was_forced)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        traces = {l["trace"] for l in lines}
+        assert len(traces) == 1  # both spans stamped with the one trace
+        roots = [l for l in lines if l["parent"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "root"
+
+
+class TestConcurrentAmbientRing:
+    def test_ring_under_concurrent_writers(self):
+        """Each thread's ambient ring is private: concurrent flooding
+        never corrupts another thread's ring or exceeds the bound."""
+        was_forced = obs._forced
+        obs.enable()
+        errors = []
+
+        def flood(tag):
+            try:
+                for i in range(obs._AMBIENT_LIMIT + 40):
+                    with obs.span("flood-{}".format(tag), i=i):
+                        with obs.span("inner"):
+                            pass
+                roots = obs.last_roots()
+                assert 0 < len(roots) <= obs._AMBIENT_LIMIT
+                # the ring only holds this thread's roots, in order
+                assert all(r.name == "flood-{}".format(tag) for r in roots)
+                seq = [r.attrs["i"] for r in roots]
+                assert seq == sorted(seq)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=flood, args=(t,))
+                   for t in range(6)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            obs._set_forced(was_forced)
+        assert errors == []
+
+    def test_trace_ids_unique_across_threads(self):
+        was_forced = obs._forced
+        obs.enable()
+        seen = []
+        lock = threading.Lock()
+
+        def work():
+            local = []
+            for _ in range(50):
+                with obs.span("unique"):
+                    local.append(obs.trace_context()["trace"])
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            obs._set_forced(was_forced)
+        assert len(seen) == len(set(seen)) == 200

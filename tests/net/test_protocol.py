@@ -130,3 +130,89 @@ def test_unknown_frame_type_rejected():
 def test_undecodable_payload_is_protocol_error():
     with pytest.raises(ProtocolError):
         decode_frame_body(bytes((PROTOCOL_VERSION, F_ERROR)) + b"\xff\xff")
+
+
+# -- trace-context propagation -------------------------------------------------
+
+# what a real client attaches: trace id string + integer span id
+trace_ctxs = st.fixed_dictionaries({
+    "trace": st.text(min_size=1, max_size=24),
+    "span": st.integers(min_value=0, max_value=2 ** 32),
+})
+
+# arbitrary python values a span tree might carry (including things the
+# codec cannot encode, which trace_to_wire must scrub to reprs)
+wild = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+        st.just(object()),
+        st.just({1, 2, 3}),
+        st.just(complex(1, 2)),
+    ),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=15,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    trace_ctxs,
+    st.randoms(use_true_random=False),
+    st.integers(min_value=1, max_value=48),
+)
+def test_trace_ctx_roundtrips_under_chunking(ctx, rnd, max_chunk):
+    """A REQUEST carrying trace_ctx survives any TCP read schedule
+    bit-identically — the wire contract the stitched traces ride on."""
+    request = {"id": 7, "op": "exec", "args": {"source": "+p(1)."},
+               "trace_ctx": ctx}
+    response = {"id": 7, "result": {},
+                "trace": {"sid": 1, "name": "net.request", "wall_s": 0.5,
+                          "attrs": {"remote_parent": ctx["span"]},
+                          "children": [{"sid": 2, "name": "service.exec",
+                                        "wall_s": 0.25}]}}
+    stream = encode_frame(F_REQUEST, request) \
+        + encode_frame(F_RESPONSE, response)
+    decoder = FrameDecoder()
+    decoded = []
+    for chunk in chunked(stream, rnd, max_chunk):
+        decoded.extend(decoder.feed(chunk))
+    assert decoded == [(F_REQUEST, request), (F_RESPONSE, response)]
+    assert decoded[0][1]["trace_ctx"] == ctx
+
+
+@settings(max_examples=150, deadline=None)
+@given(wild)
+def test_trace_to_wire_output_always_encodes(record):
+    """trace_to_wire scrubs arbitrary span attributes into values the
+    frame codec accepts — attaching a trace can never break a frame."""
+    from repro.net.protocol import trace_to_wire
+
+    scrubbed = trace_to_wire(record)
+    blob = encode_frame(F_RESPONSE, {"id": 1, "trace": scrubbed})
+    got_type, payload = decode_frame_body(blob[4:])
+    assert got_type == F_RESPONSE
+    # scrubbing is idempotent modulo tuples->lists: decoding returns
+    # exactly what was attached
+    assert payload["trace"] == trace_to_wire(scrubbed)
+
+
+def test_trace_to_wire_preserves_span_shape():
+    from repro.net.protocol import trace_to_wire
+
+    record = {"sid": 3, "name": "net.request", "wall_s": 0.125,
+              "attrs": {"op": "exec", "weird": object()},
+              "counters": {"join.seeks": 4},
+              "children": ({"sid": 4, "name": "commit", "wall_s": 0.1},)}
+    wired = trace_to_wire(record)
+    assert wired["sid"] == 3 and wired["counters"] == {"join.seeks": 4}
+    assert isinstance(wired["children"], list)  # tuples become lists
+    assert isinstance(wired["attrs"]["weird"], str)  # repr-scrubbed

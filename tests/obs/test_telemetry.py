@@ -1,0 +1,163 @@
+"""The live telemetry plane: histogram quantiles, the snapshot ring,
+the sampler thread, and the Prometheus exposition."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro import stats
+from repro.obs.telemetry import TelemetryRing
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_over_known_distribution(self):
+        name = "qtest.known"
+        for value in range(1, 101):  # 1..100, uniform
+            stats.observe(name, value)
+        hist = stats.histograms()[name]
+        assert hist["count"] == 100
+        assert hist["min"] == 1 and hist["max"] == 100
+        # nearest-rank on 1..100: p50 lands mid-distribution, p99 at
+        # the tail
+        assert 45 <= hist["p50"] <= 55
+        assert 85 <= hist["p90"] <= 95
+        assert 95 <= hist["p99"] <= 100
+
+    def test_single_sample_collapses_all_quantiles(self):
+        name = "qtest.single"
+        stats.observe(name, 7.5)
+        hist = stats.histograms()[name]
+        assert hist["p50"] == hist["p90"] == hist["p99"] == 7.5
+
+    def test_window_is_bounded_and_tracks_recent_values(self):
+        name = "qtest.window"
+        for _ in range(stats.SAMPLE_WINDOW):
+            stats.observe(name, 1.0)
+        # overwrite the whole window with a shifted distribution
+        for _ in range(stats.SAMPLE_WINDOW):
+            stats.observe(name, 100.0)
+        hist = stats.histograms()[name]
+        assert hist["count"] == 2 * stats.SAMPLE_WINDOW  # lifetime count
+        assert hist["min"] == 1.0  # lifetime min survives the window
+        assert hist["p50"] == 100.0  # quantiles reflect the window
+
+    def test_quantiles_are_order_insensitive(self):
+        import random
+
+        rnd = random.Random(7)
+        values = [float(i) for i in range(200)]
+        rnd.shuffle(values)
+        name = "qtest.shuffled"
+        for value in values:
+            stats.observe(name, value)
+        hist = stats.histograms()[name]
+        assert 90 <= hist["p50"] <= 110
+
+    def test_prometheus_text_emits_quantile_lines(self):
+        name = "qtest.prom"
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.observe(name, value)
+        text = obs.prometheus_text()
+        assert 'repro_qtest_prom{quantile="0.5"}' in text
+        assert 'repro_qtest_prom{quantile="0.9"}' in text
+        assert 'repro_qtest_prom{quantile="0.99"}' in text
+        assert "repro_qtest_prom_count 4" in text
+
+
+class TestTelemetryRing:
+    def test_ring_records_and_bounds(self):
+        ring = TelemetryRing(capacity=4)
+        for i in range(10):
+            ring.record({"ts": float(i), "counters": {}, "gauges": {},
+                         "histograms": {}})
+        assert len(ring) == 4
+        entries = ring.tail()
+        assert [e["ts"] for e in entries] == [6.0, 7.0, 8.0, 9.0]
+        # seq survives eviction: pollers can detect the gap
+        assert [e["seq"] for e in entries] == [6, 7, 8, 9]
+
+    def test_tail_n(self):
+        ring = TelemetryRing(capacity=8)
+        for i in range(5):
+            ring.record({"ts": float(i)})
+        assert [e["seq"] for e in ring.tail(2)] == [3, 4]
+
+    def test_record_snapshots_now_by_default(self):
+        ring = TelemetryRing(capacity=2)
+        stats.bump("qtest.ring.counter")
+        entry = ring.record()
+        assert entry["counters"].get("qtest.ring.counter", 0) >= 1
+        assert "gauges" in entry and "histograms" in entry
+
+    def test_entries_are_copies(self):
+        ring = TelemetryRing(capacity=2)
+        ring.record({"ts": 1.0})
+        ring.tail()[0]["ts"] = 999.0
+        assert ring.tail()[0]["ts"] == 1.0
+
+    def test_concurrent_writers_never_exceed_capacity(self):
+        ring = TelemetryRing(capacity=16)
+        errors = []
+
+        def writer():
+            try:
+                for i in range(200):
+                    ring.record({"ts": float(i)})
+                    assert len(ring) <= 16
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        entries = ring.tail()
+        assert len(entries) == 16
+        seqs = [e["seq"] for e in entries]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 16
+
+
+class TestSnapshots:
+    def test_telemetry_snapshot_shape(self):
+        stats.bump("qtest.snap.counter")
+        payload = obs.telemetry_snapshot()
+        assert payload["counters"].get("qtest.snap.counter", 0) >= 1
+        assert "pid" in payload and "span_totals" in payload
+        assert "slow_txns" in payload
+        assert "ring" not in payload  # only with ring_tail > 0
+
+    def test_telemetry_snapshot_with_ring_tail(self):
+        obs.telemetry_ring().record()
+        payload = obs.telemetry_snapshot(ring_tail=2)
+        assert payload["ring"]
+        assert all("seq" in e for e in payload["ring"])
+
+
+class TestSampler:
+    def test_sampler_fills_ring_and_stops(self):
+        ring = obs.telemetry_ring()
+        before = len(ring)
+        obs.start_sampler(0.01)
+        try:
+            deadline = time.time() + 2.0
+            while len(ring) <= before and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            obs.stop_sampler()
+        assert len(ring) > before
+        settled = len(ring)
+        time.sleep(0.05)
+        assert len(ring) == settled  # sampler really stopped
+
+    def test_start_is_idempotent_replace(self):
+        first = obs.start_sampler(5.0)
+        second = obs.start_sampler(5.0)
+        try:
+            assert first is not second
+            assert first._halt.is_set()  # the old sampler was told to stop
+        finally:
+            obs.stop_sampler()

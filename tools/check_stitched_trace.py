@@ -1,0 +1,92 @@
+"""Assert a trace JSONL file contains stitched distributed traces.
+
+CI's observability soak runs ``python -m repro.service --net ... --trace
+client-trace.jsonl`` against a live ``repro.net`` server and then runs::
+
+    python tools/check_stitched_trace.py client-trace.jsonl
+
+which exits non-zero unless at least one *client-rooted* trace (a
+``net.call`` root span) carries both a server-side ``net.request``
+subtree (``origin=server``) and the committer's ``service.commit_batch``
+subtree (``origin=committer``) — i.e. one TCP transaction really did
+produce ONE trace spanning client -> server -> committer.
+
+The obs JSONL format is flat: one span per line with ``id`` / ``parent``
+links and a shared per-trace ``trace`` field, so traces are reassembled
+by grouping on the trace id and checking the parent links connect.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_spans(path):
+    spans = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def stitched_traces(spans, *, require_replica=False):
+    """Return the trace ids of fully stitched client-rooted traces."""
+    by_trace = collections.defaultdict(list)
+    for span in spans:
+        by_trace[span.get("trace")].append(span)
+    good = []
+    for trace_id, group in by_trace.items():
+        if trace_id is None:
+            continue
+        names = {(span.get("name"), (span.get("attrs") or {}).get("origin"))
+                 for span in group}
+        roots = [span for span in group if span.get("parent") is None]
+        root_names = {span.get("name") for span in roots}
+        wanted_root = "replica.sync" if require_replica else "net.call"
+        if wanted_root not in root_names:
+            continue
+        if not require_replica:
+            if ("net.request", "server") not in names:
+                continue
+            if ("service.commit_batch", "committer") not in names:
+                continue
+        else:
+            if not any(name == "net.request" for name, _ in names):
+                continue
+        # the tree must actually connect: every child's parent id exists
+        ids = {span.get("id") for span in group}
+        if any(span.get("parent") not in ids
+               for span in group if span.get("parent") is not None):
+            continue
+        good.append(trace_id)
+    return good
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="trace JSONL written by --trace")
+    parser.add_argument("--min-traces", type=int, default=1,
+                        help="require at least this many stitched traces")
+    parser.add_argument("--replica", action="store_true",
+                        help="check replica-rooted sync traces instead of "
+                             "client-rooted transaction traces")
+    args = parser.parse_args(argv)
+
+    spans = load_spans(args.jsonl)
+    good = stitched_traces(spans, require_replica=args.replica)
+    kind = "replica->leader" if args.replica else "client->server->committer"
+    print("{}: {} spans, {} stitched {} trace(s)".format(
+        args.jsonl, len(spans), len(good), kind))
+    if len(good) < args.min_traces:
+        print("FAIL: wanted at least {} stitched trace(s)".format(
+            args.min_traces), file=sys.stderr)
+        return 1
+    print("example trace id: {}".format(good[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
