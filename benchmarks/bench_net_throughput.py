@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from repro.net import Replica, connect
+from repro.net import NetSession, Replica
 from repro.service import ServiceConfig, TransactionService
 from repro import stats as engine_stats
 from conftest import SMOKE, pedantic, sizes
@@ -73,7 +73,7 @@ def run_commits(transport):
         pool = ["item-{}".format(i) for i in range(ITEMS)]
         service.load("inventory", [(item, txns + 1) for item in pool])
         if transport == "tcp":
-            make_session = lambda i: connect(
+            make_session = lambda i: NetSession(
                 server.host, server.port, name="bench-writer-{}".format(i))
         else:
             make_session = lambda i: service.session(
@@ -120,7 +120,7 @@ def run_query_latency(transport):
         service.addblock("p(x) -> int(x).", name="b1")
         service.load("p", [(i,) for i in range(100)])
         if transport == "tcp":
-            session = connect(server.host, server.port)
+            session = NetSession(server.host, server.port)
         else:
             session = service.session()
         latencies = []

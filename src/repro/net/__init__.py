@@ -1,6 +1,6 @@
 """repro.net — serve a repro workspace over TCP.
 
-The network layer has four pieces, one module each:
+The network layer has five pieces, one module each:
 
 * :mod:`repro.net.protocol` — the length-prefixed, versioned binary
   wire format.  Frames carry values in the pager's canonical codec
@@ -13,23 +13,34 @@ The network layer has four pieces, one module each:
   large query results, and graceful drain on SIGTERM.  Run one with
   ``python -m repro.net.server --checkpoint-path DIR``.
 * :mod:`repro.net.client` — the blocking client:
-  :func:`repro.net.connect` returns a :class:`NetSession` with the
-  same verb surface and result shapes as an in-process
-  :class:`~repro.service.session.Session`.
+  ``repro.connect("tcp://host:port")`` returns a :class:`NetSession`
+  with the same verb surface and result shapes as an in-process
+  :class:`~repro.service.session.Session`, every response stamped
+  with the serving commit watermark.
 * :mod:`repro.net.replica` — checkpoint-shipping read replicas:
   a :class:`Replica` Merkle-delta-syncs the leader's durable
   checkpoints (fetching only the O(log n) records a small change
-  perturbs) and serves read-only queries locally.
+  perturbs), serves reads over the *same* TCP surface as the leader,
+  follows via long-poll heartbeats, and can be promoted to leader on
+  failover.
+* :mod:`repro.net.cluster` — the fleet client:
+  ``repro.connect("cluster://leader,replica1,replica2")`` returns a
+  :class:`ClusterSession` routing writes to the leader and fanning
+  reads across replicas with session-consistency (read-your-writes)
+  enforced from the watermark stamps.
 """
 
 from repro.net.client import NetSession, connect
+from repro.net.cluster import ClusterSession
 from repro.net.protocol import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
     ConnectionLost,
+    LeaderUnavailable,
     NetError,
     ProtocolError,
     ReplicaReadOnly,
+    StaleRead,
 )
 from repro.net.replica import Replica
 from repro.net.server import ReproServer
@@ -37,12 +48,15 @@ from repro.net.server import ReproServer
 __all__ = [
     "DEFAULT_PORT",
     "PROTOCOL_VERSION",
+    "ClusterSession",
     "ConnectionLost",
+    "LeaderUnavailable",
     "NetError",
     "NetSession",
     "ProtocolError",
     "Replica",
     "ReplicaReadOnly",
     "ReproServer",
+    "StaleRead",
     "connect",
 ]

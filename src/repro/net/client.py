@@ -1,4 +1,4 @@
-"""The blocking client library: ``repro.net.connect(host, port)``.
+"""The blocking client library: ``repro.connect("tcp://host:port")``.
 
 A :class:`NetSession` is the network twin of the in-process
 :class:`~repro.service.session.Session` — the *same verb surface*
@@ -10,9 +10,9 @@ context-manager lifecycle) returning the *same shapes*
 ``query``), so code written against a local session runs unchanged
 against a server:
 
-    import repro.net
+    import repro
 
-    session = repro.net.connect("db.example.com", 7411)
+    session = repro.connect("tcp://db.example.com:7411")
     session.addblock("inventory[s] = v -> string(s), int(v).")
     session.exec('^inventory["widget"] = 5.')
     print(session.query("_(s, v) <- inventory[s] = v."))
@@ -25,14 +25,28 @@ subclass with the same message and payload attributes (``preds`` on a
 so retry logic written for local sessions works over the wire.
 
 Reconnect policy: the HELLO handshake hands the client the *service's*
-backoff policy (max retries, base, cap).  Idempotent verbs (``query``,
-``query_result``, ``rows``, ``stats``, the sync ops) transparently
-reconnect and retry under that policy when the transport fails; a
-torn connection honors an ``Overloaded`` retry-after hint the same
-way.  Non-idempotent verbs (``exec``, DDL, ``load``) never auto-retry
-across a transport failure — the commit status is unknown — and raise
-a typed :class:`~repro.net.protocol.ConnectionLost` instead of
-hanging.
+backoff policy (max retries, base, cap).  Which verbs may transparently
+reconnect and retry is not hard-coded here: it is derived from the
+single verb registry in :mod:`repro.net.protocol` — read verbs
+(``query`` / ``rows`` / ``stats`` / the sync ops / ...) retry under
+that policy when the transport fails; write verbs (``exec``, DDL,
+``load``) never auto-retry across a transport failure — the commit
+status is unknown — and raise a typed
+:class:`~repro.net.protocol.ConnectionLost` instead of hanging.
+
+Consistency: every response is stamped with the server's **commit
+watermark** (the sequence number of the last committed write the
+serving checkpoint reflects), and the session tracks the highest
+watermark it has ever observed in :attr:`NetSession.watermark`.  Under
+the default ``consistency="session"`` a data read answered *below* the
+session's own watermark — a replica that has not yet caught up to this
+client's last write, or a leader restarted from an old checkpoint —
+raises a typed :class:`~repro.net.protocol.StaleRead` rather than
+silently returning stale rows (read-your-writes).  ``"eventual"``
+accepts any watermark; ``"strong"`` additionally refuses data reads
+answered by a non-leader.  The cluster client
+(:class:`repro.net.cluster.ClusterSession`) builds its replica routing
+and stale-retry policy on exactly these primitives.
 
 Threading: like local sessions, one ``NetSession`` per thread.
 """
@@ -52,17 +66,25 @@ from repro.net.protocol import (
     F_HELLO,
     F_REQUEST,
     F_RESPONSE,
+    CONSISTENCY_MODES,
     PROTOCOL_VERSION,
     ConnectionLost,
     FrameDecoder,
     ProtocolError,
+    StaleRead,
     encode_frame,
     error_from_wire,
     result_from_wire,
+    verb_spec,
 )
 from repro.runtime.errors import ReproError
 
 _session_counter = itertools.count(1)
+
+#: the data-read verbs the consistency mode guards; control verbs
+#: (``ping`` / ``status`` / ``watch`` / the sync feed) always answer
+#: from whatever the peer has — they are *how* staleness is measured
+_CONSISTENT_READS = frozenset(("query", "rows", "explain"))
 
 #: fallback reconnect policy until the server's HELLO supplies one
 _DEFAULT_POLICY = {
@@ -83,17 +105,34 @@ class NetSession:
     """
 
     def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, *, name=None,
-                 timeout=None, connect_timeout_s=5.0, socket_timeout_s=60.0,
+                 timeout=None, consistency="session", connect_timeout_s=5.0,
+                 socket_timeout_s=60.0,
                  max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        if consistency not in CONSISTENCY_MODES:
+            raise ValueError(
+                "consistency must be one of {}, got {!r}".format(
+                    "/".join(CONSISTENCY_MODES), consistency))
         self.host = host
         self.port = port
         self.name = name or "net-session-{}".format(next(_session_counter))
         self.timeout = timeout
+        self.consistency = consistency
         self.connect_timeout_s = connect_timeout_s
         self.socket_timeout_s = socket_timeout_s
         self.max_frame_bytes = max_frame_bytes
         self.policy = dict(_DEFAULT_POLICY)
         self._server_trace = False
+        #: highest commit watermark this session has ever *observed* in
+        #: a response — monotone, survives reconnects, the anchor of
+        #: session consistency (read-your-writes)
+        self.watermark = 0
+        #: watermark stamped on the most recent response (None before
+        #: the first verb); unlike :attr:`watermark` this can go *down*
+        #: when a later read lands on a laggier server
+        self.last_watermark = None
+        #: role / watermark the connected server advertised in HELLO
+        self.server_role = None
+        self.server_watermark = 0
         self._sock = None
         self._decoder = None
         self._inbox = []
@@ -129,6 +168,11 @@ class NetSession:
         # only servers that advertise the capability ever see trace_ctx,
         # so connecting to an old peer degrades to untraced requests
         self._server_trace = bool(payload.get("trace"))
+        self.server_role = payload.get("role", "leader")
+        # the server's HELLO watermark is advertisement, not history:
+        # it must NOT raise self.watermark, or a fresh session against
+        # a current leader would flag every replica read as stale
+        self.server_watermark = int(payload.get("watermark") or 0)
 
     def _drop_connection(self):
         if self._sock is not None:
@@ -181,8 +225,11 @@ class NetSession:
 
     # -- request/response ------------------------------------------------------
 
-    def _call(self, op, *, idempotent=False, **args):
+    def _call(self, op, **args):
         self._check_open()
+        # retryability is the registry's call, not per-call-site flags:
+        # read verbs reconnect-and-retry, write verbs never do
+        idempotent = verb_spec(op).retryable
         with _obs.span("net.call", op=op) as span_:
             return self._call_inner(op, idempotent, args, span_)
 
@@ -233,6 +280,7 @@ class NetSession:
                     # stitch the server's span tree under our net.call
                     # span: one client transaction, one trace
                     _obs.graft(trace, origin="server")
+                self._observe_watermark(op, payload.get("watermark"))
                 return payload.get("result") or {}, rows
             if ftype == F_ERROR:
                 if payload.get("id") in (rid, None):
@@ -250,6 +298,35 @@ class NetSession:
         base = self.policy["backoff_base_s"] * (2 ** (attempt - 1))
         time.sleep(min(self.policy["backoff_cap_s"], base))
 
+    def _observe_watermark(self, op, wm):
+        """Session-consistency bookkeeping on every stamped response.
+
+        A data read below the session's own watermark is refused
+        *before* the result reaches the caller; the error is typed
+        (:class:`StaleRead`) so the cluster client can route the retry
+        instead of surfacing stale rows.
+        """
+        if wm is None:  # pre-watermark peer: nothing to enforce
+            return
+        wm = int(wm)
+        self.last_watermark = wm
+        if op in _CONSISTENT_READS:
+            if self.consistency == "strong" and self.server_role not in (
+                    None, "leader"):
+                _stats.bump("net.client.stale_reads")
+                raise StaleRead(
+                    "strong-consistency read answered by {} {}:{} "
+                    "(watermark {}); route it to the leader".format(
+                        self.server_role, self.host, self.port, wm))
+            if self.consistency != "eventual" and wm < self.watermark:
+                _stats.bump("net.client.stale_reads")
+                raise StaleRead(
+                    "read answered at watermark {} but this session has "
+                    "observed {}; {}:{} is behind".format(
+                        wm, self.watermark, self.host, self.port))
+        if wm > self.watermark:
+            self.watermark = wm
+
     # -- verbs (the Session surface) -------------------------------------------
 
     def exec(self, source, *, timeout=None):
@@ -266,8 +343,7 @@ class NetSession:
 
     def query_result(self, source, *, answer=None):
         """Lock-free read returning the structured :class:`TxnResult`."""
-        result, rows = self._call(
-            "query", idempotent=True, source=source, answer=answer)
+        result, rows = self._call("query", source=source, answer=answer)
         return result_from_wire(result["txn"], rows=rows)
 
     def addblock(self, source, *, name=None, timeout=None):
@@ -293,7 +369,7 @@ class NetSession:
 
     def rows(self, pred):
         """Current rows of a predicate at the server's head snapshot."""
-        result, _ = self._call("rows", idempotent=True, pred=pred)
+        result, _ = self._call("rows", pred=pred)
         return result["rows"]
 
     def checkpoint(self, *, timeout=None):
@@ -307,15 +383,14 @@ class NetSession:
     def stats(self):
         """The server's service counters (admission window, commits,
         queue depth, ...)."""
-        result, _ = self._call("stats", idempotent=True)
+        result, _ = self._call("stats")
         return result["stats"]
 
     def telemetry(self, *, ring_tail=32):
         """The server's live telemetry snapshot (counters, gauges,
         histogram quantiles, span totals, slow-transaction log, and the
         last ``ring_tail`` snapshot-ring entries)."""
-        result, _ = self._call("telemetry", idempotent=True,
-                               ring_tail=ring_tail)
+        result, _ = self._call("telemetry", ring_tail=ring_tail)
         return result["telemetry"]
 
     def explain(self, source, *, answer=None):
@@ -324,27 +399,52 @@ class NetSession:
         estimated per-rule join cost with the executed join's actual
         movement counts."""
         result, _ = self._call(
-            "explain", idempotent=True, source=source, answer=answer)
+            "explain", source=source, answer=answer)
         return _obs.ExplainReport.from_dict(result["explain"])
 
     def ping(self):
         """Round-trip latency in seconds."""
         started = time.perf_counter()
-        self._call("ping", idempotent=True)
+        self._call("ping")
         return time.perf_counter() - started
+
+    # -- fleet surface (roles, watermarks, heartbeat) --------------------------
+
+    def status(self):
+        """The server's fleet status: ``role`` (leader/replica),
+        ``watermark`` (last committed write it reflects),
+        ``checkpoint_seq`` / ``checkpoint_watermark`` (the durable
+        frontier), and ``endpoint``."""
+        result, _ = self._call("status")
+        return result["status"]
+
+    def watch(self, seq=0, *, timeout_s=10.0):
+        """Long-poll until the server owns a checkpoint with sequence
+        number above ``seq``, or ``timeout_s`` elapses (the server
+        clamps it to its ``net_watch_cap_s``); returns the server's
+        :meth:`status` either way.  One blocked round-trip doubles as
+        change notification *and* liveness heartbeat — this is how
+        replicas follow the leader without fixed-interval polling."""
+        result, _ = self._call("watch", seq=seq, timeout_s=timeout_s)
+        return result["status"]
+
+    def promote(self):
+        """Promote the peer to leader (idempotent on an existing
+        leader); returns its post-promotion :meth:`status`."""
+        result, _ = self._call("promote")
+        return result["status"]
 
     # -- replica feed (used by repro.net.replica) ------------------------------
 
     def sync_manifest(self):
         """The leader's committed checkpoint manifest."""
-        result, _ = self._call("sync_manifest", idempotent=True)
+        result, _ = self._call("sync_manifest")
         return result["manifest"]
 
     def sync_records(self, addrs):
         """Fetch content-addressed records by address; returns
         ``[(addr, payload), ...]`` for the addresses the leader holds."""
-        result, _ = self._call(
-            "sync_records", idempotent=True, addrs=list(addrs))
+        result, _ = self._call("sync_records", addrs=list(addrs))
         return result["records"]
 
     # -- lifecycle -------------------------------------------------------------
@@ -383,8 +483,19 @@ class NetSession:
 
 def connect(host="127.0.0.1", port=DEFAULT_PORT, *, name=None, timeout=None,
             **kwargs):
-    """Open a blocking session onto a repro server — the network
-    counterpart of :func:`repro.connect`.  Extra keyword arguments
-    reach the :class:`NetSession` constructor (connect/socket timeouts,
-    frame-size limit)."""
+    """Deprecated: use ``repro.connect("tcp://host:port")``.
+
+    One entry point now spans every transport — a workspace path, a
+    single ``tcp://`` server, or a ``cluster://`` fleet — with the
+    ``consistency`` keyword honored by all of them.  This shim keeps
+    the old two-argument form working and returns the same
+    :class:`NetSession`.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.net.connect(host, port) is deprecated; use "
+        "repro.connect('tcp://{}:{}') — one entry point for local, "
+        "tcp, and cluster transports".format(host, port),
+        DeprecationWarning, stacklevel=2)
     return NetSession(host, port, name=name, timeout=timeout, **kwargs)

@@ -1,0 +1,420 @@
+"""The cluster client: one session over a leader + replica fleet.
+
+``repro.connect("cluster://leader:7411,r1:7412,r2:7413")`` returns a
+:class:`ClusterSession` speaking the same verb surface as a local
+:class:`~repro.service.session.Session` or a single-server
+:class:`~repro.net.client.NetSession`, but routed:
+
+* **Writes go to the leader.**  Which endpoint that is comes from the
+  HELLO/status role advertisement, not configuration order — after a
+  failover the client re-resolves by probing until a member reports
+  ``role == "leader"`` (a promoted replica), raising a typed
+  :class:`~repro.net.protocol.LeaderUnavailable` if none appears
+  within the deadline.
+* **Reads fan out across replicas**, round-robin, skipping members
+  that recently failed a transport round-trip (excluded for
+  ``exclude_s``, then re-tried).  The leader is the fallback of last
+  resort, so reads keep answering through a full replica outage.
+* **Session consistency is enforced centrally.**  Every response is
+  stamped with the commit watermark of the state it was served from;
+  the cluster session tracks the highest watermark it has observed
+  (its own writes included).  Under ``consistency="session"`` a read
+  answered below that watermark is *not returned*: the client retries
+  the next replica, optionally waits ``stale_wait_s`` for the fleet to
+  catch up, and finally falls back to the leader — which is
+  definitionally current — so read-your-writes holds across the whole
+  fleet.  ``"eventual"`` takes any replica's answer as-is;
+  ``"strong"`` sends every read to the leader.
+
+Write failover is deliberately conservative: a write that fails after
+the request may have reached the old leader is **not** retried (the
+commit status is unknown) unless ``retry_writes_on_failover=True``
+opts into at-least-once. A write that provably never reached a server
+(connection establishment failed) is always safe to retry against the
+newly resolved leader.
+
+Threading: like the sessions it is built from, one ``ClusterSession``
+per thread.
+"""
+
+import itertools
+import time
+
+from repro import stats as _stats
+from repro.net.client import NetSession
+from repro.net.protocol import (
+    CONSISTENCY_MODES,
+    ConnectionLost,
+    LeaderUnavailable,
+    ProtocolError,
+    ReplicaReadOnly,
+    verb_spec,
+)
+from repro.runtime.errors import ReproError
+
+_session_counter = itertools.count(1)
+
+#: session-method name -> wire op, where they differ
+_VERB_OPS = {"query_result": "query"}
+
+
+def _parse_endpoint(endpoint):
+    host, _, port = str(endpoint).strip().rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            "cluster endpoint must be 'host:port', got {!r}".format(endpoint))
+    return host, int(port)
+
+
+class _Member:
+    """One fleet endpoint: its lazily opened session and what the
+    cluster has learned about it (role, watermark, health)."""
+
+    __slots__ = ("endpoint", "host", "port", "session", "role",
+                 "watermark", "excluded_until")
+
+    def __init__(self, endpoint):
+        self.endpoint = "{}:{}".format(*_parse_endpoint(endpoint))
+        self.host, self.port = _parse_endpoint(endpoint)
+        self.session = None
+        self.role = None  # unknown until the first HELLO/status
+        self.watermark = 0
+        self.excluded_until = 0.0
+
+    def excluded(self):
+        return time.monotonic() < self.excluded_until
+
+
+class ClusterSession:
+    """One client's consistency-aware view of a replica fleet."""
+
+    def __init__(self, endpoints, *, name=None, timeout=None,
+                 consistency="session", stale_wait_s=0.05, exclude_s=1.0,
+                 leader_wait_s=10.0, retry_writes_on_failover=False,
+                 **client_kwargs):
+        members = [_Member(ep) for ep in endpoints if str(ep).strip()]
+        if not members:
+            raise ValueError("ClusterSession needs at least one endpoint")
+        if consistency not in CONSISTENCY_MODES:
+            raise ValueError(
+                "consistency must be one of {}, got {!r}".format(
+                    "/".join(CONSISTENCY_MODES), consistency))
+        self.name = name or "cluster-session-{}".format(
+            next(_session_counter))
+        self.timeout = timeout
+        self.consistency = consistency
+        self.stale_wait_s = stale_wait_s
+        self.exclude_s = exclude_s
+        self.leader_wait_s = leader_wait_s
+        self.retry_writes_on_failover = retry_writes_on_failover
+        self._client_kwargs = client_kwargs
+        self._members = {m.endpoint: m for m in members}
+        self._order = [m.endpoint for m in members]
+        self._rr = 0
+        #: highest commit watermark this session has observed — its own
+        #: writes included, so it anchors read-your-writes fleet-wide
+        self.watermark = 0
+        self._closed = False
+
+    # -- membership ------------------------------------------------------------
+
+    def endpoints(self):
+        """Configured endpoints in routing order."""
+        return list(self._order)
+
+    def fleet_stats(self):
+        """What this client currently believes about the fleet: per
+        member its last known role, watermark, and exclusion state,
+        plus the session's own watermark."""
+        return {
+            "watermark": self.watermark,
+            "consistency": self.consistency,
+            "members": {
+                m.endpoint: {
+                    "role": m.role,
+                    "watermark": m.watermark,
+                    "excluded": m.excluded(),
+                }
+                for m in self._members.values()
+            },
+        }
+
+    def _session_for(self, member):
+        if member.session is None:
+            member.session = NetSession(
+                member.host, member.port,
+                name="{}/{}".format(self.name, member.endpoint),
+                timeout=self.timeout,
+                # staleness is judged fleet-wide here, against the
+                # cluster watermark — member sessions must not veto
+                consistency="eventual",
+                **self._client_kwargs)
+            member.role = member.session.server_role
+            member.watermark = member.session.server_watermark
+        return member.session
+
+    def _drop(self, member):
+        if member.session is not None:
+            try:
+                member.session.close()
+            except ReproError:  # pragma: no cover
+                pass
+            member.session = None
+
+    def _exclude(self, member):
+        member.excluded_until = time.monotonic() + self.exclude_s
+        self._drop(member)
+        _stats.bump("fleet.exclusions")
+
+    def _observe(self, member):
+        wm = member.session.last_watermark
+        if wm is None:
+            return None
+        member.watermark = wm
+        if wm > self.watermark:
+            self.watermark = wm
+        return wm
+
+    # -- routing ---------------------------------------------------------------
+
+    def _invoke(self, verb, *args, **kwargs):
+        self._check_open()
+        # the registry keys wire ops; session *methods* add one alias
+        if verb_spec(_VERB_OPS.get(verb, verb)).write:
+            return self._write(verb, args, kwargs)
+        return self._read(verb, args, kwargs)
+
+    def _read(self, verb, args, kwargs):
+        """Round-robin across replicas, skip stale/excluded members,
+        fall back to the leader (always current) last."""
+        swept = 0
+        while True:
+            stale = 0
+            for member in self._read_candidates():
+                session = self._session_for_safe(member)
+                if session is None:
+                    continue
+                try:
+                    out = getattr(session, verb)(*args, **kwargs)
+                except (ConnectionLost, ProtocolError):
+                    self._exclude(member)
+                    continue
+                except ReplicaReadOnly:
+                    # an unsynced replica refuses reads until its first
+                    # checkpoint lands: cool it off, try the next member
+                    self._exclude(member)
+                    continue
+                wm = self._observe(member)
+                if (
+                    self.consistency == "session"
+                    and member.role != "leader"
+                    and wm is not None
+                    and wm < self.watermark
+                ):
+                    # this replica hasn't caught up to our own history:
+                    # its (valid, but stale) answer must not be returned
+                    _stats.bump("fleet.stale_skips")
+                    stale += 1
+                    continue
+                _stats.bump("fleet.reads")
+                return out
+            if stale and not swept and self.stale_wait_s > 0:
+                # every live replica was behind: give the checkpoint
+                # stream one beat to land before burdening the leader
+                swept += 1
+                time.sleep(self.stale_wait_s)
+                continue
+            break
+        # all replicas down, stale, or excluded — the leader serves
+        _stats.bump("fleet.leader_fallbacks")
+        member = self._resolve_leader()
+        out = getattr(self._session_for(member), verb)(*args, **kwargs)
+        self._observe(member)
+        _stats.bump("fleet.reads")
+        return out
+
+    def _read_candidates(self):
+        """Non-leader members, round-robin rotated, healthy first;
+        ``consistency="strong"`` yields nothing — reads go straight to
+        the leader fallback."""
+        if self.consistency == "strong":
+            return
+        n = len(self._order)
+        self._rr = (self._rr + 1) % n
+        rotated = self._order[self._rr:] + self._order[:self._rr]
+        for endpoint in rotated:
+            member = self._members[endpoint]
+            if member.role == "leader" or member.excluded():
+                continue
+            yield member
+
+    def _session_for_safe(self, member):
+        try:
+            return self._session_for(member)
+        except (ConnectionLost, ProtocolError):
+            self._exclude(member)
+            return None
+
+    def _write(self, verb, args, kwargs):
+        """Route to the leader; on connection loss re-resolve it (a
+        replica may have been promoted) and retry only when safe."""
+        attempts = 0
+        while True:
+            attempts += 1
+            member = self._resolve_leader()
+            session = self._session_for_safe(member)
+            if session is None:
+                if attempts > 2:
+                    raise LeaderUnavailable(
+                        "leader {} keeps refusing connections".format(
+                            member.endpoint))
+                continue
+            sent_nothing = False
+            try:
+                out = getattr(session, verb)(*args, **kwargs)
+            except ConnectionLost as exc:
+                # a connect-phase failure provably never sent the
+                # request; anything later may have committed
+                sent_nothing = "cannot connect" in str(exc)
+                member.role = None  # stop believing it is the leader
+                self._exclude(member)
+                if attempts <= 2 and (
+                        sent_nothing or self.retry_writes_on_failover):
+                    _stats.bump("fleet.write_failovers")
+                    continue
+                raise ConnectionLost(
+                    "{} (write {} not retried: commit status "
+                    "unknown)".format(exc, verb)) from exc
+            self._observe(member)
+            _stats.bump("fleet.writes")
+            return out
+
+    def _resolve_leader(self):
+        """The member currently advertising ``role == "leader"`` —
+        probing the fleet (and waiting out an in-flight promotion, up
+        to ``leader_wait_s``) when the last known leader is gone."""
+        for member in self._members.values():
+            if member.role == "leader" and not member.excluded():
+                return member
+        deadline = time.monotonic() + self.leader_wait_s
+        while True:
+            _stats.bump("fleet.leader_probes")
+            for endpoint in self._order:
+                member = self._members[endpoint]
+                try:
+                    status = self._session_for(member).status()
+                except (ConnectionLost, ProtocolError):
+                    self._drop(member)
+                    continue
+                member.role = status.get("role")
+                member.watermark = int(status.get("watermark") or 0)
+                if member.role == "leader":
+                    member.excluded_until = 0.0
+                    return member
+            if time.monotonic() >= deadline:
+                raise LeaderUnavailable(
+                    "no member of {} advertises the leader role (probed "
+                    "for {:.1f}s — election still converging, or the "
+                    "fleet is down)".format(
+                        ",".join(self._order), self.leader_wait_s))
+            time.sleep(0.1)
+
+    # -- the session verb surface ----------------------------------------------
+
+    def exec(self, source, *, timeout=None):
+        """Write transaction, routed to the leader."""
+        return self._invoke("exec", source, timeout=timeout)
+
+    def addblock(self, source, *, name=None, timeout=None):
+        """Install logic on the leader."""
+        return self._invoke("addblock", source, name=name, timeout=timeout)
+
+    def removeblock(self, name, *, timeout=None):
+        """Remove a block on the leader."""
+        return self._invoke("removeblock", name, timeout=timeout)
+
+    def load(self, pred, tuples, remove=(), *, timeout=None):
+        """Bulk load on the leader."""
+        return self._invoke("load", pred, tuples, remove, timeout=timeout)
+
+    def checkpoint(self, *, timeout=None):
+        """Durable checkpoint on the leader."""
+        return self._invoke("checkpoint", timeout=timeout)
+
+    def query(self, source, *, answer=None):
+        """Read, fanned out across the replica fleet."""
+        return self._invoke("query", source, answer=answer)
+
+    def query_result(self, source, *, answer=None):
+        """Like :meth:`query` but the full ``TxnResult``."""
+        return self._invoke("query_result", source, answer=answer)
+
+    def rows(self, pred):
+        """Predicate rows from a replica (or the leader fallback)."""
+        return self._invoke("rows", pred)
+
+    def explain(self, source, *, answer=None):
+        """EXPLAIN ANALYZE on a replica (or the leader fallback)."""
+        return self._invoke("explain", source, answer=answer)
+
+    def stats(self):
+        """The leader's service counters."""
+        member = self._resolve_leader()
+        out = self._session_for(member).stats()
+        self._observe(member)
+        return out
+
+    def telemetry(self, *, ring_tail=32):
+        """Telemetry from a replica (or the leader fallback)."""
+        return self._invoke("telemetry", ring_tail=ring_tail)
+
+    def promote(self, endpoint):
+        """Ask one member to promote itself (failover drills); returns
+        its post-promotion status and re-learns the fleet's roles."""
+        member = self._members.get(
+            "{}:{}".format(*_parse_endpoint(endpoint)))
+        if member is None:
+            raise ValueError(
+                "{} is not a member of this cluster".format(endpoint))
+        status = self._session_for(member).promote()
+        for other in self._members.values():
+            if other.role == "leader":
+                other.role = None
+        member.role = status.get("role")
+        return status
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self):
+        """Close every member session."""
+        if self._closed:
+            return
+        self._closed = True
+        for member in self._members.values():
+            self._drop(member)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _check_open(self):
+        if self._closed:
+            raise ReproError("session {} is closed".format(self.name))
+
+    def __repr__(self):
+        return "ClusterSession({}, {}, watermark={})".format(
+            ",".join(self._order), self.consistency, self.watermark)
+
+
+def connect(endpoints, *, name=None, timeout=None, consistency="session",
+            **kwargs):
+    """Open a cluster session over ``endpoints`` (an iterable of
+    ``"host:port"`` strings, or one comma-separated string) — the
+    fleet counterpart of :func:`repro.connect`."""
+    if isinstance(endpoints, str):
+        endpoints = [e for e in endpoints.split(",") if e.strip()]
+    return ClusterSession(endpoints, name=name, timeout=timeout,
+                          consistency=consistency, **kwargs)

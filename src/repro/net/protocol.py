@@ -24,15 +24,21 @@ Frame types:
 
 * ``HELLO``    — handshake, both directions.  The server's reply
   carries the protocol version, the service's retry/backoff policy
-  (so clients honor the *server's* policy, not a hardcoded one), and
-  the row-chunk size for streamed results.
+  (so clients honor the *server's* policy, not a hardcoded one), the
+  row-chunk size for streamed results, and — since the fleet tier —
+  the endpoint's ``role`` (``"leader"`` / ``"replica"``) and current
+  commit ``watermark``, so a cluster client can route reads and writes
+  from the handshake alone.
 * ``REQUEST``  — ``{"id": n, "op": str, "args": {...}}``.  Requests may
   be pipelined; responses carry the id and may complete out of order.
   A tracing client adds ``"trace_ctx": {"trace": id, "span": sid}``
   (sent only after the server's HELLO advertised ``"trace": True``, so
   old peers never see the key; dict payloads tolerate unknown keys in
   both directions regardless).
-* ``RESPONSE`` — ``{"id": n, "result": {...}}`` terminal success.  When
+* ``RESPONSE`` — ``{"id": n, "result": {...}}`` terminal success.
+  Every response is stamped with ``"watermark"``: the commit watermark
+  of the state it was served from (on a replica, the watermark of the
+  synced checkpoint) — the basis of session consistency.  When
   the request carried a ``trace_ctx``, the server attaches ``"trace"``:
   its serialized span tree for the request (a
   :meth:`repro.obs.Span.to_dict` payload, scrubbed by
@@ -111,6 +117,98 @@ class ConnectionLost(NetError, ConnectionError):
 class ReplicaReadOnly(NetError):
     """A write verb was invoked on a read replica; writes must go to
     the leader."""
+
+
+class StaleRead(NetError):
+    """A session-consistency read could not be served at (or above) the
+    client's own watermark: every reachable endpoint — including, after
+    fallback, the leader — answered from a commit watermark below the
+    highest one this session has already observed.  Seen in practice
+    only when leadership moved to a replica whose last synced
+    checkpoint predates the client's last write."""
+
+
+class LeaderUnavailable(NetError):
+    """The cluster client could not find a writable leader among its
+    endpoints (all down, or every reachable endpoint is a replica and
+    none has promoted yet)."""
+
+
+#: the consistency modes every transport accepts (local workspace
+#: path, single tcp:// server, cluster:// fleet): ``strong`` = reads
+#: only from the leader; ``session`` = read-your-writes against the
+#: session's observed watermark; ``eventual`` = any replica, any lag
+CONSISTENCY_MODES = ("strong", "session", "eventual")
+
+
+# -- the verb registry ---------------------------------------------------------
+
+
+class VerbSpec:
+    """One wire verb's routing/retry contract.
+
+    ``write``     — the verb mutates leader state: replicas refuse it
+                    with :class:`ReplicaReadOnly`, and cluster clients
+                    always route it to the leader.
+    ``retryable`` — the verb is idempotent: clients may transparently
+                    reconnect and re-send it after a transport failure.
+
+    Every routing decision derives from this one table: the server
+    validates ops against it, replicas refuse ``write`` verbs from it,
+    and the client takes its auto-retry policy from ``retryable`` —
+    a new verb cannot be routable on one layer and unknown to another.
+    """
+
+    __slots__ = ("name", "write", "retryable")
+
+    def __init__(self, name, *, write, retryable):
+        self.name = name
+        self.write = write
+        self.retryable = retryable
+
+    def __repr__(self):
+        return "VerbSpec({!r}, write={}, retryable={})".format(
+            self.name, self.write, self.retryable)
+
+
+VERBS = {spec.name: spec for spec in (
+    # -- writes: leader-only, never auto-retried (commit status of a
+    #    torn-connection attempt is unknown)
+    VerbSpec("exec", write=True, retryable=False),
+    VerbSpec("addblock", write=True, retryable=False),
+    VerbSpec("removeblock", write=True, retryable=False),
+    VerbSpec("load", write=True, retryable=False),
+    VerbSpec("checkpoint", write=True, retryable=False),
+    # -- reads: served by any role, idempotent, auto-retried
+    VerbSpec("query", write=False, retryable=True),
+    VerbSpec("rows", write=False, retryable=True),
+    VerbSpec("stats", write=False, retryable=True),
+    VerbSpec("telemetry", write=False, retryable=True),
+    VerbSpec("explain", write=False, retryable=True),
+    VerbSpec("ping", write=False, retryable=True),
+    VerbSpec("status", write=False, retryable=True),
+    VerbSpec("watch", write=False, retryable=True),
+    VerbSpec("sync_manifest", write=False, retryable=True),
+    VerbSpec("sync_records", write=False, retryable=True),
+    # -- control: *allowed* on replicas (it is how one becomes a
+    #    leader), a no-op on an existing leader, not auto-retried
+    VerbSpec("promote", write=False, retryable=False),
+)}
+
+#: verbs a read-only replica refuses (derived — never listed twice)
+WRITE_VERBS = frozenset(n for n, s in VERBS.items() if s.write)
+#: verbs safe to re-send across a reconnect (derived)
+RETRYABLE_VERBS = frozenset(n for n, s in VERBS.items() if s.retryable)
+
+
+def verb_spec(op):
+    """The :class:`VerbSpec` for ``op``; raises a typed error for ops
+    outside the registry, so an unknown verb fails identically on every
+    layer that consults the table."""
+    spec = VERBS.get(op)
+    if spec is None:
+        raise ReproError("unknown op {!r}".format(op))
+    return spec
 
 
 # -- framing ------------------------------------------------------------------

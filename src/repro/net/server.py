@@ -59,11 +59,13 @@ from repro.net.protocol import (
     F_RESPONSE,
     PROTOCOL_VERSION,
     ProtocolError,
+    ReplicaReadOnly,
     decode_frame_body,
     encode_frame,
     error_to_wire,
     result_to_wire,
     trace_to_wire,
+    verb_spec,
 )
 from repro.runtime.errors import Overloaded, ReproError
 
@@ -117,6 +119,12 @@ class ReproServer:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=min(32, (os.cpu_count() or 4) * 4),
             thread_name_prefix="repro-net",
+        )
+        # watch long-polls park a thread for seconds at a time; they get
+        # their own (lazily grown) pool so a fleet of heartbeating
+        # replicas never starves the verb executor
+        self._watch_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="repro-net-watch",
         )
         self._sync_store = None
         self._sync_lock = threading.Lock()
@@ -184,6 +192,7 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self._executor.shutdown(wait=False)
+        self._watch_executor.shutdown(wait=False)
         if getattr(self, "_owns_sampler", False):
             self._owns_sampler = False
             _obs.stop_sampler()
@@ -270,6 +279,10 @@ class ReproServer:
         reply = {
             "proto": PROTOCOL_VERSION,
             "server": "repro",
+            # fleet coordinates: a cluster client routes from the
+            # handshake alone (reads to replicas, writes to the leader)
+            "role": getattr(self.service, "role", "leader"),
+            "watermark": getattr(self.service, "commit_watermark", 0),
             "chunk_rows": self.chunk_rows,
             # trace-context negotiation: clients only attach trace_ctx
             # to requests after seeing this capability, so an old server
@@ -348,8 +361,10 @@ class ReproServer:
         _stats.gauge("net.inflight", self._inflight)
         try:
             try:
+                executor = (self._watch_executor if op == "watch"
+                            else self._executor)
                 frames = await self._loop.run_in_executor(
-                    self._executor, self._dispatch, rid, op, args, trace_ctx)
+                    executor, self._dispatch, rid, op, args, trace_ctx)
             except ReproError as exc:
                 _stats.bump("net.request_errors")
                 frames = [(F_ERROR, {"id": rid, "error": error_to_wire(exc)})]
@@ -407,8 +422,22 @@ class ReproServer:
 
     def _dispatch_op(self, rid, op, args):
         svc = self.service
+        # one registry decides routability: an op outside VERBS fails
+        # here with the same typed error every layer raises for it, and
+        # a write verb on a read-only endpoint is refused *before* the
+        # backend sees it
+        spec = verb_spec(op)
+        if spec.write and getattr(svc, "role", "leader") != "leader":
+            raise self._read_only_error(op)
+
         def respond(result_value):
-            return [(F_RESPONSE, {"id": rid, "result": result_value})]
+            # every response carries the commit watermark of the state
+            # it was served from — the session-consistency stamp
+            return [(F_RESPONSE, {
+                "id": rid,
+                "result": result_value,
+                "watermark": getattr(svc, "commit_watermark", 0),
+            })]
 
         if op == "exec":
             result = svc.exec(
@@ -460,12 +489,43 @@ class ReproServer:
             return respond({"explain": trace_to_wire(report.to_dict())})
         if op == "ping":
             return respond({})
+        if op == "status":
+            status = dict(svc.status()) if hasattr(svc, "status") else {
+                "role": getattr(svc, "role", "leader"),
+                "watermark": getattr(svc, "commit_watermark", 0),
+            }
+            status["endpoint"] = "{}:{}".format(*self.address)
+            return respond({"status": status})
+        if op == "watch":
+            cap = getattr(self.service.config, "net_watch_cap_s", 30.0)
+            timeout_s = min(float(args.get("timeout_s") or cap), cap)
+            status = svc.watch(
+                seq=int(args.get("seq") or 0), timeout_s=timeout_s)
+            _stats.bump("net.watches")
+            return respond({"status": status})
+        if op == "promote":
+            promote = getattr(svc, "promote", None)
+            if promote is None:
+                # already the leader: promotion is idempotent
+                status = dict(svc.status())
+            else:
+                status = promote()
+            status["endpoint"] = "{}:{}".format(*self.address)
+            return respond({"status": status})
         if op == "sync_manifest":
             return respond({"manifest": self._sync_manifest()})
         if op == "sync_records":
             return respond(
                 {"records": self._sync_records(args.get("addrs") or ())})
-        raise ReproError("unknown op {!r}".format(op))
+        raise ReproError("unhandled op {!r}".format(op))
+
+    def _read_only_error(self, op):
+        exc = getattr(self.service, "read_only_error", None)
+        if exc is not None:
+            return exc(op)
+        return ReplicaReadOnly(
+            "{}:{} is a read-only replica: {} must go to the "
+            "leader".format(self.host, self.port, op))
 
     # -- replica feed ----------------------------------------------------------
 

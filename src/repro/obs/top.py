@@ -110,12 +110,12 @@ def main(argv=None, out=None):
     if "--once" in argv:
         rounds = 1
 
-    from repro.net import connect
+    from repro.net import NetSession
 
     previous = None
     done = 0
     try:
-        with connect(host, int(port)) as session:
+        with NetSession(host, int(port)) as session:
             while True:
                 snapshot = session.telemetry(ring_tail=8)
                 if done or rounds != 1:

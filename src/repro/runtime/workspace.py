@@ -178,18 +178,23 @@ class Workspace:
             pager = self._pagers[path] = CheckpointStore(path)
         return pager
 
-    def checkpoint(self, path, *, fault_fire=None):
+    def checkpoint(self, path, *, fault_fire=None, watermark=None):
         """Write a durable checkpoint of every branch head to ``path``.
 
         Incremental: only treap nodes not already in the store are
         written (structural sharing means that is the diff since the
         last checkpoint).  Crash-safe: the manifest swap is atomic, so
         an interrupted checkpoint leaves the previous one intact.
+        ``watermark`` (optional) records the commit watermark the
+        checkpointed state reflects in the manifest — the service
+        passes its committed-transaction sequence number here so
+        replicas and restarts know how fresh the checkpoint is.
         Returns a dict of counters (``seq``, ``nodes_written``,
         ``bytes_written``, ``store_nodes``).
         """
         with _stats.scope(self._counters):
-            return self._pager(path).checkpoint(self, fault_fire=fault_fire)
+            return self._pager(path).checkpoint(
+                self, fault_fire=fault_fire, watermark=watermark)
 
     @classmethod
     def open(cls, path, *, parallel=None, engine=None):

@@ -8,9 +8,15 @@ stress smoke for the concurrent path.
 
 With ``--net HOST:PORT`` the soak becomes a pure network client: the
 same writer/reader threads drive a *remote* repro server (started with
-``python -m repro.net.server``) through :func:`repro.net.connect`,
+``python -m repro.net.server``) through ``repro.connect("tcp://...")``,
 exercising the wire protocol under the exact workload the in-process
 smoke uses — same sessions, same verbs, same drain check.
+
+With ``--cluster EP1,EP2,...`` every thread opens a
+:class:`~repro.net.cluster.ClusterSession` instead: writes route to
+the leader, reads fan out across the replica fleet with session
+consistency enforced from the commit-watermark stamps — the mixed
+read/write soak CI runs against a live 1-leader + N-replica fleet.
 """
 
 import argparse
@@ -25,7 +31,8 @@ INVENTORY = "inventory[s] = v -> string(s), int(v).\n" \
             "inventory[s] = v -> v >= 0.\n"
 
 
-def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None):
+def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None,
+         cluster=None, readers=1):
     """Run the soak; returns (service stats, commits/sec, drained ok).
 
     The inventory has a fixed ``items``-sized pool regardless of writer
@@ -34,15 +41,23 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None):
     keeping writers conflict-free.
 
     ``net=(host, port)`` drives a remote server over TCP instead of an
-    in-process service; everything else is identical.
+    in-process service; ``cluster=[endpoint, ...]`` drives a replica
+    fleet through the cluster client; everything else is identical.
     """
-    if net is not None:
-        from repro.net import connect as _net_connect
+    if cluster is not None:
+        from repro.net.cluster import ClusterSession
+
+        service = None
+
+        def make_session(name):
+            return ClusterSession(cluster, name=name)
+    elif net is not None:
+        from repro.net import NetSession
         host, port = net
         service = None
 
         def make_session(name):
-            return _net_connect(host, port, name=name)
+            return NetSession(host, port, name=name)
     else:
         service = TransactionService(
             config=ServiceConfig(max_pending=writers * 2))
@@ -78,33 +93,42 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None):
             for k in range(txns):
                 decrements[owned[k % len(owned)]] += 1
 
-        def reader(stop):
-            session = make_session("reader")
+        def reader(index, stop):
+            session = make_session("reader-{}".format(index))
             while not stop.is_set():
                 session.query("_(s, v) <- inventory[s] = v.")
                 time.sleep(0.001)
             session.close()
 
         stop = threading.Event()
-        reader_thread = threading.Thread(target=reader, args=(stop,), daemon=True)
+        reader_threads = [
+            threading.Thread(target=reader, args=(r, stop), daemon=True)
+            for r in range(max(1, readers))
+        ]
         started = time.perf_counter()
         threads = [
             threading.Thread(target=writer, args=(w,)) for w in range(writers)
         ]
-        reader_thread.start()
+        for thread in reader_threads:
+            thread.start()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - started
         stop.set()
-        reader_thread.join()
+        for thread in reader_threads:
+            thread.join()
 
         stats = service.service_stats() if service is not None else admin.stats()
         throughput = (writers * txns) / elapsed if elapsed else 0.0
+        where = ""
+        if cluster is not None:
+            where = " (over cluster {})".format(",".join(cluster))
+        elif net is not None:
+            where = " (over TCP {}:{})".format(*net)
         print("soak: {} writers x {} txns in {:.3f}s -> {:.1f} commits/s{}".format(
-            writers, txns, elapsed, throughput,
-            " (over TCP {}:{})".format(*net) if net else ""), file=out)
+            writers, txns, elapsed, throughput, where), file=out)
         print(json.dumps(
             {k: v for k, v in sorted(stats.items())
              if k.startswith(("service.", "net."))
@@ -135,6 +159,13 @@ def main(argv=None):
         help="drive a remote repro server over TCP instead of an "
              "in-process service")
     parser.add_argument(
+        "--cluster", metavar="EP1,EP2,...", default=None,
+        help="drive a leader + replica fleet through the cluster "
+             "client (comma-separated host:port endpoints)")
+    parser.add_argument(
+        "--readers", type=int, default=1,
+        help="concurrent reader threads (each a full session)")
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="stream client-side span trees to this JSONL file; with "
              "--net each root is a stitched distributed trace carrying "
@@ -148,8 +179,12 @@ def main(argv=None):
         from repro import obs as _obs
 
         _obs.trace_to(args.trace)
+    cluster = None
+    if args.cluster:
+        cluster = [e.strip() for e in args.cluster.split(",") if e.strip()]
     try:
-        _, _, ok = soak(writers=args.writers, txns=args.txns, net=net)
+        _, _, ok = soak(writers=args.writers, txns=args.txns, net=net,
+                        cluster=cluster, readers=args.readers)
     finally:
         if args.trace:
             _obs.trace_file_off()

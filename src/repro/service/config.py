@@ -65,6 +65,10 @@ class ServiceConfig:
       reading its socket (backpressure through TCP).
     * ``net_max_frame_bytes`` — hard frame-size limit; an oversized
       frame is a protocol error, not an allocation.
+    * ``net_watch_cap_s`` — server-side ceiling on one ``watch``
+      long-poll (the replica heartbeat/notify verb); a client asking
+      for more is clamped, so a dead replica's request can never park
+      a server thread indefinitely.
 
     Observability (:mod:`repro.obs`):
 
@@ -104,6 +108,7 @@ class ServiceConfig:
     net_max_connections: int = 64
     net_inflight_per_conn: int = 32
     net_max_frame_bytes: int = 16 * 1024 * 1024
+    net_watch_cap_s: float = 30.0
     telemetry_interval_s: float = 0.0
     telemetry_ring: int = 128
     slow_txn_s: float = None
@@ -133,5 +138,7 @@ class ServiceConfig:
                 raise ValueError("{} must be >= 1".format(knob))
         if self.telemetry_interval_s < 0:
             raise ValueError("telemetry_interval_s must be >= 0")
+        if self.net_watch_cap_s <= 0:
+            raise ValueError("net_watch_cap_s must be positive")
         if self.slow_txn_s is not None and self.slow_txn_s <= 0:
             raise ValueError("slow_txn_s must be positive (or None)")

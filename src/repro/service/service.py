@@ -121,10 +121,16 @@ class TransactionService:
     committer).  Reads may go anywhere — states are immutable.
     """
 
+    #: this endpoint's fleet role; replicas advertise ``"replica"``
+    #: through their service facade, a real service is the leader
+    role = "leader"
+
     def __init__(self, workspace=None, *, config=None, faults=None):
         self.config = config if config is not None else ServiceConfig()
+        recovered = False
         if workspace is None:
             workspace = self._recover_workspace(self.config)
+            recovered = True
         self.workspace = workspace
         self.faults = faults
         self._admission = AdmissionController(
@@ -141,7 +147,25 @@ class TransactionService:
         self._rng = random.Random(self.config.jitter_seed)
         self._rng_lock = threading.Lock()
         self._history = []
-        self._commit_seq = itertools.count(1)
+        # the commit watermark: highest committed transaction sequence
+        # number.  Written only on the committer thread; read (as one
+        # atomic int) from any thread.  A service recovered from a
+        # checkpoint resumes the sequence from the manifest's recorded
+        # watermark, so watermarks stay monotonic across restarts.
+        self._watermark = 0
+        self._checkpoint_seq = 0
+        self._checkpoint_watermark = 0
+        self._ckpt_cond = threading.Condition()
+        if self.config.checkpoint_path:
+            from repro.storage.pager import read_manifest
+
+            manifest = read_manifest(self.config.checkpoint_path)
+            if manifest is not None:
+                self._checkpoint_seq = manifest["seq"]
+                self._checkpoint_watermark = manifest.get("watermark", 0)
+                if recovered:
+                    self._watermark = self._checkpoint_watermark
+        self._commit_seq = itertools.count(self._watermark + 1)
         self._sessions = itertools.count(1)
         # source text -> compiled RuleSet: repeated transaction shapes
         # (retries, parameterized client templates) skip the parser and
@@ -185,6 +209,10 @@ class TransactionService:
             and self.config.checkpoint_on_shutdown
         ):
             self._checkpoint_now()
+        # release long-poll watchers so a draining leader never strands
+        # a replica's heartbeat request for the full watch timeout
+        with self._ckpt_cond:
+            self._ckpt_cond.notify_all()
 
     def _checkpoint_now(self):
         """Write a checkpoint to the configured path.  Runs only on the
@@ -193,11 +221,19 @@ class TransactionService:
         fault_fire = None
         if self.faults is not None:
             fault_fire = lambda point: self.faults.fire(point, "checkpoint")
+        watermark = self._watermark
         result = self.workspace.checkpoint(
-            self.config.checkpoint_path, fault_fire=fault_fire
+            self.config.checkpoint_path, fault_fire=fault_fire,
+            watermark=watermark,
         )
         self._commits_since_checkpoint = 0
         self._checkpoint_count += 1
+        # wake every long-poll watcher (replica heartbeat/notify path):
+        # a new checkpoint is durable and ready to delta-sync
+        with self._ckpt_cond:
+            self._checkpoint_seq = result["seq"]
+            self._checkpoint_watermark = watermark
+            self._ckpt_cond.notify_all()
         return result
 
     def checkpoint(self, *, timeout=None):
@@ -524,6 +560,9 @@ class TransactionService:
             barrier.result = barrier.fn(self.workspace)
             if barrier.kind in ("addblock", "removeblock", "load"):
                 self._commits_since_checkpoint += 1
+                # DDL moves state too: advance the watermark so
+                # read-your-writes covers schema changes and bulk loads
+                self._watermark = next(self._commit_seq)
         except Exception as exc:
             barrier.error = exc
         finally:
@@ -671,6 +710,7 @@ class TransactionService:
         batch span has closed so waiters never see a half-built span."""
         for pending in members:
             seq = next(self._commit_seq)
+            self._watermark = seq
             self._history.append({
                 "seq": seq,
                 "txn": pending.txn.name,
@@ -732,6 +772,46 @@ class TransactionService:
         cache[key] = corrections
         return corrections
 
+    # -- fleet surface ---------------------------------------------------------
+
+    @property
+    def commit_watermark(self):
+        """Highest committed transaction sequence number (0 before the
+        first commit).  Stamped on every network response; the basis of
+        session consistency (read-your-writes) across the fleet."""
+        return self._watermark
+
+    def watch(self, seq=0, timeout_s=10.0):
+        """Long-poll for a checkpoint newer than ``seq``.
+
+        Blocks until the durable checkpoint sequence exceeds ``seq`` or
+        ``timeout_s`` elapses, then returns the current fleet status —
+        so one round-trip is both the replica's change notification
+        *and* the leader heartbeat (a reply within the timeout proves
+        the leader alive even when nothing changed)."""
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        with self._ckpt_cond:
+            while (
+                self._checkpoint_seq <= seq
+                and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._ckpt_cond.wait(remaining)
+        _stats.bump("service.watches")
+        return self.status()
+
+    def status(self):
+        """This endpoint's fleet coordinates: role, commit watermark,
+        and the sequence/watermark of its durable checkpoint."""
+        return {
+            "role": self.role,
+            "watermark": self._watermark,
+            "checkpoint_seq": self._checkpoint_seq,
+            "checkpoint_watermark": self._checkpoint_watermark,
+        }
+
     # -- introspection ---------------------------------------------------------
 
     def commit_history(self):
@@ -749,6 +829,8 @@ class TransactionService:
         counters["queued"] = queued
         counters["committed"] = len(self._history)
         counters["checkpoints"] = self._checkpoint_count
+        counters["watermark"] = self._watermark
+        counters["role"] = self.role
         return counters
 
     def telemetry(self, *, ring_tail=32):

@@ -31,13 +31,26 @@ class Session:
     the owning thread; open one session per client thread.
     """
 
-    def __init__(self, service, *, name=None, timeout=None, owns_service=False):
+    def __init__(self, service, *, name=None, timeout=None,
+                 consistency="session", owns_service=False):
         self.service = service
         self.name = name or "session-{}".format(next(_session_counter))
         self.timeout = timeout
+        #: accepted for surface parity with the tcp:// and cluster://
+        #: transports; a single local service serves every read from
+        #: the committed head, so all three modes are trivially honored
+        self.consistency = consistency
         self._owns_service = owns_service
         self._txns = itertools.count(1)
         self._closed = False
+
+    @property
+    def watermark(self):
+        """The service's commit watermark — the sequence number of the
+        last committed write.  Local reads always see it (a single
+        service has no replication lag), so this is the same
+        read-your-writes anchor the network sessions track."""
+        return getattr(self.service, "commit_watermark", 0)
 
     # -- verbs (all return TxnResult, except query which returns rows) --------
 
@@ -137,32 +150,81 @@ class Session:
                                         "closed" if self._closed else "open")
 
 
-def connect(workspace=None, *, service=None, name=None, timeout=None, **config):
-    """Open a session onto a transaction service.
+def connect(target=None, *, service=None, name=None, timeout=None,
+            consistency="session", **config):
+    """Open a session — the one entry point for every transport.
 
-    * ``connect()`` — fresh workspace, fresh service (owned by the
-      returned session: closing the session closes the service).
-    * ``connect(workspace)`` — fresh service over an existing workspace.
+    ``target`` selects where the session lands; the verb surface is
+    the same on all of them:
+
+    * ``connect()`` — fresh in-memory workspace, fresh service (owned
+      by the returned session: closing the session closes the service).
+    * ``connect("/var/lib/repro/db")`` — durable local service: the
+      path is the checkpoint directory, recovered on startup and
+      checkpointed back on close.
+    * ``connect("tcp://host:7411")`` — network session onto one
+      :class:`~repro.net.server.ReproServer`
+      (:class:`~repro.net.client.NetSession`).
+    * ``connect("cluster://leader:7411,r1:7412,r2:7413")`` — cluster
+      session over a replica fleet
+      (:class:`~repro.net.cluster.ClusterSession`): writes routed to
+      the leader, reads fanned out across replicas.
+    * ``connect(workspace)`` — fresh service over an existing
+      :class:`~repro.runtime.workspace.Workspace`.
     * ``connect(service=svc)`` — another session on a shared service.
 
-    Extra keyword arguments become
-    :class:`~repro.service.config.ServiceConfig` fields, e.g.
-    ``connect(max_pending=8, mode="occ")``.
+    ``consistency`` (``"strong"`` / ``"session"`` / ``"eventual"``) is
+    honored by every transport: it governs which commit watermarks a
+    read may be served from (see :mod:`repro.net.cluster`); a single
+    local service serves every read from the committed head, so all
+    modes hold there trivially.
 
-    Durability: ``connect(checkpoint_path=p)`` recovers the workspace
-    from the checkpoint at ``p`` when one exists (restart recovery) and
-    checkpoints back to it on close; add
-    ``checkpoint_every_n_commits=N`` for periodic checkpoints.
+    Extra keyword arguments go to the transport: ServiceConfig fields
+    for local sessions (e.g. ``connect(max_pending=8, mode="occ")``,
+    ``connect(checkpoint_path=p)``), constructor options for the
+    network sessions (timeouts, frame limits, failover policy).
     """
+    from repro.net.protocol import CONSISTENCY_MODES
+
+    if consistency not in CONSISTENCY_MODES:
+        raise ValueError(
+            "consistency must be one of {}, got {!r}".format(
+                "/".join(CONSISTENCY_MODES), consistency))
+    if isinstance(target, str):
+        if service is not None:
+            raise TypeError(
+                "pass either a target url/path or service=, not both")
+        if target.startswith("tcp://"):
+            from repro.net.client import NetSession
+
+            host, _, port = target[len("tcp://"):].rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(
+                    "tcp target must be tcp://host:port, got {!r}".format(
+                        target))
+            return NetSession(host, int(port), name=name, timeout=timeout,
+                              consistency=consistency, **config)
+        if target.startswith("cluster://"):
+            from repro.net.cluster import ClusterSession
+
+            endpoints = [
+                e for e in target[len("cluster://"):].split(",") if e.strip()]
+            return ClusterSession(endpoints, name=name, timeout=timeout,
+                                  consistency=consistency, **config)
+        # a plain string is a local checkpoint directory
+        config.setdefault("checkpoint_path", target)
+        target = None
+
     from repro.service.config import ServiceConfig
     from repro.service.service import TransactionService
 
     owns = service is None
     if service is None:
         cfg = ServiceConfig(**config)
-        service = TransactionService(workspace, config=cfg)
+        service = TransactionService(target, config=cfg)
     elif config:
         raise TypeError(
             "config kwargs {} ignored when an existing service is passed".format(
                 sorted(config)))
-    return Session(service, name=name, timeout=timeout, owns_service=owns)
+    return Session(service, name=name, timeout=timeout,
+                   consistency=consistency, owns_service=owns)

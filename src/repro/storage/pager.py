@@ -507,20 +507,26 @@ class CheckpointStore:
         )
         return record
 
-    def checkpoint(self, workspace, *, fault_fire=None):
+    def checkpoint(self, workspace, *, fault_fire=None, watermark=None):
         """Write one durable checkpoint of ``workspace``.
+
+        ``watermark`` — the commit watermark (highest committed
+        transaction sequence number) the checkpointed state reflects;
+        recorded in the manifest so replicas serving this checkpoint
+        can stamp responses with it and a restarted service resumes
+        its sequence from it.
 
         Returns the counter dict (nodes written/skipped/pruned, bytes,
         manifest sequence number).  Crash-safe: the previous manifest
         stays valid until the new one is atomically renamed in.
         """
         with _obs.span("checkpoint", path=self.path) as span_:
-            result = self._checkpoint_locked(workspace, fault_fire)
+            result = self._checkpoint_locked(workspace, fault_fire, watermark)
             if span_ is not None:
                 span_.attrs.update(result)
         return result
 
-    def _checkpoint_locked(self, workspace, fault_fire):
+    def _checkpoint_locked(self, workspace, fault_fire, watermark=None):
         previous = self._manifest
         seq = (previous["seq"] + 1) if previous else 1
         packs = list(previous["packs"]) if previous else []
@@ -555,6 +561,8 @@ class CheckpointStore:
         manifest = {
             "format": FORMAT_VERSION,
             "seq": seq,
+            "watermark": int(watermark) if watermark is not None else (
+                previous.get("watermark", 0) if previous else 0),
             "packs": packs,
             "root_name": graph.root_name,
             "current_branch": workspace.branch,
@@ -604,6 +612,16 @@ class CheckpointStore:
         """Sequence number of the committed checkpoint (``None`` when
         the directory holds no checkpoint yet)."""
         return self._manifest["seq"] if self._manifest else None
+
+    @property
+    def watermark(self):
+        """Commit watermark recorded in the committed checkpoint —
+        the highest transaction sequence number the checkpointed state
+        reflects (0 for pre-watermark checkpoints, ``None`` when the
+        directory holds no checkpoint yet)."""
+        if self._manifest is None:
+            return None
+        return self._manifest.get("watermark", 0)
 
     def known(self, addr):
         """True when ``addr`` is already resident in the local store."""

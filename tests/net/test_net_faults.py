@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.net import ReproServer, connect
+from repro.net import NetSession, ReproServer
 from repro.net.protocol import ConnectionLost
 from repro.service import FaultInjector, ServiceConfig, TransactionService
 
@@ -16,7 +16,7 @@ def rig():
     faults = FaultInjector()
     service = TransactionService(config=ServiceConfig(max_pending=8))
     with ReproServer(service, faults=faults) as server:
-        with connect(server.host, server.port, socket_timeout_s=2.0) as admin:
+        with NetSession(server.host, server.port, socket_timeout_s=2.0) as admin:
             admin.addblock("p(x) -> int(x).", name="b1")
             admin.load("p", [(1,), (2,)])
         yield server, faults
@@ -29,7 +29,7 @@ def test_truncated_response_retries_cleanly(rig):
     # a torn frame.  The client must detect it, reconnect, and re-issue
     # the (idempotent) read under the server's backoff policy.
     faults.script("net_send", "truncate", match="query")
-    with connect(server.host, server.port, socket_timeout_s=2.0) as s:
+    with NetSession(server.host, server.port, socket_timeout_s=2.0) as s:
         assert sorted(s.query("_(x) <- p(x).")) == [(1,), (2,)]
     assert ("net_send", "truncate", "query") in faults.fired
 
@@ -40,7 +40,7 @@ def test_dropped_request_retries_cleanly(rig):
     # message).  The client's socket timeout converts the silence into
     # a transport error; the idempotent read then reconnects and wins.
     faults.script("net_recv", "drop", match="query")
-    with connect(server.host, server.port, socket_timeout_s=1.0) as s:
+    with NetSession(server.host, server.port, socket_timeout_s=1.0) as s:
         started = time.perf_counter()
         assert sorted(s.query("_(x) <- p(x).")) == [(1,), (2,)]
         assert time.perf_counter() - started < 10.0
@@ -52,7 +52,7 @@ def test_torn_frame_mid_recv_aborts_connection_not_session(rig):
     # the server treats the inbound frame as torn and aborts the
     # connection; the client reconnects for the next read.
     faults.script("net_recv", "truncate", match="query")
-    with connect(server.host, server.port, socket_timeout_s=2.0) as s:
+    with NetSession(server.host, server.port, socket_timeout_s=2.0) as s:
         assert sorted(s.query("_(x) <- p(x).")) == [(1,), (2,)]
 
 
@@ -62,7 +62,7 @@ def test_dropped_write_is_a_typed_error_not_a_hang(rig):
     # status is unknown, so the client must NOT silently retry — it
     # surfaces a typed ConnectionLost, promptly.
     faults.script("net_send", "drop", match="exec")
-    with connect(server.host, server.port, socket_timeout_s=2.0) as s:
+    with NetSession(server.host, server.port, socket_timeout_s=2.0) as s:
         started = time.perf_counter()
         with pytest.raises(ConnectionLost) as info:
             s.exec("+p(3).")
@@ -74,7 +74,7 @@ def test_dropped_write_is_a_typed_error_not_a_hang(rig):
 def test_client_survives_a_torn_exec_with_manual_retry(rig):
     server, faults = rig
     faults.script("net_send", "truncate", match="exec")
-    with connect(server.host, server.port, socket_timeout_s=2.0) as s:
+    with NetSession(server.host, server.port, socket_timeout_s=2.0) as s:
         with pytest.raises(ConnectionLost):
             s.exec("+p(4).")
         # the session object stays usable: the next verb reconnects

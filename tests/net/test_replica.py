@@ -8,7 +8,7 @@ import time
 import pytest
 
 from repro import stats as _stats
-from repro.net import Replica, ReproServer, connect
+from repro.net import NetSession, Replica, ReproServer
 from repro.net.protocol import ReplicaReadOnly
 from repro.service import ServiceConfig, TransactionService
 
@@ -20,7 +20,7 @@ def leader(tmp_path):
     service = TransactionService(config=ServiceConfig(
         checkpoint_path=str(tmp_path / "leader")))
     with ReproServer(service) as server:
-        with connect(server.host, server.port) as s:
+        with NetSession(server.host, server.port) as s:
             s.addblock("item[k] = v -> int(k), int(v).", name="items")
             s.load("item", [(i, i * 7) for i in range(N)])
             s.checkpoint()
@@ -47,7 +47,7 @@ def test_delta_sync_fetches_o_log_n_records(leader):
         assert cold_fetched > 100  # the cold sync moved the whole tree
 
         # one-tuple change on the leader, new checkpoint
-        with connect(server.host, server.port) as s:
+        with NetSession(server.host, server.port) as s:
             s.exec("^item[3] = 999.")
             s.checkpoint()
 
@@ -104,9 +104,9 @@ def test_replica_restarts_from_local_checkpoint(leader):
 def test_follow_picks_up_new_checkpoints(leader):
     server, tmp = leader
     with Replica(server.host, server.port, os.path.join(tmp, "r6")) as rep:
-        rep.follow(poll_s=0.05)
+        rep.follow(heartbeat_s=0.5)
         first = rep.seq
-        with connect(server.host, server.port) as s:
+        with NetSession(server.host, server.port) as s:
             s.exec("^item[5] = 555.")
             s.checkpoint()
         deadline = time.time() + 10.0

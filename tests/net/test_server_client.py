@@ -6,7 +6,7 @@ import threading
 import pytest
 
 from repro import ConstraintViolation, TxnResult, UnknownPredicate
-from repro.net import NetSession, ReproServer, connect
+from repro.net import NetSession, ReproServer
 from repro.net.protocol import ConnectionLost
 from repro.runtime.errors import ReproError
 from repro.service import ServiceConfig, TransactionService
@@ -24,7 +24,7 @@ def server():
 
 @pytest.fixture()
 def session(server):
-    with connect(server.host, server.port) as s:
+    with NetSession(server.host, server.port) as s:
         yield s
 
 
@@ -97,21 +97,21 @@ def test_checkpoint_requires_configuration(session):
 
 
 def test_closed_session_refuses_verbs(server):
-    s = connect(server.host, server.port)
+    s = NetSession(server.host, server.port)
     s.close()
     with pytest.raises(ReproError):
         s.query("_(x) <- p(x).")
 
 
 def test_concurrent_clients_share_one_server(server):
-    admin = connect(server.host, server.port)
+    admin = NetSession(server.host, server.port)
     admin.addblock("counter[k] = v -> string(k), int(v).", name="c")
     admin.load("counter", [("k{}".format(i), 0) for i in range(8)])
     errors = []
 
     def client(index):
         try:
-            with connect(server.host, server.port) as s:
+            with NetSession(server.host, server.port) as s:
                 for _ in range(5):
                     s.exec('^counter["k{0}"] = x <- '
                            'counter@start["k{0}"] = y, x = y + 1.'
@@ -142,7 +142,7 @@ def test_session_reconnects_for_idempotent_reads(server, session):
 
 
 def test_graceful_stop_sends_goodbye(server):
-    s = connect(server.host, server.port)
+    s = NetSession(server.host, server.port)
     s.addblock("p(x) -> int(x).", name="b1")
     server.stop(drain_s=2.0)
     # the server is gone: a non-idempotent verb surfaces a typed
@@ -156,11 +156,11 @@ def test_server_refuses_connections_past_capacity():
     service = TransactionService(config=ServiceConfig(
         net_max_connections=2))
     with ReproServer(service) as srv:
-        a = connect(srv.host, srv.port)
-        b = connect(srv.host, srv.port)
+        a = NetSession(srv.host, srv.port)
+        b = NetSession(srv.host, srv.port)
         from repro.runtime.errors import Overloaded
         with pytest.raises((Overloaded, ConnectionLost)) as info:
-            c = connect(srv.host, srv.port)
+            c = NetSession(srv.host, srv.port)
             c.ping()
         if isinstance(info.value, Overloaded):
             assert info.value.retry_after_s is not None
@@ -173,7 +173,7 @@ def test_service_serve_convenience():
     service = TransactionService()
     server = service.serve()
     try:
-        with connect(server.host, server.port) as s:
+        with NetSession(server.host, server.port) as s:
             s.addblock("p(x) -> int(x).", name="b1")
             s.exec("+p(7).")
             assert s.rows("p") == [(7,)]

@@ -9,7 +9,7 @@ import os
 import pytest
 
 from repro import obs
-from repro.net import Replica, ReproServer, connect
+from repro.net import NetSession, Replica, ReproServer
 from repro.net.protocol import F_RESPONSE
 from repro.obs import ExplainReport
 from repro.service import ServiceConfig, TransactionService
@@ -25,7 +25,7 @@ def server():
 
 @pytest.fixture()
 def session(server):
-    with connect(server.host, server.port) as s:
+    with NetSession(server.host, server.port) as s:
         yield s
 
 
@@ -112,7 +112,7 @@ class TestStitchedTraces:
             checkpoint_path=str(tmp_path / "leader")))
         try:
             with ReproServer(service) as srv:
-                with connect(srv.host, srv.port) as s:
+                with NetSession(srv.host, srv.port) as s:
                     s.addblock("item[k] = v -> int(k), int(v).", name="items")
                     s.load("item", [(i, i) for i in range(50)])
                     s.checkpoint()
@@ -149,7 +149,7 @@ class TestTelemetryVerb:
             telemetry_interval_s=0.02, telemetry_ring=8))
         try:
             with ReproServer(service) as srv:
-                with connect(srv.host, srv.port) as s:
+                with NetSession(srv.host, srv.port) as s:
                     deadline = 100
                     ring = []
                     while not ring and deadline:

@@ -10,9 +10,11 @@ import pytest
 
 from repro.net.protocol import (
     ConnectionLost,
+    LeaderUnavailable,
     NetError,
     ProtocolError,
     ReplicaReadOnly,
+    StaleRead,
     _WireConstraint,
     error_from_wire,
     error_registry,
@@ -52,6 +54,8 @@ FACTORIES = {
     "ProtocolError": lambda: ProtocolError("bad frame"),
     "ConnectionLost": lambda: ConnectionLost("peer vanished mid-frame"),
     "ReplicaReadOnly": lambda: ReplicaReadOnly("writes go to the leader"),
+    "StaleRead": lambda: StaleRead("replica fleet behind watermark 42"),
+    "LeaderUnavailable": lambda: LeaderUnavailable("no leader among 3 endpoints"),
 }
 
 

@@ -179,34 +179,59 @@ class TestNetSessionSurface:
         assert set(net.__all__) == {
             "DEFAULT_PORT",
             "PROTOCOL_VERSION",
+            "ClusterSession",
             "ConnectionLost",
+            "LeaderUnavailable",
             "NetError",
             "NetSession",
             "ProtocolError",
             "Replica",
             "ReplicaReadOnly",
             "ReproServer",
+            "StaleRead",
             "connect",
         }
         for name in net.__all__:
             assert getattr(net, name) is not None
 
-    def test_net_session_has_every_session_verb(self):
-        from repro.net import NetSession
+    def test_every_transport_has_every_session_verb(self):
+        from repro.net import ClusterSession, NetSession
         from repro.service.session import Session
 
         for verb in self.SESSION_VERBS:
             assert callable(getattr(Session, verb)), verb
             assert callable(getattr(NetSession, verb)), verb
+            assert callable(getattr(ClusterSession, verb)), verb
+
+    def test_every_transport_tracks_a_watermark(self):
+        # the session-consistency anchor is part of the surface: all
+        # three transports expose the highest observed commit watermark
+        from repro.net import ClusterSession
+
+        with repro.connect() as session:
+            assert session.watermark == 0
+            session.addblock("p(x) -> int(x).")
+            assert session.watermark > 0  # local writes advance it
+        with ClusterSession(["127.0.0.1:7411"]) as cluster:
+            assert cluster.watermark == 0  # nothing observed yet
 
     def test_net_errors_are_repro_errors(self):
-        from repro.net import ConnectionLost, NetError, ProtocolError, ReplicaReadOnly
+        from repro.net import (
+            ConnectionLost,
+            LeaderUnavailable,
+            NetError,
+            ProtocolError,
+            ReplicaReadOnly,
+            StaleRead,
+        )
 
         assert issubclass(NetError, ReproError)
         assert issubclass(ProtocolError, NetError)
         assert issubclass(ReplicaReadOnly, NetError)
         assert issubclass(ConnectionLost, NetError)
         assert issubclass(ConnectionLost, ConnectionError)
+        assert issubclass(StaleRead, NetError)
+        assert issubclass(LeaderUnavailable, NetError)
 
     def test_same_shapes_against_a_live_server(self):
         import repro.net
@@ -216,7 +241,8 @@ class TestNetSessionSurface:
         server = service.serve()
         local = repro.connect()
         try:
-            remote = repro.net.connect(server.host, server.port)
+            remote = repro.connect(
+                "tcp://{}:{}".format(server.host, server.port))
             for session in (local, remote):
                 added = session.addblock("p(x) -> int(x).", name="b1")
                 assert isinstance(added, TxnResult)
@@ -239,6 +265,78 @@ class TestNetSessionSurface:
                 session.close()
         finally:
             local.close()
+            server.stop()
+            service.close()
+
+
+class TestUnifiedConnect:
+    """``repro.connect`` is the one entry point for every transport:
+    a workspace path, ``tcp://host:port``, or ``cluster://a,b,c`` —
+    with the consistency keyword honored by all of them."""
+
+    def test_no_target_is_a_local_session(self):
+        with repro.connect() as session:
+            assert type(session).__name__ == "Session"
+            assert session.consistency == "session"
+
+    def test_path_target_is_a_durable_local_session(self, tmp_path):
+        path = str(tmp_path / "db")
+        with repro.connect(path) as session:
+            assert type(session).__name__ == "Session"
+            assert session.service.config.checkpoint_path == path
+            session.addblock("p(x) -> int(x).")
+            session.load("p", [(7,)])
+            session.checkpoint()
+        # the path *is* the database: reconnecting recovers it
+        with repro.connect(path) as session:
+            assert session.rows("p") == [(7,)]
+
+    def test_tcp_target_is_a_net_session(self):
+        from repro.net import NetSession
+        from repro.service import TransactionService
+
+        service = TransactionService()
+        server = service.serve()
+        try:
+            url = "tcp://{}:{}".format(server.host, server.port)
+            with repro.connect(url, consistency="eventual") as session:
+                assert isinstance(session, NetSession)
+                assert session.consistency == "eventual"
+                assert session.server_role == "leader"
+        finally:
+            server.stop()
+            service.close()
+
+    def test_cluster_target_is_a_cluster_session(self):
+        from repro.net import ClusterSession
+
+        # membership is lazy: no sockets open until the first verb
+        url = "cluster://127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413"
+        with repro.connect(url) as session:
+            assert isinstance(session, ClusterSession)
+            assert session.endpoints() == [
+                "127.0.0.1:7411", "127.0.0.1:7412", "127.0.0.1:7413"]
+            assert session.consistency == "session"
+
+    def test_consistency_is_validated_up_front(self):
+        with pytest.raises(ValueError):
+            repro.connect(consistency="serializable-ish")
+        with pytest.raises(ValueError):
+            repro.connect("cluster://127.0.0.1:7411", consistency="nope")
+
+    def test_old_net_connect_still_works_but_warns(self):
+        import repro.net
+        from repro.net import NetSession
+        from repro.service import TransactionService
+
+        service = TransactionService()
+        server = service.serve()
+        try:
+            with pytest.warns(DeprecationWarning, match="repro.connect"):
+                session = repro.net.connect(server.host, server.port)
+            assert isinstance(session, NetSession)
+            session.close()
+        finally:
             server.stop()
             service.close()
 
