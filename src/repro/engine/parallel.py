@@ -26,7 +26,7 @@ import os
 from repro import stats as global_stats
 from repro.engine.iterators import level_keys
 from repro.engine.lftj import LeapfrogTrieJoin
-from repro.engine.pool import JoinWorkerPool
+from repro.engine.pool import JoinWorkerPool, fold_shard_stats
 
 
 def default_shards():
@@ -217,15 +217,7 @@ class ParallelLeapfrogTrieJoin:
         )
         for future in futures:
             rows, shard_stats, worker_counters = future.result()
-            for key, value in shard_stats.items():
-                # columnar shards bump join.vector_seeks/batches into the
-                # worker's globals (returned via the envelope below), so
-                # only fold those into this join's local stats
-                if key in ("vector_seeks", "batches"):
-                    self.stats[key] = self.stats.get(key, 0) + value
-                else:
-                    self._bump(key, value)
-            global_stats.merge(worker_counters)
+            fold_shard_stats(self.stats, shard_stats, worker_counters)
             yield from rows
 
 

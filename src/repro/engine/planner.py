@@ -329,3 +329,334 @@ def build_plan(atoms, var_order=None, output_vars=()):
                 "variable {} is bound by no iterator at its level".format(name)
             )
     return plan
+
+
+# -- co-partition analysis (repro.shard) -------------------------------------
+#
+# When EDB relations are hash-partitioned across shard processes
+# (:mod:`repro.shard`), a rule can be pushed shard-local exactly when
+# every satisfying assignment is witnessed entirely by one shard's
+# fragment.  The analysis below classifies each predicate's placement:
+#
+# * ``replicated`` — identical extension on every shard (non-partitioned
+#   EDBs, and views derived only from replicated data);
+# * ``keyed(col)`` — each row lives on exactly the shard owning
+#   ``stable_hash(row[col])``: partitioned EDBs, and views that keep the
+#   partition variable in their head;
+# * ``scattered`` — the global extension is the union of the shard
+#   extensions, but the same row may appear on several shards (the
+#   partition variable was projected away);
+# * ``partial_agg(fn)`` — per-shard values are group-state partials that
+#   the coordinator must re-combine (sum/count add, min/max fold; avg is
+#   not recombinable from its partials).
+#
+# A rule that cannot be evaluated shard-local-exactly under any of these
+# readings is *broken* for the given partition spec — the coordinator
+# either refuses to install it or falls back to gathering fragments.
+
+KEY_REPLICATED = "replicated"
+KEY_KEYED = "keyed"
+KEY_SCATTERED = "scattered"
+KEY_PARTIAL_AGG = "partial_agg"
+KEY_BROKEN = "broken"
+
+_CLASS_RANK = {
+    KEY_REPLICATED: 0,
+    KEY_KEYED: 1,
+    KEY_SCATTERED: 2,
+    KEY_PARTIAL_AGG: 3,
+    KEY_BROKEN: 3,
+}
+
+
+def base_pred(name):
+    """The storage predicate behind a delta or versioned reference
+    (``+p``, ``-p``, ``^p``, ``p@start`` all answer ``p``)."""
+    while name and name[0] in "+-^":
+        name = name[1:]
+    if name.endswith("@start"):
+        name = name[: -len("@start")]
+    return name
+
+
+class PredClass:
+    """Placement of one predicate's rows across hash shards."""
+
+    __slots__ = ("kind", "col", "fn")
+
+    def __init__(self, kind, col=None, fn=None):
+        self.kind = kind
+        self.col = col
+        self.fn = fn
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PredClass)
+            and self.kind == other.kind
+            and self.col == other.col
+            and self.fn == other.fn
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.col, self.fn))
+
+    def __repr__(self):
+        if self.kind == KEY_KEYED:
+            return "keyed({})".format(self.col)
+        if self.kind == KEY_PARTIAL_AGG:
+            return "partial_agg({})".format(self.fn)
+        return self.kind
+
+
+REPLICATED = PredClass(KEY_REPLICATED)
+SCATTERED = PredClass(KEY_SCATTERED)
+BROKEN = PredClass(KEY_BROKEN)
+
+
+def _join_class(a, b):
+    """Least placement covering two defining rules of the same head."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if a.kind == KEY_BROKEN or b.kind == KEY_BROKEN:
+        return BROKEN
+    if a.kind == KEY_PARTIAL_AGG or b.kind == KEY_PARTIAL_AGG:
+        # a partial aggregate cannot be unioned with rows from another
+        # defining rule — the per-shard values are not final
+        return BROKEN
+    # replicated/keyed/keyed-elsewhere mixes all degrade to scattered:
+    # the union is still exact, but rows repeat or move across shards
+    return SCATTERED
+
+
+class RuleAnchor:
+    """How one rule touches partitioned data.
+
+    ``kind`` is ``"var"`` (all shard-keyed atoms agree on one partition
+    variable, named ``var``), ``"const"`` (they pin literal keys, listed
+    in ``consts`` — the coordinator routes by hashing them), or ``None``
+    for a rule that reads no partitioned data.
+    """
+
+    __slots__ = ("kind", "var", "consts")
+
+    def __init__(self, kind=None, var=None, consts=()):
+        self.kind = kind
+        self.var = var
+        self.consts = tuple(consts)
+
+    def __repr__(self):
+        if self.kind == "var":
+            return "anchor(var={})".format(self.var)
+        if self.kind == "const":
+            return "anchor(consts={})".format(list(self.consts))
+        return "anchor(none)"
+
+
+class PartitionAnalysis:
+    """Classification of a rule program against a partition spec.
+
+    ``classes`` maps every head predicate (plus the seeded base
+    predicates) to its :class:`PredClass`; ``broken`` lists
+    ``(rule, reason)`` pairs for rules that are not shard-local-exact;
+    ``anchors`` maps ``id(rule)`` to the rule's :class:`RuleAnchor`.
+    """
+
+    __slots__ = ("classes", "broken", "anchors")
+
+    def __init__(self, classes, broken, anchors):
+        self.classes = classes
+        self.broken = broken
+        self.anchors = anchors
+
+    @property
+    def copartitioned(self):
+        """True when every rule can be pushed shard-local exactly."""
+        return not self.broken
+
+    def class_of(self, pred):
+        return self.classes.get(base_pred(pred), REPLICATED)
+
+
+def _rule_class(rule, classes, reasons):
+    """Transfer function: the head placement one rule induces, given the
+    current placement of its body predicates.  Appends a reason string
+    to ``reasons`` when the rule is broken, and returns
+    ``(pred_class, anchor)``."""
+    positive_vars = set()
+    positive_consts = []
+    negated_keys = []
+    scattered_dep = False
+    for atom in rule.body:
+        if not isinstance(atom, PredAtom):
+            continue
+        cls = classes.get(base_pred(atom.pred), REPLICATED)
+        if cls.kind == KEY_BROKEN:
+            reasons.append(
+                "body predicate {} is not shard-local".format(atom.pred))
+            return BROKEN, RuleAnchor()
+        if cls.kind == KEY_PARTIAL_AGG:
+            reasons.append(
+                "partial aggregate {} consumed by a rule body (per-shard "
+                "values are not final)".format(atom.pred))
+            return BROKEN, RuleAnchor()
+        if cls.kind == KEY_SCATTERED:
+            if atom.negated:
+                reasons.append(
+                    "negation over scattered predicate {} (local absence is "
+                    "not global absence)".format(atom.pred))
+                return BROKEN, RuleAnchor()
+            scattered_dep = True
+            continue
+        if cls.kind != KEY_KEYED:
+            continue
+        if cls.col >= len(atom.args):
+            reasons.append(
+                "atom {} is narrower than its partition column".format(atom))
+            return BROKEN, RuleAnchor()
+        term = atom.args[cls.col]
+        if atom.negated:
+            negated_keys.append((atom, term))
+        elif isinstance(term, Var):
+            positive_vars.add(term.name)
+        elif isinstance(term, Const):
+            positive_consts.append(term.value)
+    if not positive_vars and not positive_consts:
+        if negated_keys:
+            reasons.append(
+                "negated shard-keyed atom {} has no positive partition "
+                "anchor".format(negated_keys[0][0]))
+            return BROKEN, RuleAnchor()
+        if scattered_dep:
+            if rule.agg is not None:
+                reasons.append(
+                    "aggregate over scattered rows double-counts across "
+                    "shards")
+                return BROKEN, RuleAnchor()
+            return SCATTERED, RuleAnchor()
+        return REPLICATED, RuleAnchor()
+    if scattered_dep:
+        reasons.append(
+            "rule joins shard-keyed atoms with scattered rows (the "
+            "scattered side may live on another shard)")
+        return BROKEN, RuleAnchor()
+    if positive_vars and positive_consts:
+        reasons.append(
+            "rule mixes variable and literal partition keys")
+        return BROKEN, RuleAnchor()
+    if len(positive_vars) > 1:
+        reasons.append(
+            "atoms partitioned on different variables {}".format(
+                sorted(positive_vars)))
+        return BROKEN, RuleAnchor()
+    if positive_consts:
+        # derivations are confined to the shard(s) owning the literal
+        # keys; the coordinator verifies they co-reside (it knows N)
+        key_consts = list(positive_consts)
+        for atom, term in negated_keys:
+            if not isinstance(term, Const):
+                reasons.append(
+                    "negated shard-keyed atom {} is not pinned to a literal "
+                    "key alongside literal positive anchors".format(atom))
+                return BROKEN, RuleAnchor()
+            key_consts.append(term.value)
+        anchor = RuleAnchor("const", consts=key_consts)
+        return SCATTERED, anchor
+    k = next(iter(positive_vars))
+    for atom, term in negated_keys:
+        if not (isinstance(term, Var) and term.name == k):
+            reasons.append(
+                "negated shard-keyed atom {} is not keyed by the partition "
+                "variable {}".format(atom, k))
+            return BROKEN, RuleAnchor()
+    anchor = RuleAnchor("var", var=k)
+    if rule.agg is not None:
+        group_args = rule.head_args[: rule.n_keys]
+        for col, arg in enumerate(group_args):
+            if isinstance(arg, Var) and arg.name == k:
+                return PredClass(KEY_KEYED, col=col), anchor
+        return PredClass(KEY_PARTIAL_AGG, fn=rule.agg.fn), anchor
+    for col, arg in enumerate(rule.head_args):
+        if isinstance(arg, Var) and arg.name == k:
+            return PredClass(KEY_KEYED, col=col), anchor
+    return SCATTERED, anchor
+
+
+def classify_rules(rules, partition, seed_classes=None):
+    """Classify a rule program's predicates against a partition spec.
+
+    ``partition`` maps partitioned base predicates to their key column;
+    ``seed_classes`` carries placements of already-installed predicates
+    (so a query program can be analysed on top of an installed one).
+    Any predicate with no class and no rules is replicated — it is a
+    non-partitioned EDB, present in full on every shard.
+
+    Returns a :class:`PartitionAnalysis`.  The fixpoint starts every
+    head at the bottom of the ``replicated < keyed < scattered <
+    broken`` lattice and re-applies the per-rule transfer function until
+    placements stabilize, so mutually recursive rules are handled
+    soundly (monotone joins on a finite lattice).
+    """
+    from repro.engine.rules import stratify
+
+    classes = {}
+    for pred, col in (partition or {}).items():
+        classes[pred] = PredClass(KEY_KEYED, col=col)
+    if seed_classes:
+        for pred, cls in seed_classes.items():
+            classes.setdefault(pred, cls)
+    rules_of = {}
+    for rule in rules:
+        rules_of.setdefault(base_pred(rule.head_pred), []).append(rule)
+    broken = []
+    anchors = {}
+    strata, _ = stratify(rules)
+    ordered_heads = [base_pred(p) for stratum in strata for p in stratum]
+    seen_heads = set()
+    component_of = {}
+    for index, stratum in enumerate(strata):
+        for pred in stratum:
+            component_of[base_pred(pred)] = index
+    for head in ordered_heads:
+        if head in seen_heads:
+            continue
+        component = [
+            p for p in ordered_heads
+            if component_of[p] == component_of[head] and p not in seen_heads
+        ]
+        seen_heads.update(component)
+        for pred in component:
+            classes[pred] = None
+        changed = True
+        while changed:
+            changed = False
+            for pred in component:
+                merged = None
+                for rule in rules_of.get(pred, ()):
+                    lookup = dict(classes)
+                    for member in component:
+                        if lookup.get(member) is None:
+                            lookup[member] = REPLICATED
+                    cls, _ = _rule_class(rule, lookup, [])
+                    merged = _join_class(merged, cls)
+                before = classes.get(pred)
+                after = merged if merged is not None else REPLICATED
+                if before is not None and _CLASS_RANK[after.kind] < _CLASS_RANK[before.kind]:
+                    after = before  # placements only move up the lattice
+                if after != before:
+                    classes[pred] = after
+                    changed = True
+        # reasons and anchors come from one pass over the *stabilized*
+        # placements — intermediate fixpoint iterations see optimistic
+        # classes and would report breakage that later resolves
+        for pred in component:
+            for rule in rules_of.get(pred, ()):
+                reasons = []
+                _, anchor = _rule_class(rule, classes, reasons)
+                anchors[id(rule)] = anchor
+                if reasons:
+                    broken.append((rule, reasons[0]))
+    return PartitionAnalysis(classes, broken, anchors)

@@ -89,6 +89,31 @@ def _run_shard(env_key, env_blob, plan, key_range, prefer_array, projector,
 
 # -- parent side -----------------------------------------------------------
 
+#: executor counters the columnar workers feed into the global join.*
+#: stream themselves (they come back through the envelope): folding
+#: them into the globals again on the parent would double-count
+LOCAL_ONLY_SHARD_KEYS = frozenset(("vector_seeks", "batches"))
+
+
+def fold_shard_stats(local, shard_stats, worker_counters=None):
+    """Fold one shard's ``(shard_stats, worker_counters)`` envelope —
+    the tail of a :func:`_run_shard` result — into a join's ``local``
+    stats dict and the process-global counters.
+
+    Movement counters go to both ``local`` and the global ``join.*``
+    stream; the :data:`LOCAL_ONLY_SHARD_KEYS` go to ``local`` only;
+    the worker's global-counter envelope merges wholesale.  Shared by
+    the in-process parallel executor and the distributed shard
+    executors, so every consumer of worker envelopes accounts them
+    identically.
+    """
+    for key, value in (shard_stats or {}).items():
+        local[key] = local.get(key, 0) + value
+        if key not in LOCAL_ONLY_SHARD_KEYS:
+            stats.bump("join." + key, value)
+    if worker_counters:
+        stats.merge(worker_counters)
+
 # every live pool, so interpreter exit can stop their workers: without
 # this, a REPL session or benchmark that parallelized even one join
 # leaks worker processes past exit (the executor's own atexit hook only

@@ -72,6 +72,8 @@ from repro.net.protocol import (
     FrameDecoder,
     ProtocolError,
     StaleRead,
+    deltas_from_wire,
+    deltas_to_wire,
     encode_frame,
     error_from_wire,
     result_from_wire,
@@ -133,6 +135,9 @@ class NetSession:
         #: role / watermark the connected server advertised in HELLO
         self.server_role = None
         self.server_watermark = 0
+        #: ``{"index": i, "count": n}`` when the server is a member of
+        #: a sharded fleet (advertised in HELLO), else ``None``
+        self.server_shard = None
         self._sock = None
         self._decoder = None
         self._inbox = []
@@ -173,6 +178,7 @@ class NetSession:
         # it must NOT raise self.watermark, or a fresh session against
         # a current leader would flag every replica read as stale
         self.server_watermark = int(payload.get("watermark") or 0)
+        self.server_shard = payload.get("shard")
 
     def _drop_connection(self):
         if self._sock is not None:
@@ -446,6 +452,62 @@ class NetSession:
         ``[(addr, payload), ...]`` for the addresses the leader holds."""
         result, _ = self._call("sync_records", addrs=list(addrs))
         return result["records"]
+
+    # -- cross-shard commit circuit (used by repro.shard) ----------------------
+
+    def shard_prepare(self, source, *, name=None, partition=None,
+                      shard_index=None, shard_count=None, preflight=True,
+                      timeout=None):
+        """Execute a transaction on the shard's snapshot and park it;
+        returns ``{"token", "effects", "foreign", "watermark"}`` with
+        the deltas decoded back into :class:`Delta` maps."""
+        result, _ = self._call(
+            "shard_prepare", source=source, name=name, partition=partition,
+            shard_index=shard_index, shard_count=shard_count,
+            preflight=preflight, timeout=self._timeout(timeout))
+        return {
+            "token": result["token"],
+            "effects": deltas_from_wire(result["effects"]),
+            "foreign": deltas_from_wire(result["foreign"]),
+            "watermark": result["watermark"],
+        }
+
+    def shard_repair(self, token, corrections, *, partition=None,
+                     shard_index=None, shard_count=None):
+        """Repair a parked shard transaction against sibling shards'
+        corrections; returns its re-split effects."""
+        result, _ = self._call(
+            "shard_repair", token=token,
+            corrections=deltas_to_wire(corrections or {}),
+            partition=partition,
+            shard_index=shard_index, shard_count=shard_count)
+        return {
+            "effects": deltas_from_wire(result["effects"]),
+            "foreign": deltas_from_wire(result["foreign"]),
+            "repairs": result["repairs"],
+        }
+
+    def shard_commit(self, token, deltas, *, timeout=None):
+        """Commit a parked shard transaction with the coordinator's
+        final composed deltas."""
+        result, _ = self._call(
+            "shard_commit", token=token,
+            deltas=deltas_to_wire(deltas or {}),
+            timeout=self._timeout(timeout))
+        return result_from_wire(result["txn"])
+
+    def shard_abort(self, token):
+        """Drop a parked shard transaction (idempotent)."""
+        result, _ = self._call("shard_abort", token=token)
+        return result
+
+    def shard_apply(self, deltas, *, timeout=None):
+        """Apply raw deltas on the shard (serialized with its write
+        stream; IVM + constraint checked)."""
+        result, _ = self._call(
+            "shard_apply", deltas=deltas_to_wire(deltas or {}),
+            timeout=self._timeout(timeout))
+        return result_from_wire(result["txn"])
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -71,7 +71,8 @@ class _Member:
     cluster has learned about it (role, watermark, health)."""
 
     __slots__ = ("endpoint", "host", "port", "session", "role",
-                 "watermark", "excluded_until")
+                 "watermark", "excluded_until", "lag_excluded",
+                 "lag_probe_at")
 
     def __init__(self, endpoint):
         self.endpoint = "{}:{}".format(*_parse_endpoint(endpoint))
@@ -80,6 +81,10 @@ class _Member:
         self.role = None  # unknown until the first HELLO/status
         self.watermark = 0
         self.excluded_until = 0.0
+        # lag self-exclusion: the member's own advertised staleness
+        # bound said "don't read from me"; re-probed, not timed out
+        self.lag_excluded = False
+        self.lag_probe_at = 0.0
 
     def excluded(self):
         return time.monotonic() < self.excluded_until
@@ -91,7 +96,7 @@ class ClusterSession:
     def __init__(self, endpoints, *, name=None, timeout=None,
                  consistency="session", stale_wait_s=0.05, exclude_s=1.0,
                  leader_wait_s=10.0, retry_writes_on_failover=False,
-                 **client_kwargs):
+                 lag_probe_s=1.0, **client_kwargs):
         members = [_Member(ep) for ep in endpoints if str(ep).strip()]
         if not members:
             raise ValueError("ClusterSession needs at least one endpoint")
@@ -107,6 +112,9 @@ class ClusterSession:
         self.exclude_s = exclude_s
         self.leader_wait_s = leader_wait_s
         self.retry_writes_on_failover = retry_writes_on_failover
+        #: how often (at most) to re-check a member's self-advertised
+        #: staleness bound with a status() probe; 0 disables the check
+        self.lag_probe_s = lag_probe_s
         self._client_kwargs = client_kwargs
         self._members = {m.endpoint: m for m in members}
         self._order = [m.endpoint for m in members]
@@ -134,6 +142,7 @@ class ClusterSession:
                     "role": m.role,
                     "watermark": m.watermark,
                     "excluded": m.excluded(),
+                    "lag_excluded": m.lag_excluded,
                 }
                 for m in self._members.values()
             },
@@ -194,6 +203,11 @@ class ClusterSession:
                 session = self._session_for_safe(member)
                 if session is None:
                     continue
+                if not self._lag_ok(member, session):
+                    # the member itself says it is lagging past its
+                    # advertised bound — route around it up front
+                    # instead of discovering the lag via StaleRead
+                    continue
                 try:
                     out = getattr(session, verb)(*args, **kwargs)
                 except (ConnectionLost, ProtocolError):
@@ -247,6 +261,32 @@ class ClusterSession:
             if member.role == "leader" or member.excluded():
                 continue
             yield member
+
+    def _lag_ok(self, member, session):
+        """Lag-based self-exclusion: honor the staleness bound the
+        member advertises in its own ``status()``.  Probes at most
+        every ``lag_probe_s`` seconds per member; between probes the
+        last verdict stands.  Members advertising no bound (leaders,
+        old replicas) always pass."""
+        if not self.lag_probe_s:
+            return True
+        now = time.monotonic()
+        if now < member.lag_probe_at:
+            return not member.lag_excluded
+        member.lag_probe_at = now + self.lag_probe_s
+        try:
+            status = session.status()
+        except (ConnectionLost, ProtocolError):
+            self._exclude(member)
+            return False
+        member.role = status.get("role") or member.role
+        bound = status.get("max_staleness_s")
+        lag = status.get("staleness_s")
+        lagging = bound is not None and lag is not None and lag > bound
+        if lagging and not member.lag_excluded:
+            _stats.bump("fleet.lag_exclusions")
+        member.lag_excluded = lagging
+        return not lagging
 
     def _session_for_safe(self, member):
         try:

@@ -193,6 +193,14 @@ VERBS = {spec.name: spec for spec in (
     # -- control: *allowed* on replicas (it is how one becomes a
     #    leader), a no-op on an existing leader, not auto-retried
     VerbSpec("promote", write=False, retryable=False),
+    # -- sharding (repro.shard): the cross-shard commit circuit.
+    #    prepare/repair/commit mutate held transaction state and must
+    #    not be blindly re-sent; abort is an idempotent token drop
+    VerbSpec("shard_prepare", write=True, retryable=False),
+    VerbSpec("shard_repair", write=True, retryable=False),
+    VerbSpec("shard_commit", write=True, retryable=False),
+    VerbSpec("shard_abort", write=True, retryable=True),
+    VerbSpec("shard_apply", write=True, retryable=False),
 )}
 
 #: verbs a read-only replica refuses (derived — never listed twice)
@@ -409,6 +417,31 @@ def trace_to_wire(record):
         return repr(value)
 
     return scrub(record)
+
+
+# -- delta maps over the wire -------------------------------------------------
+#
+# The shard verbs ship raw effect/correction maps (``{pred: Delta}``)
+# between coordinator and shards, in the same ``(added, removed)`` row
+# shape TxnResult deltas already use.
+
+
+def deltas_to_wire(deltas):
+    """``{pred: Delta}`` as a codec-safe dict."""
+    return {
+        pred: (list(delta.added), list(delta.removed))
+        for pred, delta in (deltas or {}).items()
+    }
+
+
+def deltas_from_wire(record):
+    """Rebuild a ``{pred: Delta}`` map encoded by :func:`deltas_to_wire`."""
+    from repro.storage.relation import Delta
+
+    return {
+        pred: Delta.from_iters(added, removed)
+        for pred, (added, removed) in (record or {}).items()
+    }
 
 
 # -- TxnResult over the wire --------------------------------------------------

@@ -86,7 +86,8 @@ class Replica:
     """A read-serving follower of one leader's checkpoint stream."""
 
     def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, path=None, *,
-                 name=None, peers=(), config=None, **client_kwargs):
+                 name=None, peers=(), config=None, max_staleness_s=None,
+                 **client_kwargs):
         if path is None:
             raise ValueError("Replica needs a local checkpoint directory")
         self.host = host
@@ -113,6 +114,14 @@ class Replica:
         self._facade = None
         self._config = config
         self._promoted = None
+        #: self-advertised staleness bound: a replica that has not
+        #: heard from its leader within this many seconds tells read
+        #: routers (via :meth:`status`) to route around it, instead of
+        #: them discovering the lag one stale read at a time.  ``None``
+        #: advertises no bound.
+        self.max_staleness_s = (
+            None if max_staleness_s is None else float(max_staleness_s))
+        self._last_leader_contact = time.monotonic()
         if self._store.manifest is not None:
             # resume from the locally durable checkpoint before the
             # first contact with the leader
@@ -157,6 +166,9 @@ class Replica:
                         self.name))
             with _obs.span("replica.sync", path=self.path) as span:
                 manifest = self._session().sync_manifest()
+                # a manifest round-trip is proof of leader contact,
+                # whether or not anything new gets ingested
+                self._last_leader_contact = time.monotonic()
                 if self._store.seq is not None and \
                         manifest["seq"] <= self._store.seq:
                     if span is not None:
@@ -287,6 +299,9 @@ class Replica:
                     if status.get("checkpoint_seq", 0) > (self._seq or 0):
                         self.sync()
                 last_ok = time.monotonic()
+                # a watch reply is leader contact even when nothing
+                # changed: the heartbeat bounds our staleness
+                self._last_leader_contact = last_ok
             except ReproError as exc:
                 if not legacy_poll and "unknown op" in str(exc):
                     # pre-watch leader: degrade to interval polling
@@ -425,7 +440,19 @@ class Replica:
             "checkpoint_seq": self._seq or 0,
             "checkpoint_watermark": self._watermark,
             "leader": "{}:{}".format(self.host, self.port),
+            "staleness_s": round(self.staleness_s, 3),
+            "max_staleness_s": self.max_staleness_s,
         }
+
+    @property
+    def staleness_s(self):
+        """Seconds since this replica last heard from its leader (a
+        watch heartbeat or a sync manifest both count) — an upper bound
+        on how far behind the served snapshot can be.  0.0 once
+        promoted: a leader is never stale relative to itself."""
+        if self._promoted is not None:
+            return 0.0
+        return max(0.0, time.monotonic() - self._last_leader_contact)
 
     def watch(self, seq=0, timeout_s=10.0):
         """Long-poll until this replica serves a checkpoint newer than
@@ -670,6 +697,21 @@ class _ReplicaService:
     def checkpoint(self, *, timeout=None):
         return self._svc().checkpoint(timeout=timeout)
 
+    def shard_prepare(self, source, **kwargs):
+        return self._svc().shard_prepare(source, **kwargs)
+
+    def shard_repair(self, token, corrections, **kwargs):
+        return self._svc().shard_repair(token, corrections, **kwargs)
+
+    def shard_commit(self, token, deltas, *, timeout=None):
+        return self._svc().shard_commit(token, deltas, timeout=timeout)
+
+    def shard_abort(self, token):
+        return self._svc().shard_abort(token)
+
+    def shard_apply(self, deltas, *, timeout=None):
+        return self._svc().shard_apply(deltas, timeout=timeout)
+
 
 assert all(hasattr(_ReplicaService, verb) for verb in WRITE_VERBS), \
     "every registered write verb needs a (post-promotion) delegate"
@@ -701,12 +743,17 @@ def main(argv=None):
     parser.add_argument("--leader-timeout", type=float, default=6.0,
                         help="declare the leader dead after this many "
                              "seconds without a heartbeat reply")
+    parser.add_argument("--max-staleness", type=float, default=None,
+                        help="advertise this staleness bound in status(); "
+                             "cluster clients drop the replica from read "
+                             "rotation while it lags past the bound")
     args = parser.parse_args(argv)
 
     host, _, port = args.leader.rpartition(":")
     replica = Replica(
         host, int(port), args.path,
-        peers=[p.strip() for p in args.peers.split(",") if p.strip()])
+        peers=[p.strip() for p in args.peers.split(",") if p.strip()],
+        max_staleness_s=args.max_staleness)
     replica.serve(host=args.host, port=args.port)
     replica.follow(heartbeat_s=args.heartbeat,
                    leader_timeout_s=args.leader_timeout)

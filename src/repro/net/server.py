@@ -61,6 +61,8 @@ from repro.net.protocol import (
     ProtocolError,
     ReplicaReadOnly,
     decode_frame_body,
+    deltas_from_wire,
+    deltas_to_wire,
     encode_frame,
     error_to_wire,
     result_to_wire,
@@ -295,6 +297,13 @@ class ReproServer:
                 "backoff_cap_s": cfg.backoff_cap_s,
             },
         }
+        # a shard server advertises its fleet identity up front so a
+        # coordinator can verify its shard map against every member
+        # before routing a single row
+        identity = getattr(self.service, "shard_identity", None)
+        identity = identity() if callable(identity) else None
+        if identity is not None:
+            reply["shard"] = {"index": identity[0], "count": identity[1]}
         return await self._send_frames(conn, [(F_HELLO, reply)], op="hello")
 
     async def _read_frame(self, conn):
@@ -517,6 +526,50 @@ class ReproServer:
         if op == "sync_records":
             return respond(
                 {"records": self._sync_records(args.get("addrs") or ())})
+        if op == "shard_prepare":
+            prepared = svc.shard_prepare(
+                args["source"],
+                name=args.get("name"),
+                partition=args.get("partition"),
+                shard_index=args.get("shard_index"),
+                shard_count=args.get("shard_count"),
+                preflight=args.get("preflight", True),
+                timeout=args.get("timeout"),
+            )
+            return respond({
+                "token": prepared["token"],
+                "effects": deltas_to_wire(prepared["effects"]),
+                "foreign": deltas_to_wire(prepared["foreign"]),
+                "watermark": prepared["watermark"],
+            })
+        if op == "shard_repair":
+            repaired = svc.shard_repair(
+                args["token"],
+                deltas_from_wire(args.get("corrections") or {}),
+                partition=args.get("partition"),
+                shard_index=args.get("shard_index"),
+                shard_count=args.get("shard_count"),
+            )
+            return respond({
+                "effects": deltas_to_wire(repaired["effects"]),
+                "foreign": deltas_to_wire(repaired["foreign"]),
+                "repairs": repaired["repairs"],
+            })
+        if op == "shard_commit":
+            result = svc.shard_commit(
+                args["token"],
+                deltas_from_wire(args.get("deltas") or {}),
+                timeout=args.get("timeout"),
+            )
+            return respond({"txn": result_to_wire(result)})
+        if op == "shard_abort":
+            return respond(svc.shard_abort(args["token"]))
+        if op == "shard_apply":
+            result = svc.shard_apply(
+                deltas_from_wire(args.get("deltas") or {}),
+                timeout=args.get("timeout"),
+            )
+            return respond({"txn": result_to_wire(result)})
         raise ReproError("unhandled op {!r}".format(op))
 
     def _read_only_error(self, op):
@@ -635,10 +688,20 @@ def main(argv=None):
                              "(0 disables the sampler)")
     parser.add_argument("--slow-txn", type=float, default=None,
                         help="log transactions slower than this many seconds")
+    parser.add_argument("--shard-index", type=int, default=None,
+                        help="this server's index in a sharded fleet")
+    parser.add_argument("--shard-count", type=int, default=None,
+                        help="total shard count of the fleet")
+    parser.add_argument("--max-connections", type=int, default=None,
+                        help="accepted-connection cap (default {})".format(
+                            ServiceConfig.net_max_connections))
     args = parser.parse_args(argv)
 
     if args.trace:
         _obs.trace_to(args.trace)
+    knobs = {}
+    if args.max_connections is not None:
+        knobs["net_max_connections"] = args.max_connections
     service = TransactionService(config=ServiceConfig(
         max_pending=args.max_pending,
         mode=args.mode,
@@ -646,6 +709,9 @@ def main(argv=None):
         checkpoint_every_n_commits=args.checkpoint_every,
         telemetry_interval_s=args.telemetry_interval,
         slow_txn_s=args.slow_txn,
+        shard_index=args.shard_index,
+        shard_count=args.shard_count,
+        **knobs,
     ))
     server = ReproServer(service, host=args.host, port=args.port)
     server.start()

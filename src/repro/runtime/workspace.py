@@ -502,7 +502,16 @@ class Workspace:
             deltas[pred] = Delta.from_iters(added - removed, removed)
         return deltas
 
-    def _apply_deltas(self, state, deltas):
+    def _stage_deltas(self, state, deltas):
+        """Validate, maintain, and constraint-check one delta map
+        against ``state`` — *without* advancing any branch head.
+
+        The staging half of :meth:`_apply_deltas`, also used on its own
+        by the shard-prepare preflight (:mod:`repro.shard`): a shard can
+        prove a prepared cross-shard transaction admissible against its
+        fragment before the coordinator orders the commit.  Returns
+        ``(new_state, all_deltas)``.
+        """
         with _obs.span("commit", preds=len(deltas)) as span_:
             artifacts = state.artifacts
             mat = state.materialization
@@ -525,10 +534,14 @@ class Workspace:
                 artifacts, new_bases, new_mat, state.meta_state
             )
             self._check(new_state, changed_preds=set(all_deltas))
-            self._commit(new_state)
             if span_ is not None:
                 span_.attrs["changed_preds"] = len(all_deltas)
-            return all_deltas
+            return new_state, all_deltas
+
+    def _apply_deltas(self, state, deltas):
+        new_state, all_deltas = self._stage_deltas(state, deltas)
+        self._commit(new_state)
+        return all_deltas
 
     @staticmethod
     def _validate_types(artifacts, pred, tuples):

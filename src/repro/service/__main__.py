@@ -17,10 +17,17 @@ With ``--cluster EP1,EP2,...`` every thread opens a
 the leader, reads fan out across the replica fleet with session
 consistency enforced from the commit-watermark stamps — the mixed
 read/write soak CI runs against a live 1-leader + N-replica fleet.
+
+With ``--connections N`` the soak additionally opens N idle sessions
+and holds them while the writers hammer: the high-connection-count
+smoke (CI holds 500 against a ``--max-connections`` raised server),
+asserting every held connection still answers afterwards and that
+closing them returns the process to its starting FD count.
 """
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -31,8 +38,16 @@ INVENTORY = "inventory[s] = v -> string(s), int(v).\n" \
             "inventory[s] = v -> v >= 0.\n"
 
 
+def _open_fds():
+    """Count of open file descriptors (0 where /proc is unavailable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
 def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None,
-         cluster=None, readers=1):
+         cluster=None, readers=1, connections=0):
     """Run the soak; returns (service stats, commits/sec, drained ok).
 
     The inventory has a fixed ``items``-sized pool regardless of writer
@@ -43,6 +58,13 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None,
     ``net=(host, port)`` drives a remote server over TCP instead of an
     in-process service; ``cluster=[endpoint, ...]`` drives a replica
     fleet through the cluster client; everything else is identical.
+
+    ``connections=N`` additionally opens and *holds* N idle sessions
+    for the soak's whole duration — the high-connection-count smoke.
+    Every held session must still answer a read when the writers
+    finish (no connection starved out by the busy ones), and in net
+    mode closing them must return the process to its pre-open file
+    descriptor count (no FD leak); either failure fails the soak.
     """
     if cluster is not None:
         from repro.net.cluster import ClusterSession
@@ -71,6 +93,12 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None,
         front.addblock(INVENTORY, name="inventory")
         pool = ["item-{}".format(i) for i in range(items)]
         front.load("inventory", [(item, txns) for item in pool])
+
+        fds_before = _open_fds()
+        held = [
+            make_session("hold-{}".format(i)) for i in range(connections)]
+        if held:
+            print("holding {} idle connections".format(len(held)), file=out)
 
         errors = []
         decrements = {item: 0 for item in pool}
@@ -142,6 +170,31 @@ def soak(writers=4, txns=20, items=32, out=sys.stdout, net=None,
             remaining[item] == txns - decrements[item] for item in pool
         )
         print("inventory drained correctly: {}".format(drained), file=out)
+        if held:
+            # every held connection must still serve a read after the
+            # storm, and closing them must give the FDs back
+            dead = 0
+            probe_started = time.perf_counter()
+            for session in held:
+                try:
+                    session.rows("inventory")
+                except Exception:  # noqa: BLE001 - counted below
+                    dead += 1
+            probe_s = time.perf_counter() - probe_started
+            for session in held:
+                try:
+                    session.close()
+                except Exception:  # noqa: BLE001 - close is best-effort
+                    pass
+            fds_after = _open_fds()
+            leaked = (
+                fds_before and fds_after > fds_before + 8)  # slack for pools
+            print(
+                "held connections: {} alive / {} dead, probed in {:.3f}s, "
+                "fds {} -> {}{}".format(
+                    len(held) - dead, dead, probe_s, fds_before, fds_after,
+                    " (LEAK)" if leaked else ""), file=out)
+            drained = drained and dead == 0 and not leaked
         return stats, throughput, drained
     finally:
         if admin is not None:
@@ -166,6 +219,11 @@ def main(argv=None):
         "--readers", type=int, default=1,
         help="concurrent reader threads (each a full session)")
     parser.add_argument(
+        "--connections", type=int, default=0,
+        help="idle sessions to open and hold for the soak's duration; "
+             "each must still answer a read afterwards and (in net "
+             "mode) closing them must not leak file descriptors")
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="stream client-side span trees to this JSONL file; with "
              "--net each root is a stitched distributed trace carrying "
@@ -184,7 +242,8 @@ def main(argv=None):
         cluster = [e.strip() for e in args.cluster.split(",") if e.strip()]
     try:
         _, _, ok = soak(writers=args.writers, txns=args.txns, net=net,
-                        cluster=cluster, readers=args.readers)
+                        cluster=cluster, readers=args.readers,
+                        connections=args.connections)
     finally:
         if args.trace:
             _obs.trace_file_off()

@@ -84,6 +84,15 @@ class ServiceConfig:
       ``REPRO_SLOW_TXN_S`` environment override (default: disabled,
       one flag test per transaction).
 
+    Sharding (:mod:`repro.shard`):
+
+    * ``shard_index`` / ``shard_count`` — this service's identity in a
+      hash-partitioned fleet (``0 <= index < count``).  A configured
+      shard identity is advertised in the HELLO handshake and in
+      ``status()``, and the shard verbs cross-check it against the
+      coordinator's shard map.  Both must be set together; both
+      ``None`` (default) means the service is unsharded.
+
     Engine selection (:mod:`repro.engine.columnar`):
 
     * ``engine`` — join backend for workspaces the service constructs
@@ -112,9 +121,21 @@ class ServiceConfig:
     telemetry_interval_s: float = 0.0
     telemetry_ring: int = 128
     slow_txn_s: float = None
+    shard_index: int = None
+    shard_count: int = None
     engine: str = None
 
     def __post_init__(self):
+        if (self.shard_index is None) != (self.shard_count is None):
+            raise ValueError(
+                "shard_index and shard_count must be set together")
+        if self.shard_count is not None:
+            if self.shard_count < 1:
+                raise ValueError("shard_count must be >= 1")
+            if not (0 <= self.shard_index < self.shard_count):
+                raise ValueError(
+                    "shard_index must be in [0, {}), got {}".format(
+                        self.shard_count, self.shard_index))
         if self.engine is not None:
             from repro.engine.columnar import BACKENDS
 

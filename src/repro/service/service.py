@@ -62,9 +62,10 @@ from repro.runtime.errors import (
 )
 from repro.runtime.result import TxnResult
 from repro.runtime.workspace import Workspace, evaluate_query
+from repro.ds.hashing import stable_hash
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
-from repro.storage.relation import Relation
+from repro.storage.relation import Delta, Relation
 from repro.txn.repair import PreparedTransaction, compose_corrections
 
 _txn_counter = itertools.count(1)
@@ -110,6 +111,62 @@ class _Barrier:
         self.event = threading.Event()
         self.error = None
         self.result = None
+
+
+class _ShardHeld:
+    """A prepared cross-shard transaction parked between ``shard_prepare``
+    and the coordinator's ``shard_commit``/``shard_abort`` order."""
+
+    __slots__ = ("txn", "source", "snapshot", "ticket")
+
+    def __init__(self, txn, source, snapshot, ticket):
+        self.txn = txn
+        self.source = source
+        self.snapshot = snapshot
+        self.ticket = ticket
+
+
+class _ShardTxn:
+    """Commit-stage stand-in for a coordinator-composed transaction.
+
+    The coordinator has already run the cross-shard repair circuit over
+    every shard's branch diff; the deltas it orders committed are final.
+    If the local head moved under the prepared snapshot in a way that
+    touches the transaction's reads *or* its composed writes, the only
+    safe outcome is a :class:`ConflictError` — a local repair here would
+    diverge this shard from the siblings the coordinator already
+    reconciled, so the coordinator re-runs the whole circuit instead.
+    """
+
+    __slots__ = ("name", "effects", "_inner")
+
+    def __init__(self, inner, effects):
+        self._inner = inner
+        self.name = inner.name
+        self.effects = effects
+
+    @property
+    def repair_count(self):
+        return self._inner.repair_count
+
+    def relevant_corrections(self, corrections):
+        relevant = dict(self._inner.relevant_corrections(corrections))
+        for pred, delta in corrections.items():
+            if pred in self.effects and pred not in relevant:
+                relevant[pred] = delta
+        return relevant
+
+    def correct(self, relevant):
+        raise ConflictError(
+            "cross-shard transaction {} invalidated by a local commit; "
+            "the coordinator must re-run the circuit".format(self.name),
+            preds=relevant,
+        )
+
+    def execute(self, state):
+        """No-op for the serial-commit fallback: the composed deltas are
+        coordinator-final and must be applied verbatim or not at all."""
+        return self.effects
 
 
 class TransactionService:
@@ -177,6 +234,11 @@ class TransactionService:
         # committer thread (auto-checkpoint) and close()
         self._commits_since_checkpoint = 0
         self._checkpoint_count = 0
+        # prepared cross-shard transactions parked for the coordinator
+        # (token -> _ShardHeld); see the shard_* verbs below
+        self._shard_held = {}
+        self._shard_lock = threading.Lock()
+        self._shard_seq = itertools.count(1)
         if self.config.slow_txn_s is not None:
             _obs.set_slow_txn_threshold(self.config.slow_txn_s)
 
@@ -204,6 +266,12 @@ class TransactionService:
             self._queue_cond.notify_all()
         if self._committer is not None:
             self._committer.join()
+        # drop any shard transactions still parked for a coordinator
+        # (its circuit can't complete once this shard is gone)
+        with self._shard_lock:
+            held, self._shard_held = list(self._shard_held.values()), {}
+        for item in held:
+            self._admission.release(item.ticket)
         if (
             self.config.checkpoint_path
             and self.config.checkpoint_on_shutdown
@@ -469,6 +537,263 @@ class TransactionService:
         finally:
             self._merge_stats(call_sink)
 
+    # -- client surface: cross-shard commit circuit ----------------------------
+    #
+    # A sharded commit is not 2PC: there is no blocking prepared state
+    # holding locks.  The coordinator runs the transaction-repair
+    # circuit of Figure 7(b) *across* shards: every shard executes the
+    # transaction against its own snapshot (shard_prepare), the
+    # coordinator composes the shards' effects into corrections and
+    # repairs each shard against the others' writes (shard_repair),
+    # then commits the final composed deltas shard by shard
+    # (shard_commit).  A local commit racing the circuit invalidates
+    # the token's snapshot; the shard refuses to repair locally (that
+    # would diverge it from its siblings) and the coordinator re-runs
+    # the whole circuit from fresh snapshots.
+
+    def shard_identity(self):
+        """This service's ``(index, count)`` in a sharded fleet, or
+        ``None`` when unsharded."""
+        if self.config.shard_count is None:
+            return None
+        return (self.config.shard_index, self.config.shard_count)
+
+    def _resolve_shard_identity(self, shard_index, shard_count):
+        configured = self.shard_identity()
+        if shard_index is None and shard_count is None:
+            if configured is None:
+                raise ReproError(
+                    "service has no shard identity configured and the "
+                    "coordinator supplied none")
+            return configured
+        if shard_index is None or shard_count is None:
+            raise ReproError(
+                "shard_index and shard_count must be supplied together")
+        supplied = (int(shard_index), int(shard_count))
+        if configured is not None and supplied != configured:
+            raise ReproError(
+                "shard identity mismatch: coordinator says {}/{} but this "
+                "service is configured as {}/{}".format(
+                    supplied[0], supplied[1], configured[0], configured[1]))
+        return supplied
+
+    @staticmethod
+    def _split_effects(effects, partition, index, count):
+        """Split a delta map into rows this shard owns (replicated
+        predicates, plus partitioned rows hashing here) and *foreign*
+        rows the coordinator must redistribute to their owners."""
+        partition = partition or {}
+        own = {}
+        foreign = {}
+        for pred, delta in effects.items():
+            col = partition.get(pred)
+            if col is None:
+                if delta.added or delta.removed:
+                    own[pred] = delta
+                continue
+            mine_added, mine_removed = [], []
+            theirs_added, theirs_removed = [], []
+            for row in delta.added:
+                if stable_hash(row[col]) % count == index:
+                    mine_added.append(row)
+                else:
+                    theirs_added.append(row)
+            for row in delta.removed:
+                if stable_hash(row[col]) % count == index:
+                    mine_removed.append(row)
+                else:
+                    theirs_removed.append(row)
+            if mine_added or mine_removed:
+                own[pred] = Delta.from_iters(mine_added, mine_removed)
+            if theirs_added or theirs_removed:
+                foreign[pred] = Delta.from_iters(theirs_added, theirs_removed)
+        return own, foreign
+
+    def _shard_pop(self, token):
+        with self._shard_lock:
+            return self._shard_held.pop(token, None)
+
+    def _shard_get(self, token):
+        with self._shard_lock:
+            held = self._shard_held.get(token)
+        if held is None:
+            raise ReproError("unknown shard transaction token {!r}".format(token))
+        return held
+
+    def shard_prepare(self, source, *, name=None, partition=None,
+                      shard_index=None, shard_count=None, preflight=True,
+                      timeout=None):
+        """Phase 1 of a cross-shard commit: execute ``source`` against
+        this shard's head snapshot and park the prepared transaction
+        under a token.
+
+        Returns ``{"token", "effects", "foreign", "watermark"}`` where
+        ``effects`` holds the deltas this shard owns and ``foreign``
+        the partitioned rows owned by sibling shards (the coordinator
+        redistributes those).  With ``preflight`` (default) the owned
+        deltas are staged — maintenance plus constraint check — against
+        the snapshot, so obvious violations surface before any shard
+        commits; nothing is applied to the head either way.
+        """
+        self._ensure_open()
+        index, count = self._resolve_shard_identity(shard_index, shard_count)
+        if name is None:
+            name = "shard-txn-{}".format(next(_txn_counter))
+        call_sink = {}
+        try:
+            with _stats.scope(call_sink):
+                _stats.bump("shard.prepares")
+                ticket = self._admission.admit(
+                    kind="shard_prepare", timeout_s=timeout)
+                parked = False
+                try:
+                    with _obs.span("shard.prepare", txn=name):
+                        snapshot = self.workspace.version()
+                        txn = self._prepare(source, name)
+                        txn.execute(snapshot.state)
+                        own, foreign = self._split_effects(
+                            txn.effects, partition, index, count)
+                        if preflight and own:
+                            # stage (validate + maintain + check) without
+                            # touching the head: constraint violations
+                            # abort the circuit before any shard commits
+                            self.workspace._stage_deltas(snapshot.state, own)
+                        token = "shard-{}-{}".format(
+                            index, next(self._shard_seq))
+                        with self._shard_lock:
+                            self._shard_held[token] = _ShardHeld(
+                                txn, source, snapshot, ticket)
+                        parked = True
+                        return {
+                            "token": token,
+                            "effects": own,
+                            "foreign": foreign,
+                            "watermark": self._watermark,
+                        }
+                finally:
+                    if not parked:
+                        self._admission.release(ticket)
+        finally:
+            self._merge_stats(call_sink)
+
+    def shard_repair(self, token, corrections, *, partition=None,
+                     shard_index=None, shard_count=None):
+        """Phase 2: repair a parked shard transaction against sibling
+        shards' corrections (their owned effects plus redistributed
+        rows), re-split the repaired effects, and return them."""
+        self._ensure_open()
+        index, count = self._resolve_shard_identity(shard_index, shard_count)
+        held = self._shard_get(token)
+        call_sink = {}
+        try:
+            with _stats.scope(call_sink):
+                with _obs.span("shard.repair", txn=held.txn.name):
+                    relevant = (
+                        held.txn.relevant_corrections(corrections)
+                        if corrections else {}
+                    )
+                    if relevant:
+                        _stats.bump("shard.repairs")
+                        held.txn.correct(relevant)
+                    own, foreign = self._split_effects(
+                        held.txn.effects, partition, index, count)
+                    return {
+                        "effects": own,
+                        "foreign": foreign,
+                        "repairs": held.txn.repair_count,
+                    }
+        finally:
+            self._merge_stats(call_sink)
+
+    def shard_commit(self, token, deltas, *, timeout=None):
+        """Phase 3: commit a parked shard transaction with the
+        coordinator's final composed deltas.
+
+        The commit rides the ordinary pipeline from the parked
+        snapshot; if a local write slipped in since prepare, the
+        conflict is *not* repaired locally (that would diverge this
+        shard from its siblings, which already agreed on ``deltas``) —
+        it raises :class:`ConflictError` and the coordinator re-runs
+        the whole circuit."""
+        self._ensure_open()
+        held = self._shard_pop(token)
+        if held is None:
+            raise ReproError(
+                "unknown shard transaction token {!r}".format(token))
+        started = time.perf_counter()
+        call_sink = {}
+        try:
+            with _stats.scope(call_sink):
+                _stats.bump("shard.commits")
+                try:
+                    with _obs.span("shard.commit", txn=held.txn.name):
+                        txn = _ShardTxn(held.txn, dict(deltas))
+                        sink = {}
+                        pending = _Pending(
+                            txn, held.source, held.snapshot, held.ticket,
+                            1, sink)
+                        self._enqueue(pending)
+                        self._await(pending)
+                        if pending.committed:
+                            if pending.commit_span is not None:
+                                _obs.graft(
+                                    pending.commit_span, origin="committer")
+                            _stats.observe(
+                                "service.commit.seconds",
+                                time.perf_counter() - started)
+                            return TxnResult(
+                                status="committed",
+                                kind="exec",
+                                deltas=dict(txn.effects),
+                                stats=sink,
+                                attempts=1,
+                                repairs=txn.repair_count,
+                                latency_s=time.perf_counter() - started,
+                            )
+                        _stats.bump("service.aborts")
+                        raise pending.error
+                finally:
+                    self._admission.release(held.ticket)
+        finally:
+            self._merge_stats(call_sink)
+
+    def shard_abort(self, token):
+        """Drop a parked shard transaction (idempotent)."""
+        held = self._shard_pop(token)
+        if held is None:
+            return {"aborted": False}
+        self._admission.release(held.ticket)
+        call_sink = {}
+        with _stats.scope(call_sink):
+            _stats.bump("shard.aborts")
+        self._merge_stats(call_sink)
+        return {"aborted": True}
+
+    def shard_apply(self, deltas, *, timeout=None):
+        """Apply raw deltas through the barrier path (serialized with
+        the write stream, IVM + constraint checked).  The coordinator
+        uses this to redistribute misplaced rows to their owning shard
+        and to compensate committed shards when a sibling's commit
+        fails mid-circuit."""
+        started = time.perf_counter()
+
+        def run(ws):
+            sink = {}
+            with _stats.scope(sink):
+                applied = ws._apply_deltas(ws.version().state, deltas)
+            _stats.bump("shard.applies")
+            return TxnResult(
+                status="committed",
+                kind="exec",
+                deltas=dict(applied),
+                stats=sink,
+                attempts=1,
+                repairs=0,
+                latency_s=time.perf_counter() - started,
+            )
+
+        return self._barrier(run, "shard_apply", timeout)
+
     # -- the commit pipeline ---------------------------------------------------
 
     def _enqueue(self, item):
@@ -558,7 +883,7 @@ class TransactionService:
                 raise TxnTimeout(
                     "{} barrier missed its deadline".format(barrier.kind))
             barrier.result = barrier.fn(self.workspace)
-            if barrier.kind in ("addblock", "removeblock", "load"):
+            if barrier.kind in ("addblock", "removeblock", "load", "shard_apply"):
                 self._commits_since_checkpoint += 1
                 # DDL moves state too: advance the watermark so
                 # read-your-writes covers schema changes and bulk loads
@@ -805,12 +1130,18 @@ class TransactionService:
     def status(self):
         """This endpoint's fleet coordinates: role, commit watermark,
         and the sequence/watermark of its durable checkpoint."""
-        return {
+        out = {
             "role": self.role,
             "watermark": self._watermark,
             "checkpoint_seq": self._checkpoint_seq,
             "checkpoint_watermark": self._checkpoint_watermark,
         }
+        if self.config.shard_count is not None:
+            out["shard"] = {
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+            }
+        return out
 
     # -- introspection ---------------------------------------------------------
 

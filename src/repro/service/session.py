@@ -169,6 +169,13 @@ def connect(target=None, *, service=None, name=None, timeout=None,
       session over a replica fleet
       (:class:`~repro.net.cluster.ClusterSession`): writes routed to
       the leader, reads fanned out across replicas.
+    * ``connect("shards://s0:7411,s1:7412,s2:7413", partition={...})``
+      — coordinator over a horizontally sharded fleet
+      (:class:`~repro.shard.ShardedWorkspace`): partitioned EDB
+      predicates hash-fragmented across the shards, co-partitioned
+      programs pushed shard-local, cross-shard writes committed by the
+      repair circuit.  Endpoint order is shard order; each server's
+      HELLO shard advertisement is checked against it.
     * ``connect(workspace)`` — fresh service over an existing
       :class:`~repro.runtime.workspace.Workspace`.
     * ``connect(service=svc)`` — another session on a shared service.
@@ -211,6 +218,16 @@ def connect(target=None, *, service=None, name=None, timeout=None,
                 e for e in target[len("cluster://"):].split(",") if e.strip()]
             return ClusterSession(endpoints, name=name, timeout=timeout,
                                   consistency=consistency, **config)
+        if target.startswith("shards://"):
+            from repro.shard import ShardedWorkspace
+
+            endpoints = [
+                e for e in target[len("shards://"):].split(",") if e.strip()]
+            if not endpoints:
+                raise ValueError(
+                    "shards target must list endpoints: "
+                    "shards://h1:p1,h2:p2,...")
+            return ShardedWorkspace.connect(endpoints, **config)
         # a plain string is a local checkpoint directory
         config.setdefault("checkpoint_path", target)
         target = None

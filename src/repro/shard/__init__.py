@@ -1,0 +1,37 @@
+"""Horizontally sharded workspaces with distributed LFTJ.
+
+EDB relations are hash-partitioned by a deterministic key column
+(:func:`repro.ds.hashing.stable_hash`, so placement is identical across
+processes and ``PYTHONHASHSEED`` values) across N ``repro.net`` shard
+servers.  A :class:`ShardedWorkspace` coordinator fragments loads,
+pushes co-partitioned programs shard-local, recombines scatter results
+(dedup/merge for rows, aggregate group-state folding for aggregates),
+and drives cross-shard commits through the transaction-repair circuit
+(each shard prepares a branch diff; the coordinator composes
+corrections and commits — no classic two-phase commit).
+
+Entry points::
+
+    import repro
+
+    ws = repro.connect("shards://h1:7411,h2:7412,h3:7413",
+                       partition={"ballot": 0})
+
+or, in-process (tests, oracles)::
+
+    from repro.shard import ShardedWorkspace
+
+    ws = ShardedWorkspace.local(3, partition={"ballot": 0})
+"""
+
+from repro.shard.coordinator import ShardedWorkspace, ShardError, ShardCommitError
+from repro.shard.executors import ShardExecutorPool
+from repro.shard.shardmap import ShardMap
+
+__all__ = [
+    "ShardedWorkspace",
+    "ShardError",
+    "ShardCommitError",
+    "ShardExecutorPool",
+    "ShardMap",
+]

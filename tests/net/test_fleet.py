@@ -345,3 +345,54 @@ def test_repro_connect_cluster_url_end_to_end(fleet):
         assert isinstance(cluster, ClusterSession)
         cluster.exec("^kv[2] = 99.")
         assert cluster.query("_(v) <- kv[2] = v.") == [(99,)]
+
+
+# -- lag-based self-exclusion --------------------------------------------------
+
+
+def test_replica_advertises_staleness_bound(fleet, tmp_path):
+    _, server, _, _ = fleet
+    bounded = start_replica(
+        tmp_path, server, "bounded", max_staleness_s=5.0)
+    try:
+        status = bounded.status()
+        assert status["max_staleness_s"] == 5.0
+        assert status["staleness_s"] >= 0.0
+        assert status["staleness_s"] < 5.0  # just synced
+    finally:
+        bounded.close()
+
+
+def test_cluster_excludes_replica_past_its_staleness_bound(fleet, tmp_path):
+    service, server, admin, replicas = fleet
+    # a replica that promises 1ms freshness and is not following: its
+    # self-advertised staleness blows the bound almost immediately
+    laggard = start_replica(
+        tmp_path, server, "laggard", max_staleness_s=0.001)
+    try:
+        time.sleep(0.05)
+        eps = ["{}:{}".format(*server.address), laggard.endpoint]
+        with ClusterSession(eps, consistency="eventual",
+                            lag_probe_s=0.0001) as cluster:
+            for _ in range(6):
+                time.sleep(0.002)
+                assert cluster.query("_(v) <- kv[1] = v.") == [(10,)]
+            stats = cluster.fleet_stats()
+            lagging = [ep for ep, m in stats["members"].items()
+                       if m["lag_excluded"]]
+            assert lagging == [laggard.endpoint]
+    finally:
+        laggard.close()
+
+
+def test_cluster_keeps_fresh_replicas_in_rotation(fleet):
+    service, server, admin, replicas = fleet
+    # default replicas advertise no bound: lag exclusion never trips
+    with ClusterSession(endpoints(server, replicas),
+                        consistency="eventual",
+                        lag_probe_s=0.0001) as cluster:
+        for _ in range(4):
+            assert cluster.query("_(v) <- kv[1] = v.") == [(10,)]
+        stats = cluster.fleet_stats()
+        assert not any(
+            m["lag_excluded"] for m in stats["members"].values())

@@ -30,6 +30,7 @@ from repro.runtime.errors import (
     UnknownPredicate,
 )
 from repro.service.faults import InjectedCrash
+from repro.shard import ShardCommitError, ShardError
 
 
 class _FakeConstraint:
@@ -56,6 +57,9 @@ FACTORIES = {
     "ReplicaReadOnly": lambda: ReplicaReadOnly("writes go to the leader"),
     "StaleRead": lambda: StaleRead("replica fleet behind watermark 42"),
     "LeaderUnavailable": lambda: LeaderUnavailable("no leader among 3 endpoints"),
+    "ShardError": lambda: ShardError("block is not shard-local-exact"),
+    "ShardCommitError": lambda: ShardCommitError(
+        "compensation of committed shards failed"),
 }
 
 

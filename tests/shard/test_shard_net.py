@@ -1,0 +1,104 @@
+"""Sharded workspace over live servers: the wire path of the circuit,
+HELLO shard advertisements, and ``shards://`` connect routing."""
+
+import pytest
+
+import repro
+from repro.net import NetSession, ReproServer
+from repro.runtime.workspace import Workspace
+from repro.service import ServiceConfig, TransactionService
+from repro.shard import ShardError, ShardedWorkspace
+
+SCHEMA = (
+    "order(o, c) -> int(o), string(c).\n"
+    "lineitem(o, l, q) -> int(o), int(l), int(q).\n"
+)
+PARTITION = {"order": 0, "lineitem": 0}
+ORDERS = [(i, "c{}".format(i % 5)) for i in range(30)]
+ITEMS = [(i % 30, i, (i * 7) % 23) for i in range(90)]
+
+
+@pytest.fixture()
+def fleet():
+    services, servers = [], []
+    for index in range(3):
+        service = TransactionService(config=ServiceConfig(
+            shard_index=index, shard_count=3))
+        server = ReproServer(service)
+        server.start()
+        services.append(service)
+        servers.append(server)
+    yield servers
+    for server, service in zip(servers, services):
+        server.stop()
+        service.close()
+
+
+def endpoints_of(servers):
+    return ["{}:{}".format(s.host, s.port) for s in servers]
+
+
+def load_both(sharded, oracle):
+    for target in (sharded, oracle):
+        target.addblock(SCHEMA, name="schema")
+        target.load("order", ORDERS)
+        target.load("lineitem", ITEMS)
+
+
+def test_net_circuit_matches_oracle(fleet):
+    oracle = Workspace()
+    with ShardedWorkspace.connect(
+            endpoints_of(fleet), dict(PARTITION)) as sharded:
+        load_both(sharded, oracle)
+        sharded.addblock(
+            "total[o] = s <- agg<<s = sum(q)>> lineitem(o, l, q).",
+            name="totals")
+        oracle.addblock(
+            "total[o] = s <- agg<<s = sum(q)>> lineitem(o, l, q).",
+            name="totals")
+        src = "".join(
+            '+order({0}, "cz"). +lineitem({0}, {1}, 4).'.format(
+                1000 + i, 9000 + i) for i in range(5))
+        result = sharded.exec(src)
+        oracle.exec(src)
+        assert result.committed
+        for pred in ("order", "lineitem", "total"):
+            assert sharded.rows(pred) == sorted(
+                tuple(r) for r in oracle.rows(pred))
+        q = "perCust[c] = s <- agg<<s = sum(q)>> order(o, c), lineitem(o, l, q)."
+        assert sharded.query(q) == sorted(
+            tuple(r) for r in oracle.query(q))
+
+
+def test_hello_advertises_shard_identity(fleet):
+    server = fleet[1]
+    with NetSession(server.host, server.port) as session:
+        assert session.server_shard == {"index": 1, "count": 3}
+        assert session.status()["shard"] == {"index": 1, "count": 3}
+
+
+def test_misordered_endpoints_rejected(fleet):
+    shuffled = endpoints_of(fleet)
+    shuffled = [shuffled[1], shuffled[0], shuffled[2]]
+    with pytest.raises(ShardError):
+        ShardedWorkspace.connect(shuffled, dict(PARTITION))
+
+
+def test_connect_url_routing(fleet):
+    url = "shards://" + ",".join(endpoints_of(fleet))
+    with repro.connect(url, partition=dict(PARTITION)) as sharded:
+        assert isinstance(sharded, ShardedWorkspace)
+        sharded.addblock(SCHEMA, name="schema")
+        sharded.load("order", ORDERS)
+        assert len(sharded.rows("order")) == len(ORDERS)
+        manifest = sharded.manifest()
+        assert manifest["n_shards"] == 3
+        assert manifest["partition"] == PARTITION
+
+
+def test_status_reports_members(fleet):
+    with ShardedWorkspace.connect(
+            endpoints_of(fleet), dict(PARTITION)) as sharded:
+        status = sharded.status()
+        assert status["role"] == "coordinator"
+        assert [m["shard"]["index"] for m in status["members"]] == [0, 1, 2]

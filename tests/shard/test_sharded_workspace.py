@@ -1,0 +1,334 @@
+"""In-process sharded workspace: the equivalence property suite (every
+sharded result bit-identical to a single-process oracle) plus the
+cross-shard commit circuit's failure modes."""
+
+import pytest
+
+from repro.runtime.errors import ConflictError
+from repro.runtime.workspace import Workspace
+from repro.shard import ShardCommitError, ShardError, ShardedWorkspace
+
+SCHEMA = (
+    "order(o, c) -> int(o), string(c).\n"
+    "lineitem(o, l, q) -> int(o), int(l), int(q).\n"
+    "rate(n, v) -> string(n), int(v).\n"
+)
+PARTITION = {"order": 0, "lineitem": 0}
+ORDERS = [(i, "c{}".format(i % 5)) for i in range(40)]
+ITEMS = [(i % 40, i, (i * 7) % 23) for i in range(120)]
+RATES = [("std", 3), ("bulk", 2)]
+
+
+def make_pair(n_shards=3):
+    sharded = ShardedWorkspace.local(n_shards, dict(PARTITION))
+    oracle = Workspace()
+    for target in (sharded, oracle):
+        target.addblock(SCHEMA, name="schema")
+        target.load("order", ORDERS)
+        target.load("lineitem", ITEMS)
+        target.load("rate", RATES)
+    return sharded, oracle
+
+
+def oracle_rows(oracle, pred):
+    return sorted(tuple(r) for r in oracle.rows(pred))
+
+
+def oracle_query(oracle, source, answer=None):
+    return sorted(tuple(r) for r in oracle.query(source, answer))
+
+
+class TestEquivalence:
+    """Same verbs against the sharded fleet and a single process; every
+    observable must match bit-for-bit (integer workloads, so aggregate
+    recombination is exact)."""
+
+    def test_partitioned_and_replicated_extensions(self):
+        sharded, oracle = make_pair()
+        with sharded:
+            for pred in ("order", "lineitem", "rate"):
+                assert sharded.rows(pred) == oracle_rows(oracle, pred)
+
+    def test_fragments_are_disjoint_and_cover(self):
+        sharded, oracle = make_pair()
+        with sharded:
+            fragments = [
+                sorted(tuple(r)
+                       for r in sharded._pool.backend(i).rows("order"))
+                for i in range(3)
+            ]
+            merged = [row for frag in fragments for row in frag]
+            assert len(merged) == len(set(merged))  # disjoint
+            assert sorted(merged) == oracle_rows(oracle, "order")
+            assert sum(1 for frag in fragments if frag) > 1  # actually split
+
+    def test_copartitioned_view_addblock(self):
+        sharded, oracle = make_pair()
+        view = "total[o] = s <- agg<<s = sum(q)>> lineitem(o, l, q).\n"
+        with sharded:
+            sharded.addblock(view, name="totals")
+            oracle.addblock(view, name="totals")
+            assert sharded.rows("total") == oracle_rows(oracle, "total")
+
+    def test_scatter_query_deduplicates(self):
+        sharded, oracle = make_pair()
+        q = "cust(c) <- order(o, c)."
+        with sharded:
+            assert sharded.query(q) == oracle_query(oracle, q)
+
+    def test_copartitioned_join_query(self):
+        sharded, oracle = make_pair()
+        q = "big(o, c, q) <- order(o, c), lineitem(o, l, q), q > 15."
+        with sharded:
+            assert sharded.query(q) == oracle_query(oracle, q)
+
+    @pytest.mark.parametrize("fn,exp", [
+        ("sum", None), ("count", None), ("min", None), ("max", None)])
+    def test_partial_aggregates_recombine(self, fn, exp):
+        sharded, oracle = make_pair()
+        q = "g[] = s <- agg<<s = {}(q)>> lineitem(o, l, q).".format(fn)
+        with sharded:
+            rows = sharded.query(q)
+            assert rows == oracle_query(oracle, q)
+            assert len(rows) == 1
+
+    def test_grouped_partial_aggregate(self):
+        sharded, oracle = make_pair()
+        # group key is the *customer*, not the partition key: per-shard
+        # partials per customer must fold across shards
+        q = ("perCust[c] = s <- agg<<s = sum(q)>> "
+             "order(o, c), lineitem(o, l, q).")
+        with sharded:
+            assert sharded.query(q) == oracle_query(oracle, q)
+
+    def test_avg_falls_back_to_gather(self):
+        sharded, oracle = make_pair()
+        q = "a[] = v <- agg<<v = avg(q)>> lineitem(o, l, q)."
+        with sharded:
+            before = sharded.query(q)
+            assert before == oracle_query(oracle, q)
+
+    def test_broken_query_falls_back_to_gather(self):
+        sharded, oracle = make_pair()
+        # join keyed on different variables: not shard-local, must gather
+        q = "pair(a, b) <- order(a, c), order(b, c), a < b."
+        with sharded:
+            assert sharded.query(q) == oracle_query(oracle, q)
+
+    def test_literal_key_query_routes_to_owner(self):
+        sharded, oracle = make_pair()
+        q = "mine(l, q) <- lineitem(7, l, q)."
+        with sharded:
+            from repro import stats as _stats
+
+            counters = {}
+            with _stats.scope(counters):
+                rows = sharded.query(q)
+            assert rows == oracle_query(oracle, q)
+            assert counters.get("shard.single_shard_queries") == 1
+
+    def test_replicated_query_routes_to_one_shard(self):
+        sharded, oracle = make_pair()
+        q = "r(n, v) <- rate(n, v)."
+        with sharded:
+            assert sharded.query(q) == oracle_query(oracle, q)
+
+    def test_load_with_removals(self):
+        sharded, oracle = make_pair()
+        gone = ORDERS[::7]
+        with sharded:
+            sharded.load("order", [], remove=gone)
+            oracle.load("order", [], remove=gone)
+            assert sharded.rows("order") == oracle_rows(oracle, "order")
+
+
+class TestExecRouting:
+    def test_literal_key_write_routes_single_shard(self):
+        sharded, oracle = make_pair()
+        src = '+order(1000, "c9"). +lineitem(1000, 777, 5).'
+        with sharded:
+            from repro import stats as _stats
+
+            counters = {}
+            with _stats.scope(counters):
+                result = sharded.exec(src)
+            # both writes hash key 1000: one shard, no circuit
+            assert result.committed
+            assert counters.get("shard.single_shard_execs") == 1
+            assert not counters.get("shard.circuits")
+            oracle.exec(src)
+            assert sharded.rows("order") == oracle_rows(oracle, "order")
+            assert sharded.rows("lineitem") == oracle_rows(
+                oracle, "lineitem")
+
+    def test_cross_shard_write_runs_circuit(self):
+        sharded, oracle = make_pair()
+        src = "".join(
+            '+order({}, "cx").'.format(1000 + i) for i in range(6))
+        with sharded:
+            from repro import stats as _stats
+
+            counters = {}
+            with _stats.scope(counters):
+                result = sharded.exec(src)
+            assert result.committed and result.kind == "exec"
+            assert counters.get("shard.circuits") == 1
+            oracle.exec(src)
+            assert sharded.rows("order") == oracle_rows(oracle, "order")
+
+    def test_rule_driven_write_matches_oracle(self):
+        sharded, oracle = make_pair()
+        # derived write fanning out from partitioned reads into the
+        # partitioned predicate itself (same key: stays owned)
+        src = ('+lineitem(o, 9000, 1) <- order(o, c), c = "c1".')
+        with sharded:
+            sharded.exec(src)
+            oracle.exec(src)
+            assert sharded.rows("lineitem") == oracle_rows(
+                oracle, "lineitem")
+
+    def test_replicated_write_lands_everywhere(self):
+        sharded, oracle = make_pair()
+        src = '+rate("promo", 1).'
+        with sharded:
+            sharded.exec(src)
+            oracle.exec(src)
+            assert sharded.rows("rate") == oracle_rows(oracle, "rate")
+            for index in range(3):
+                assert ("promo", 1) in {
+                    tuple(r)
+                    for r in sharded._pool.backend(index).rows("rate")}
+
+    def test_derived_replicated_write_deduplicates(self):
+        sharded, oracle = make_pair()
+        # every shard derives a subset of the same replicated write from
+        # its fragment; the union must be one logical write per row
+        src = '+rate(c, 1) <- order(o, c).'
+        with sharded:
+            sharded.exec(src)
+            oracle.exec(src)
+            assert sharded.rows("rate") == oracle_rows(oracle, "rate")
+
+
+class TestRefusals:
+    def test_broken_block_refused(self):
+        sharded, _ = make_pair()
+        with sharded:
+            with pytest.raises(ShardError):
+                sharded.addblock(
+                    "bad(o, l) <- order(o, c), lineitem(l, o, q).")
+            assert "bad" not in " ".join(sharded.blocks())
+
+    def test_avg_partial_refused_at_addblock(self):
+        sharded, _ = make_pair()
+        with sharded:
+            with pytest.raises(ShardError):
+                sharded.addblock(
+                    "a[] = v <- agg<<v = avg(q)>> lineitem(o, l, q).")
+
+    def test_failed_addblock_rolls_back_everywhere(self):
+        sharded, _ = make_pair()
+        with sharded:
+            # second block redefines total with a broken rule: refused
+            # before any shard sees it
+            sharded.addblock(
+                "total[o] = s <- agg<<s = sum(q)>> lineitem(o, l, q).",
+                name="totals")
+            with pytest.raises(ShardError):
+                sharded.addblock(
+                    "report(s) <- total[o] = s, o > 100000.\n"
+                    "bad(o, l) <- order(o, c), lineitem(l, o, q).")
+            assert sharded.blocks() == ["schema", "totals"]
+            # the refusal fired before any shard saw the block: no
+            # shard derives report
+            for index in range(3):
+                assert sharded._pool.backend(index).query(
+                    "_(s) <- report(s).") == []
+
+    def test_closed_coordinator_rejects_verbs(self):
+        sharded, _ = make_pair()
+        sharded.close()
+        with pytest.raises(Exception):
+            sharded.rows("order")
+
+
+class TestCircuitFailures:
+    def test_commit_failure_compensates_committed_prefix(self):
+        sharded, oracle = make_pair()
+        with sharded:
+            before = {
+                pred: sharded.rows(pred)
+                for pred in ("order", "lineitem", "rate")}
+            victim = sharded._pool.backend(2)
+            original = victim.shard_commit
+
+            def boom(token, deltas, **kwargs):
+                victim.shard_abort(token)
+                raise RuntimeError("shard 2 crashed at commit")
+
+            victim.shard_commit = boom
+            src = "".join(
+                '+order({}, "cx").'.format(1000 + i) for i in range(6))
+            with pytest.raises(RuntimeError):
+                sharded.exec(src)
+            victim.shard_commit = original
+            # the committed prefix was rolled back: nothing changed
+            for pred, rows in before.items():
+                assert sharded.rows(pred) == rows
+
+    def test_conflict_retries_whole_circuit(self):
+        sharded, oracle = make_pair()
+        with sharded:
+            victim = sharded._pool.backend(0)
+            original = victim.shard_commit
+            calls = {"n": 0}
+
+            def flaky(token, deltas, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    victim.shard_abort(token)
+                    raise ConflictError("raced a local commit")
+                return original(token, deltas, **kwargs)
+
+            victim.shard_commit = flaky
+            src = "".join(
+                '+order({}, "cx").'.format(1000 + i) for i in range(6))
+            result = sharded.exec(src)
+            victim.shard_commit = original
+            assert result.committed and result.attempts == 2
+            oracle.exec(src)
+            assert sharded.rows("order") == oracle_rows(oracle, "order")
+
+    def test_compensation_failure_raises_commit_error(self):
+        sharded, _ = make_pair()
+        with sharded:
+            src = "".join(
+                '+order({}, "cx").'.format(1000 + i) for i in range(6))
+            last = sharded._pool.backend(2)
+            first = sharded._pool.backend(0)
+            original_commit = last.shard_commit
+            original_apply = first.shard_apply
+
+            def boom(token, deltas, **kwargs):
+                last.shard_abort(token)
+                raise RuntimeError("late crash")
+
+            def no_apply(deltas, **kwargs):
+                raise RuntimeError("compensation also failed")
+
+            last.shard_commit = boom
+            first.shard_apply = no_apply
+            try:
+                with pytest.raises(ShardCommitError):
+                    sharded.exec(src)
+            finally:
+                last.shard_commit = original_commit
+                first.shard_apply = original_apply
+
+
+class TestConnectRouting:
+    def test_connect_requires_endpoints(self):
+        import repro
+
+        with pytest.raises(ValueError):
+            repro.connect("shards://")

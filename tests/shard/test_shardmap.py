@@ -1,0 +1,124 @@
+"""Shard map placement: determinism, no-op re-fragmenting, manifests."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.ds.hashing import stable_hash
+from repro.shard import ShardMap
+from repro.storage.relation import Delta
+
+KEYS = [
+    "alpha", "beta", "gamma", "", "a-very-long-customer-key",
+    0, 1, 17, -4, 2**40, 3.5, True, None, ("nested", 2),
+]
+
+
+class TestPlacement:
+    def test_assignment_is_stable_hash_mod_n(self):
+        smap = ShardMap(3, {"order": 0})
+        for key in KEYS:
+            assert smap.shard_of_key(key) == stable_hash(key) % 3
+            assert smap.shard_of("order", (key, "x")) == stable_hash(key) % 3
+
+    def test_replicated_pred_has_no_owner(self):
+        smap = ShardMap(3, {"order": 0})
+        assert smap.shard_of("rate", ("std", 3)) is None
+        assert not smap.is_partitioned("rate")
+        assert smap.key_col("order") == 0 and smap.key_col("rate") is None
+
+    def test_narrow_row_rejected(self):
+        smap = ShardMap(2, {"wide": 3})
+        with pytest.raises(ValueError):
+            smap.shard_of("wide", ("only", "three"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+        with pytest.raises(ValueError):
+            ShardMap(2, {"p": -1})
+        with pytest.raises(ValueError):
+            ShardMap(2, endpoints=["only-one:1"])
+
+
+class TestDeterminism:
+    """The ISSUE's partitioner property: placement must agree across
+    processes (``PYTHONHASHSEED`` notwithstanding) and re-sharding the
+    same rows to the same N must be a bit-identical no-op."""
+
+    @staticmethod
+    def _assignments_in_subprocess(hashseed):
+        script = (
+            "from repro.ds.hashing import stable_hash\n"
+            "keys = ['alpha', 'beta', 'gamma', '', "
+            "'a-very-long-customer-key', 0, 1, 17, -4, 2**40, 3.5, "
+            "True, None, ('nested', 2)]\n"
+            "print([stable_hash(k) % 5 for k in keys])\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"),
+                        env.get("PYTHONPATH")) if p)
+        out = subprocess.check_output(
+            [sys.executable, "-c", script], env=env)
+        return out.decode().strip()
+
+    def test_assignment_identical_across_hashseeds(self):
+        first = self._assignments_in_subprocess(1)
+        second = self._assignments_in_subprocess(4242)
+        assert first == second
+        # and both agree with this process
+        assert first == str([stable_hash(k) % 5 for k in KEYS])
+
+    def test_refragmenting_is_a_noop(self):
+        smap = ShardMap(4, {"order": 0})
+        rows = [(k, i) for i, k in enumerate(KEYS)]
+        once = smap.fragment("order", rows)
+        again = smap.fragment("order", [tuple(r) for r in rows])
+        assert once == again
+        # fragments cover the input exactly, preserving input order
+        assert sorted((r for frag in once for r in frag), key=repr) == sorted(
+            rows, key=repr)
+        # re-fragmenting a fragment keeps every row on its own shard
+        for index, frag in enumerate(once):
+            refrag = smap.fragment("order", frag)
+            assert refrag[index] == frag
+            assert all(not f for j, f in enumerate(refrag) if j != index)
+
+
+class TestSplitDelta:
+    def test_split_routes_rows_to_owners(self):
+        # deltas hold ordered sets, so rows must be comparable: use a
+        # homogeneous string key population
+        keys = ["k-{}".format(i) for i in range(20)]
+        smap = ShardMap(3, {"order": 0})
+        delta = Delta.from_iters(
+            [(k, "add") for k in keys], [(k, "gone") for k in keys[:4]])
+        parts = smap.split_delta("order", delta)
+        for index, part in parts.items():
+            for row in part.added:
+                assert smap.shard_of("order", row) == index
+            for row in part.removed:
+                assert smap.shard_of("order", row) == index
+        assert sorted(r for p in parts.values() for r in p.added) == [
+            (k, "add") for k in sorted(keys)]
+
+    def test_empty_shards_omitted(self):
+        smap = ShardMap(8, {"order": 0})
+        parts = smap.split_delta("order", Delta.from_iters([("alpha", 1)]))
+        assert len(parts) == 1
+
+
+class TestManifest:
+    def test_round_trip(self):
+        smap = ShardMap(3, {"order": 0, "lineitem": 1},
+                        endpoints=["a:1", "b:2", "c:3"])
+        assert ShardMap.from_manifest(smap.manifest()) == smap
+
+    def test_version_check(self):
+        record = ShardMap(2, {"p": 0}).manifest()
+        record["version"] = 99
+        with pytest.raises(ValueError):
+            ShardMap.from_manifest(record)

@@ -1,0 +1,180 @@
+"""Boot a real sharded fleet and assert it matches a single process.
+
+CI's shard job runs::
+
+    python tools/check_sharded_equivalence.py --shards 3
+
+which starts N ``repro.net`` shard server *subprocesses* (each with its
+shard identity on the CLI), connects a coordinator through
+``repro.connect("shards://...")``, and drives the fragmented-write +
+recombined-aggregation scenario:
+
+* schema + co-partitioned view installed through the coordinator;
+* bulk loads fragmented across the shards (each shard must hold a
+  proper, disjoint subset);
+* single-shard literal-key writes and cross-shard repair-circuit
+  writes;
+* keyed, scattered, grouped-partial, and gather queries.
+
+Every observable — per-predicate global extensions and every query
+answer — must be **bit-identical** to a single-process
+:class:`~repro.runtime.workspace.Workspace` fed the same verbs in the
+same order.  Exits non-zero on the first divergence.
+"""
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import time
+
+SCHEMA = (
+    "order(o, c) -> int(o), string(c).\n"
+    "lineitem(o, l, q) -> int(o), int(l), int(q).\n"
+    "rate(n, v) -> string(n), int(v).\n"
+)
+VIEW = "total[o] = s <- agg<<s = sum(q)>> lineitem(o, l, q).\n"
+PARTITION = {"order": 0, "lineitem": 0}
+QUERIES = [
+    ("keyed join",
+     "big(o, c, q) <- order(o, c), lineitem(o, l, q), q > 15."),
+    ("scattered projection", "cust(c) <- order(o, c)."),
+    ("grouped partial",
+     "perCust[c] = s <- agg<<s = sum(q)>> order(o, c), lineitem(o, l, q)."),
+    ("global sum", "g[] = s <- agg<<s = sum(q)>> lineitem(o, l, q)."),
+    ("global count", "n[] = c <- agg<<c = count(l)>> lineitem(o, l, q)."),
+    ("global min/max",
+     "m[] = v <- agg<<v = max(q)>> lineitem(o, l, q)."),
+    ("gather fallback (avg)",
+     "a[] = v <- agg<<v = avg(q)>> lineitem(o, l, q)."),
+    ("gather fallback (non-local join)",
+     "pair(a, b) <- order(a, c), order(b, c), a < b."),
+]
+
+
+def wait_port(port, deadline_s=20.0):
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), 0.5).close()
+            return True
+        except OSError:
+            time.sleep(0.1)
+    return False
+
+
+def start_shards(n_shards, base_port, logs_dir):
+    os.makedirs(logs_dir, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.getcwd(), "src"),
+                    env.get("PYTHONPATH")) if p)
+    procs = []
+    for index in range(n_shards):
+        port = base_port + index
+        log = open(os.path.join(
+            logs_dir, "shard-{}.log".format(index)), "w")
+        procs.append((subprocess.Popen(
+            [sys.executable, "-m", "repro.net",
+             "--port", str(port),
+             "--shard-index", str(index),
+             "--shard-count", str(n_shards)],
+            env=env, stdout=log, stderr=subprocess.STDOUT), log))
+    return procs
+
+
+def drive(target):
+    """The scenario, verb by verb; identical for fleet and oracle."""
+    orders = [(i, "c{}".format(i % 7)) for i in range(60)]
+    items = [(i % 60, i, (i * 11) % 31) for i in range(240)]
+    target.addblock(SCHEMA, name="schema")
+    target.load("order", orders)
+    target.load("lineitem", items)
+    target.load("rate", [("std", 3), ("bulk", 2)])
+    target.addblock(VIEW, name="totals")
+    # literal-key write: routes to one shard
+    target.exec('+order(500, "c1"). +lineitem(500, 9001, 6).')
+    # cross-shard write: the repair circuit
+    target.exec("".join(
+        '+order({0}, "cz"). +lineitem({0}, {1}, 3).'.format(
+            600 + i, 9100 + i) for i in range(8)))
+    # rule-driven replicated write derived on every shard: dedup check
+    target.exec('+rate(c, 1) <- order(o, c).')
+    # removal through a fragmented load
+    target.load("order", [], remove=orders[::9])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--base-port", type=int, default=7461)
+    parser.add_argument("--logs", default="ci-shard")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(os.getcwd(), "src"))
+    import repro
+    from repro.runtime.workspace import Workspace
+
+    procs = start_shards(args.shards, args.base_port, args.logs)
+    failures = []
+    try:
+        for index in range(args.shards):
+            if not wait_port(args.base_port + index):
+                print("shard {} never came up".format(index),
+                      file=sys.stderr)
+                return 1
+        endpoints = ",".join(
+            "127.0.0.1:{}".format(args.base_port + i)
+            for i in range(args.shards))
+        oracle = Workspace()
+        drive(oracle)
+        with repro.connect("shards://" + endpoints,
+                           partition=dict(PARTITION)) as fleet:
+            drive(fleet)
+
+            frag_counts = []
+            for index in range(args.shards):
+                frag_counts.append(len(
+                    fleet._pool.backend(index).rows("order")))
+            print("order fragments per shard:", frag_counts)
+            if sum(1 for c in frag_counts if c) < 2:
+                failures.append("order rows were not actually fragmented")
+
+            for pred in ("order", "lineitem", "rate", "total"):
+                got = fleet.rows(pred)
+                want = sorted(tuple(r) for r in oracle.rows(pred))
+                status = "ok" if got == want else "MISMATCH"
+                print("rows({}): {} fleet / {} oracle -> {}".format(
+                    pred, len(got), len(want), status))
+                if got != want:
+                    failures.append("rows({}) diverged".format(pred))
+
+            for label, query in QUERIES:
+                got = fleet.query(query)
+                want = sorted(tuple(r) for r in oracle.query(query))
+                status = "ok" if got == want else "MISMATCH"
+                print("query[{}]: {} rows -> {}".format(
+                    label, len(got), status))
+                if got != want:
+                    failures.append("query '{}' diverged".format(label))
+    finally:
+        for proc, log in procs:
+            proc.terminate()
+        for proc, log in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            log.close()
+
+    if failures:
+        print("FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("sharded fleet ({} shards) is bit-identical to the "
+          "single-process oracle".format(args.shards))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
